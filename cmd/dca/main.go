@@ -1,0 +1,310 @@
+// Command dca is the command-line front end to Dynamic Commutativity
+// Analysis. It compiles a MiniC source file and reports, per loop, whether
+// DCA finds it commutative — optionally alongside the five baseline
+// detectors the paper compares against.
+//
+// Usage:
+//
+//	dca analyze [-baselines] [-schedules n] file.mc
+//	dca run file.mc
+//	dca ir file.mc
+//	dca parallel -fn name -loop k [-workers n] file.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dca/internal/core"
+	"dca/internal/dcart"
+	"dca/internal/depprof"
+	"dca/internal/discopop"
+	"dca/internal/icc"
+	"dca/internal/idioms"
+	"dca/internal/instrument"
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+	"dca/internal/opt"
+	"dca/internal/parallel"
+	"dca/internal/parser"
+	"dca/internal/polly"
+	"dca/internal/printer"
+	"dca/internal/skeleton"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "run":
+		err = cmdRun(args)
+	case "ir":
+		err = cmdIR(args)
+	case "parallel":
+		err = cmdParallel(args)
+	case "skeletons":
+		err = cmdSkeletons(args)
+	case "contexts":
+		err = cmdContexts(args)
+	case "fmt":
+		err = cmdFmt(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dca:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `dca — Dynamic Commutativity Analysis for MiniC programs
+
+commands:
+  analyze [-baselines] [-schedules n] file.mc   run DCA on every loop
+  run [-opt] file.mc                            execute the program
+  ir [-opt] file.mc                             print the IR
+  parallel -fn f -loop k [-workers n] file.mc   run one loop in parallel
+  skeletons file.mc                             classify commutative loops
+  contexts -fn f -loop k file.mc                per-calling-context verdicts
+  fmt file.mc                                   print canonical source`)
+}
+
+func compile(path string) (*ir.Program, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return irbuild.Compile(path, string(text))
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	baselines := fs.Bool("baselines", false, "also run the five baseline detectors")
+	schedules := fs.Int("schedules", 3, "number of random permutation schedules (plus reverse)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze: need exactly one source file")
+	}
+	prog, err := compile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	scheds := []dcart.Schedule{dcart.Reverse{}}
+	for i := 0; i < *schedules; i++ {
+		scheds = append(scheds, dcart.Random{Seed: int64(i + 1)})
+	}
+	rep, err := core.Analyze(prog, core.Options{Schedules: scheds})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== DCA ==")
+	fmt.Print(rep)
+	fmt.Printf("commutative: %d of %d loops\n", rep.Count(core.Commutative), len(rep.Loops))
+	if !*baselines {
+		return nil
+	}
+	dp, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Dependence Profiling ==")
+	fmt.Print(dp)
+	dpp, err := discopop.Analyze(prog, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== DiscoPoP ==")
+	fmt.Print(dpp)
+	fmt.Println("\n== Idioms ==")
+	printStatic(prog, func(fn string, idx int) (bool, []string) {
+		v := idioms.Analyze(prog).Verdict(fn, idx)
+		if v == nil {
+			return false, nil
+		}
+		return v.Parallel, v.Reasons
+	})
+	fmt.Println("\n== Polly ==")
+	fmt.Print(polly.Analyze(prog))
+	fmt.Println("\n== ICC ==")
+	ic := icc.Analyze(prog)
+	printStatic(prog, func(fn string, idx int) (bool, []string) {
+		v := ic.Verdict(fn, idx)
+		if v == nil {
+			return false, nil
+		}
+		return v.Parallel, v.Reasons
+	})
+	return nil
+}
+
+func printStatic(prog *ir.Program, verdict func(fn string, idx int) (bool, []string)) {
+	rep, err := core.Analyze(prog, core.Options{Schedules: []dcart.Schedule{dcart.Reverse{}}})
+	if err != nil {
+		return
+	}
+	for _, l := range rep.Loops {
+		ok, reasons := verdict(l.Fn, l.Index)
+		status := "serial"
+		if ok {
+			status = "parallel"
+		}
+		if len(reasons) > 0 {
+			fmt.Printf("%s/L%d: %s (%s)\n", l.Fn, l.Index, status, reasons[0])
+		} else {
+			fmt.Printf("%s/L%d: %s\n", l.Fn, l.Index, status)
+		}
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	optimize := fs.Bool("opt", false, "optimize the IR before executing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need exactly one source file")
+	}
+	prog, err := compile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *optimize {
+		stats := opt.Program(prog)
+		fmt.Fprintf(os.Stderr, "(opt: %d rewrites)\n", stats.Total())
+	}
+	res, err := interp.Run(prog, interp.Config{Out: os.Stdout})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(%d steps)\n", res.Steps)
+	return nil
+}
+
+func cmdIR(args []string) error {
+	fs := flag.NewFlagSet("ir", flag.ExitOnError)
+	optimize := fs.Bool("opt", false, "optimize the IR before printing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("ir: need exactly one source file")
+	}
+	prog, err := compile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *optimize {
+		opt.Program(prog)
+	}
+	fmt.Print(prog)
+	return nil
+}
+
+func cmdSkeletons(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("skeletons: need exactly one source file")
+	}
+	prog, err := compile(args[0])
+	if err != nil {
+		return err
+	}
+	rep, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		return err
+	}
+	for _, l := range rep.Loops {
+		if !l.Verdict.IsParallelizable() {
+			continue
+		}
+		inst, err := instrument.Loop(prog, l.Fn, l.Index)
+		if err != nil {
+			continue
+		}
+		info := skeleton.Classify(inst)
+		fmt.Printf("%-40s %-12s accumulators=%v heapWrites=%d allocates=%v\n",
+			l.ID, info.Kind, info.Accumulators, info.HeapWrites, info.Allocates)
+	}
+	return nil
+}
+
+func cmdFmt(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("fmt: need exactly one source file")
+	}
+	text, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(args[0], string(text))
+	if err != nil {
+		return err
+	}
+	fmt.Print(printer.Print(prog))
+	return nil
+}
+
+func cmdContexts(args []string) error {
+	fs := flag.NewFlagSet("contexts", flag.ExitOnError)
+	fn := fs.String("fn", "main", "function containing the loop")
+	loop := fs.Int("loop", 0, "loop index within the function")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("contexts: need exactly one source file")
+	}
+	prog, err := compile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := core.AnalyzeLoopContexts(prog, *fn, *loop, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	return nil
+}
+
+func cmdParallel(args []string) error {
+	fs := flag.NewFlagSet("parallel", flag.ExitOnError)
+	fn := fs.String("fn", "main", "function containing the loop")
+	loop := fs.Int("loop", 0, "loop index within the function")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("parallel: need exactly one source file")
+	}
+	prog, err := compile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	inst, err := instrument.Loop(prog, *fn, *loop)
+	if err != nil {
+		return err
+	}
+	res, err := parallel.RunLoop(inst, parallel.Options{Workers: *workers, Out: os.Stdout})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(%d invocations, %d iterations over %d workers)\n",
+		res.Invocations, res.Iterations, res.Workers)
+	return nil
+}

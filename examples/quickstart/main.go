@@ -1,0 +1,78 @@
+// Quickstart: run Dynamic Commutativity Analysis on the paper's Fig. 1 —
+// the same map operation written over an array and over a linked list.
+// Dependence profiling handles the first and fails on the second; DCA
+// detects both as commutative.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dca/internal/core"
+	"dca/internal/depprof"
+	"dca/internal/irbuild"
+)
+
+const src = `
+struct Node { val int; next *Node; }
+
+// Fig. 1(a): array-based map loop.
+func mapArray(array []int, n int) {
+	for (var i int = 0; i < n; i++) { array[i]++; }
+}
+
+// Fig. 1(b): the same map over a pointer-linked list.
+func mapList(head *Node) {
+	var ptr *Node = head;
+	while (ptr != nil) {
+		ptr->val++;
+		ptr = ptr->next;
+	}
+}
+
+func main() {
+	var a []int = new [64]int;
+	mapArray(a, 64);
+
+	var head *Node = nil;
+	for (var i int = 0; i < 64; i++) {
+		var n *Node = new Node;
+		n->val = i;
+		n->next = head;
+		head = n;
+	}
+	mapList(head);
+
+	var s int = a[0] + a[63];
+	var p *Node = head;
+	while (p != nil) { s += p->val; p = p->next; }
+	print(s);
+}
+`
+
+func main() {
+	prog, err := irbuild.Compile("fig1.mc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Dynamic Commutativity Analysis (per loop):")
+	rep, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+
+	fmt.Println("\nDependence profiling on the same loops:")
+	dp, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(dp)
+
+	fmt.Println("\nThe array map (mapArray/L0) is parallel for both techniques.")
+	fmt.Println("The list map (mapList/L0) defeats dependence profiling — the")
+	fmt.Println("cross-iteration dependence on ptr — but DCA permutes its")
+	fmt.Println("iterations, observes identical live-outs, and reports it")
+	fmt.Println("commutative: the paper's central result in one example.")
+}

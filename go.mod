@@ -1,0 +1,3 @@
+module dca
+
+go 1.22

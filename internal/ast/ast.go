@@ -1,0 +1,341 @@
+// Package ast defines the abstract syntax tree for MiniC, the small
+// imperative language used as the DCA compilation substrate. MiniC has
+// functions, structs, fixed scalar types, heap-allocated arrays and
+// pointer-linked structures — enough surface to express both the regular
+// array loops and the PLDS traversals studied in the paper.
+package ast
+
+import "dca/internal/source"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// ---------------------------------------------------------------- Types
+
+// Type is a syntactic type expression.
+type Type interface {
+	Node
+	typeNode()
+	String() string
+}
+
+// NamedType is a builtin scalar type or a struct name.
+type NamedType struct {
+	NamePos source.Pos
+	Name    string // "int", "float", "bool", "string" or a struct name
+}
+
+func (t *NamedType) Pos() source.Pos { return t.NamePos }
+func (t *NamedType) typeNode()       {}
+func (t *NamedType) String() string  { return t.Name }
+
+// PointerType is *Elem; Elem must name a struct.
+type PointerType struct {
+	StarPos source.Pos
+	Elem    Type
+}
+
+func (t *PointerType) Pos() source.Pos { return t.StarPos }
+func (t *PointerType) typeNode()       {}
+func (t *PointerType) String() string  { return "*" + t.Elem.String() }
+
+// ArrayType is []Elem, a heap-allocated array.
+type ArrayType struct {
+	BrackPos source.Pos
+	Elem     Type
+}
+
+func (t *ArrayType) Pos() source.Pos { return t.BrackPos }
+func (t *ArrayType) typeNode()       {}
+func (t *ArrayType) String() string  { return "[]" + t.Elem.String() }
+
+// ---------------------------------------------------------------- Decls
+
+// Field is a name/type pair used for struct fields and parameters.
+type Field struct {
+	NamePos source.Pos
+	Name    string
+	Type    Type
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	KwPos  source.Pos
+	Name   string
+	Fields []Field
+}
+
+func (d *StructDecl) Pos() source.Pos { return d.KwPos }
+
+// FuncDecl declares a function. Ret is nil for void functions.
+type FuncDecl struct {
+	KwPos  source.Pos
+	Name   string
+	Params []Field
+	Ret    Type
+	Body   *BlockStmt
+}
+
+func (d *FuncDecl) Pos() source.Pos { return d.KwPos }
+
+// Program is a parsed MiniC compilation unit.
+type Program struct {
+	File    *source.File
+	Structs []*StructDecl
+	Funcs   []*FuncDecl
+}
+
+// Struct returns the declaration of the named struct, or nil.
+func (p *Program) Struct(name string) *StructDecl {
+	for _, s := range p.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Func returns the declaration of the named function, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- Stmts
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is { stmts... }.
+type BlockStmt struct {
+	LBrace source.Pos
+	Stmts  []Stmt
+}
+
+func (s *BlockStmt) Pos() source.Pos { return s.LBrace }
+func (s *BlockStmt) stmtNode()       {}
+
+// VarDecl is `var name T = init;` (init optional).
+type VarDecl struct {
+	KwPos source.Pos
+	Name  string
+	Type  Type
+	Init  Expr // may be nil
+}
+
+func (s *VarDecl) Pos() source.Pos { return s.KwPos }
+func (s *VarDecl) stmtNode()       {}
+
+// AssignStmt is `lhs op rhs;` where op is =, +=, -=, *=, /= or %=.
+type AssignStmt struct {
+	LHS Expr
+	Op  string // "=", "+=", ...
+	RHS Expr
+}
+
+func (s *AssignStmt) Pos() source.Pos { return s.LHS.Pos() }
+func (s *AssignStmt) stmtNode()       {}
+
+// IncDecStmt is `lhs++;` or `lhs--;`.
+type IncDecStmt struct {
+	LHS Expr
+	Dec bool
+}
+
+func (s *IncDecStmt) Pos() source.Pos { return s.LHS.Pos() }
+func (s *IncDecStmt) stmtNode()       {}
+
+// IfStmt is `if (cond) then else?`.
+type IfStmt struct {
+	KwPos source.Pos
+	Cond  Expr
+	Then  *BlockStmt
+	Else  Stmt // *BlockStmt, *IfStmt or nil
+}
+
+func (s *IfStmt) Pos() source.Pos { return s.KwPos }
+func (s *IfStmt) stmtNode()       {}
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	KwPos source.Pos
+	Cond  Expr
+	Body  *BlockStmt
+}
+
+func (s *WhileStmt) Pos() source.Pos { return s.KwPos }
+func (s *WhileStmt) stmtNode()       {}
+
+// ForStmt is `for (init; cond; post) body`; any clause may be nil.
+type ForStmt struct {
+	KwPos source.Pos
+	Init  Stmt
+	Cond  Expr
+	Post  Stmt
+	Body  *BlockStmt
+}
+
+func (s *ForStmt) Pos() source.Pos { return s.KwPos }
+func (s *ForStmt) stmtNode()       {}
+
+// ReturnStmt is `return expr?;`.
+type ReturnStmt struct {
+	KwPos source.Pos
+	Val   Expr // may be nil
+}
+
+func (s *ReturnStmt) Pos() source.Pos { return s.KwPos }
+func (s *ReturnStmt) stmtNode()       {}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ KwPos source.Pos }
+
+func (s *BreakStmt) Pos() source.Pos { return s.KwPos }
+func (s *BreakStmt) stmtNode()       {}
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ KwPos source.Pos }
+
+func (s *ContinueStmt) Pos() source.Pos { return s.KwPos }
+func (s *ContinueStmt) stmtNode()       {}
+
+// ExprStmt is an expression (a call) in statement position.
+type ExprStmt struct{ X Expr }
+
+func (s *ExprStmt) Pos() source.Pos { return s.X.Pos() }
+func (s *ExprStmt) stmtNode()       {}
+
+// PrintStmt is `print(args...);`, MiniC's sole I/O statement — it marks the
+// loops DCA must exclude for side effects.
+type PrintStmt struct {
+	KwPos source.Pos
+	Args  []Expr
+}
+
+func (s *PrintStmt) Pos() source.Pos { return s.KwPos }
+func (s *PrintStmt) stmtNode()       {}
+
+// ---------------------------------------------------------------- Exprs
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	NamePos source.Pos
+	Name    string
+}
+
+func (e *Ident) Pos() source.Pos { return e.NamePos }
+func (e *Ident) exprNode()       {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos source.Pos
+	Val    int64
+}
+
+func (e *IntLit) Pos() source.Pos { return e.LitPos }
+func (e *IntLit) exprNode()       {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	LitPos source.Pos
+	Val    float64
+}
+
+func (e *FloatLit) Pos() source.Pos { return e.LitPos }
+func (e *FloatLit) exprNode()       {}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	LitPos source.Pos
+	Val    bool
+}
+
+func (e *BoolLit) Pos() source.Pos { return e.LitPos }
+func (e *BoolLit) exprNode()       {}
+
+// StringLit is a string literal.
+type StringLit struct {
+	LitPos source.Pos
+	Val    string
+}
+
+func (e *StringLit) Pos() source.Pos { return e.LitPos }
+func (e *StringLit) exprNode()       {}
+
+// NilLit is the nil pointer literal.
+type NilLit struct{ LitPos source.Pos }
+
+func (e *NilLit) Pos() source.Pos { return e.LitPos }
+func (e *NilLit) exprNode()       {}
+
+// BinaryExpr is `x op y`.
+type BinaryExpr struct {
+	X  Expr
+	Op string
+	Y  Expr
+}
+
+func (e *BinaryExpr) Pos() source.Pos { return e.X.Pos() }
+func (e *BinaryExpr) exprNode()       {}
+
+// UnaryExpr is `op x` for op in {-, !}.
+type UnaryExpr struct {
+	OpPos source.Pos
+	Op    string
+	X     Expr
+}
+
+func (e *UnaryExpr) Pos() source.Pos { return e.OpPos }
+func (e *UnaryExpr) exprNode()       {}
+
+// CallExpr is `fn(args...)`; `len(x)` is a builtin call.
+type CallExpr struct {
+	Fn   *Ident
+	Args []Expr
+}
+
+func (e *CallExpr) Pos() source.Pos { return e.Fn.Pos() }
+func (e *CallExpr) exprNode()       {}
+
+// IndexExpr is `x[i]`.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+func (e *IndexExpr) Pos() source.Pos { return e.X.Pos() }
+func (e *IndexExpr) exprNode()       {}
+
+// FieldExpr is `x->name` (pointer field access).
+type FieldExpr struct {
+	X    Expr
+	Name string
+}
+
+func (e *FieldExpr) Pos() source.Pos { return e.X.Pos() }
+func (e *FieldExpr) exprNode()       {}
+
+// NewExpr is `new T` (struct allocation) or `new [n]T` (array allocation).
+type NewExpr struct {
+	KwPos source.Pos
+	Type  Type // element/struct type
+	Len   Expr // non-nil for array allocation
+}
+
+func (e *NewExpr) Pos() source.Pos { return e.KwPos }
+func (e *NewExpr) exprNode()       {}

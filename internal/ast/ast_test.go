@@ -1,0 +1,72 @@
+package ast_test
+
+import (
+	"testing"
+
+	"dca/internal/ast"
+	"dca/internal/parser"
+)
+
+func TestProgramLookups(t *testing.T) {
+	prog, err := parser.Parse("t.mc", `
+struct A { x int; }
+struct B { y float; }
+func f() { }
+func g(a int) int { return a; }
+func main() { f(); print(g(1)); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Struct("A") == nil || prog.Struct("B") == nil || prog.Struct("C") != nil {
+		t.Error("struct lookup broken")
+	}
+	if prog.Func("g") == nil || prog.Func("nope") != nil {
+		t.Error("func lookup broken")
+	}
+	if got := prog.Struct("A").Fields[0].Name; got != "x" {
+		t.Errorf("field = %q", got)
+	}
+}
+
+func TestPositionsPropagate(t *testing.T) {
+	prog, err := parser.Parse("t.mc", `func main() {
+	var x int = 1 + 2;
+	while (x > 0) { x--; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("main")
+	if !fn.Pos().IsValid() {
+		t.Error("func position missing")
+	}
+	decl := fn.Body.Stmts[0].(*ast.VarDecl)
+	if decl.Pos().Line != 2 {
+		t.Errorf("var decl at line %d", decl.Pos().Line)
+	}
+	loop := fn.Body.Stmts[1].(*ast.WhileStmt)
+	if loop.Pos().Line != 3 {
+		t.Errorf("while at line %d", loop.Pos().Line)
+	}
+	if !decl.Pos().Before(loop.Pos()) {
+		t.Error("ordering broken")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	prog, err := parser.Parse("t.mc", `
+struct S { p *S; a []int; m [][]float; }
+func main() { }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := prog.Struct("S").Fields
+	want := []string{"*S", "[]int", "[][]float"}
+	for i, w := range want {
+		if got := fields[i].Type.String(); got != w {
+			t.Errorf("field %d type = %q, want %q", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"dca/internal/core"
+	"dca/internal/dcart"
+	"dca/internal/depprof"
+	"dca/internal/discopop"
+	"dca/internal/icc"
+	"dca/internal/idioms"
+	"dca/internal/machine"
+	"dca/internal/polly"
+	"dca/internal/workloads/npb"
+	"dca/internal/workloads/plds"
+)
+
+// Suite holds the results for the full NPB proxy suite.
+type Suite struct {
+	Results []*NPBResult
+}
+
+// RunSuite runs every analyzer over all ten NPB proxies.
+func RunSuite() (*Suite, error) {
+	s := &Suite{}
+	for _, spec := range npb.Specs() {
+		r, err := RunNPB(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+func cell(paper int, measured int, reported bool) string {
+	if !reported {
+		return fmt.Sprintf("—/%d", measured)
+	}
+	return fmt.Sprintf("%d/%d", paper, measured)
+}
+
+// TableI renders the paper's Table I (dynamic techniques vs DCA) as
+// paper/measured cells.
+func (s *Suite) TableI() string {
+	header := []string{"Bmk", "Loops", "DepProf", "DiscoPoP", "DCA"}
+	var rows [][]string
+	tot := MeasuredRow{}
+	ptot := npb.PaperRow{}
+	for _, r := range s.Results {
+		row := r.Counts()
+		p := r.Spec.Paper
+		rows = append(rows, []string{
+			r.Spec.Name,
+			cell(p.Loops, row.Loops, true),
+			cell(p.DepProf, row.DepProf, p.DPReported),
+			cell(p.DiscoPoP, row.DiscoPoP, p.DPReported),
+			cell(p.DCA, row.DCA, true),
+		})
+		tot.Loops += row.Loops
+		tot.DepProf += row.DepProf
+		tot.DiscoPoP += row.DiscoPoP
+		tot.DCA += row.DCA
+		ptot.Loops += p.Loops
+		ptot.DepProf += p.DepProf
+		ptot.DiscoPoP += p.DiscoPoP
+		ptot.DCA += p.DCA
+	}
+	rows = append(rows, []string{"Total",
+		cell(ptot.Loops, tot.Loops, true),
+		cell(ptot.DepProf, tot.DepProf, true) + " (paper total over reported rows)",
+		cell(ptot.DiscoPoP, tot.DiscoPoP, true),
+		cell(ptot.DCA, tot.DCA, true),
+	})
+	return "Table I — NPB loops reported parallelizable (paper/measured)\n" + renderTable(header, rows)
+}
+
+// TableIII renders the static techniques vs DCA.
+func (s *Suite) TableIII() string {
+	header := []string{"Bmk", "Loops", "Idioms", "Polly", "ICC", "Combined", "DCA"}
+	var rows [][]string
+	tot := MeasuredRow{}
+	ptot := npb.PaperRow{}
+	for _, r := range s.Results {
+		row := r.Counts()
+		p := r.Spec.Paper
+		rows = append(rows, []string{
+			r.Spec.Name,
+			cell(p.Loops, row.Loops, true),
+			cell(p.Idioms, row.Idioms, true),
+			cell(p.Polly, row.Polly, true),
+			cell(p.ICC, row.ICC, true),
+			cell(p.Combined, row.Combined, true),
+			cell(p.DCA, row.DCA, true),
+		})
+		tot.Loops += row.Loops
+		tot.Idioms += row.Idioms
+		tot.Polly += row.Polly
+		tot.ICC += row.ICC
+		tot.Combined += row.Combined
+		tot.DCA += row.DCA
+		ptot.Loops += p.Loops
+		ptot.Idioms += p.Idioms
+		ptot.Polly += p.Polly
+		ptot.ICC += p.ICC
+		ptot.Combined += p.Combined
+		ptot.DCA += p.DCA
+	}
+	rows = append(rows, []string{"Total",
+		cell(ptot.Loops, tot.Loops, true),
+		cell(ptot.Idioms, tot.Idioms, true),
+		cell(ptot.Polly, tot.Polly, true),
+		cell(ptot.ICC, tot.ICC, true),
+		cell(ptot.Combined, tot.Combined, true),
+		cell(ptot.DCA, tot.DCA, true),
+	})
+	return "Table III — NPB loops reported parallelizable by static tools (paper/measured)\n" + renderTable(header, rows)
+}
+
+// TableIV renders DCA accuracy and coverage.
+func (s *Suite) TableIV() string {
+	header := []string{"Bmk", "Loops", "Found", "FalsePos", "FalseNeg", "CovDCA%", "CovStatic%"}
+	var rows [][]string
+	for _, r := range s.Results {
+		row := r.Counts()
+		p := r.Spec.Paper
+		found, fp, fn := r.Accuracy()
+		cd, cs := r.Coverage()
+		rows = append(rows, []string{
+			r.Spec.Name,
+			fmt.Sprintf("%d", row.Loops),
+			fmt.Sprintf("%d/%d", p.DCA, found),
+			fmt.Sprintf("0/%d", fp),
+			fmt.Sprintf("0/%d", fn),
+			fmt.Sprintf("%d/%.0f", p.CovDCA, cd*100),
+			fmt.Sprintf("%d/%.0f", p.CovStatic, cs*100),
+		})
+	}
+	return "Table IV — DCA precision and sequential coverage (paper/measured)\n" + renderTable(header, rows)
+}
+
+// Figure6 renders the NPB parallelization speedups.
+func (s *Suite) Figure6() string {
+	header := []string{"Bmk", "Idioms", "Polly", "ICC", "DCA"}
+	var rows [][]string
+	var gID, gPO, gIC, gDCA []float64
+	var pID, pPO, pIC, pDCA []float64
+	for _, r := range s.Results {
+		sp := r.Speedups()
+		p := r.Spec.Paper
+		rows = append(rows, []string{
+			r.Spec.Name,
+			fmt.Sprintf("%.1f/%.2f", p.SpeedIdioms, sp.Idioms),
+			fmt.Sprintf("%.1f/%.2f", p.SpeedPolly, sp.Polly),
+			fmt.Sprintf("%.1f/%.2f", p.SpeedICC, sp.ICC),
+			fmt.Sprintf("%.1f/%.2f", p.SpeedDCA, sp.DCA),
+		})
+		gID = append(gID, sp.Idioms)
+		gPO = append(gPO, sp.Polly)
+		gIC = append(gIC, sp.ICC)
+		gDCA = append(gDCA, sp.DCA)
+		pID = append(pID, p.SpeedIdioms)
+		pPO = append(pPO, p.SpeedPolly)
+		pIC = append(pIC, p.SpeedICC)
+		pDCA = append(pDCA, p.SpeedDCA)
+	}
+	rows = append(rows, []string{"GMean",
+		fmt.Sprintf("%.1f/%.2f", GeoMean(pID), GeoMean(gID)),
+		fmt.Sprintf("%.1f/%.2f", GeoMean(pPO), GeoMean(gPO)),
+		fmt.Sprintf("%.1f/%.2f", GeoMean(pIC), GeoMean(gIC)),
+		fmt.Sprintf("%.1f/%.2f", GeoMean(pDCA), GeoMean(gDCA)),
+	})
+	return "Figure 6 — NPB speedup over sequential, 72-core model (paper/measured)\n" + renderTable(header, rows)
+}
+
+// Figure7 renders DCA against expert parallelization.
+func (s *Suite) Figure7() string {
+	header := []string{"Bmk", "DCA", "ExpertLoop", "ExpertFull"}
+	var rows [][]string
+	var gD, gL, gF, pD, pL, pF []float64
+	for _, r := range s.Results {
+		sp := r.Speedups()
+		p := r.Spec.Paper
+		rows = append(rows, []string{
+			r.Spec.Name,
+			fmt.Sprintf("%.1f/%.2f", p.SpeedDCA, sp.DCA),
+			fmt.Sprintf("%.1f/%.2f", p.SpeedExpertLoop, sp.ExpertLoop),
+			fmt.Sprintf("%.1f/%.2f", p.SpeedExpertFull, sp.ExpertFull),
+		})
+		gD, gL, gF = append(gD, sp.DCA), append(gL, sp.ExpertLoop), append(gF, sp.ExpertFull)
+		pD, pL, pF = append(pD, p.SpeedDCA), append(pL, p.SpeedExpertLoop), append(pF, p.SpeedExpertFull)
+	}
+	rows = append(rows, []string{"GMean",
+		fmt.Sprintf("%.1f/%.2f", GeoMean(pD), GeoMean(gD)),
+		fmt.Sprintf("%.1f/%.2f", GeoMean(pL), GeoMean(gL)),
+		fmt.Sprintf("%.1f/%.2f", GeoMean(pF), GeoMean(gF)),
+	})
+	return "Figure 7 — DCA vs expert parallelization, 72-core model (paper/measured)\n" + renderTable(header, rows)
+}
+
+// PLDSResult is the Table II / Figure 5 outcome for one PLDS workload.
+type PLDSResult struct {
+	Program  *plds.Program
+	DCAFound bool
+	DCAWhy   string
+	// BaselinesDetecting lists any baseline that (incorrectly, per the
+	// paper's claim) reported the key loop parallel.
+	BaselinesDetecting []string
+	CoverageMeasured   float64
+	Speedup            float64 // machine-model speedup (Fig. 5 programs)
+}
+
+// RunPLDS analyzes one PLDS workload end to end.
+func RunPLDS(p *plds.Program) (*PLDSResult, error) {
+	prog, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	res := &PLDSResult{Program: p}
+	dcaRes, err := core.AnalyzeLoop(prog, p.KeyFn, p.KeyLoop, core.Options{
+		Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}, dcart.Random{Seed: 2}},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: dca: %w", p.Name, err)
+	}
+	res.DCAFound = dcaRes.Verdict.IsParallelizable()
+	res.DCAWhy = dcaRes.Reason
+
+	dp, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 0)
+	if err != nil {
+		return nil, err
+	}
+	if v := dp.Verdict(p.KeyFn, p.KeyLoop); v != nil && v.Parallel {
+		res.BaselinesDetecting = append(res.BaselinesDetecting, "DepProf")
+	}
+	dpp, err := discopop.Analyze(prog, 0)
+	if err != nil {
+		return nil, err
+	}
+	if v := dpp.Verdict(p.KeyFn, p.KeyLoop); v != nil && v.Parallel {
+		res.BaselinesDetecting = append(res.BaselinesDetecting, "DiscoPoP")
+	}
+	if v := idioms.Analyze(prog).Verdict(p.KeyFn, p.KeyLoop); v != nil && v.Parallel {
+		res.BaselinesDetecting = append(res.BaselinesDetecting, "Idioms")
+	}
+	if v := polly.Analyze(prog).Verdict(p.KeyFn, p.KeyLoop); v != nil && v.Parallel {
+		res.BaselinesDetecting = append(res.BaselinesDetecting, "Polly")
+	}
+	if v := icc.Analyze(prog).Verdict(p.KeyFn, p.KeyLoop); v != nil && v.Parallel {
+		res.BaselinesDetecting = append(res.BaselinesDetecting, "ICC")
+	}
+
+	key := depprof.LoopKey{Fn: p.KeyFn, Index: p.KeyLoop}
+	res.CoverageMeasured = machine.Coverage(dp.Profile, []depprof.LoopKey{key})
+	if p.Fig5 {
+		// DCA parallelization of the whole program: every commutative loop
+		// is a candidate, the profitability filter and outermost selection
+		// pick the parallel regions (as for the NPB suite).
+		full, err := core.Analyze(prog, core.Options{
+			Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: dca full: %w", p.Name, err)
+		}
+		var keys []depprof.LoopKey
+		for _, lr := range full.Loops {
+			if lr.Verdict.IsParallelizable() {
+				keys = append(keys, depprof.LoopKey{Fn: lr.Fn, Index: lr.Index})
+			}
+		}
+		cfg := machine.Xeon72(p.Cap)
+		sel := machine.SelectBest(cfg, dp.Profile, keys, MinProfitableCoverage)
+		res.Speedup = machine.Speedup(cfg, dp.Profile, sel)
+	}
+	return res, nil
+}
+
+// TableII renders the PLDS detection table.
+func TableII(results []*PLDSResult) string {
+	header := []string{"Benchmark", "Origin", "Function", "Cov% p/m", "Loop", "Overall", "Technique", "DCA", "Baselines"}
+	var rows [][]string
+	for _, r := range results {
+		dca := "commutative"
+		if !r.DCAFound {
+			dca = "MISSED(" + r.DCAWhy + ")"
+		}
+		base := "all fail"
+		if len(r.BaselinesDetecting) > 0 {
+			base = "DETECTED BY " + strings.Join(r.BaselinesDetecting, ",")
+		}
+		p := r.Program
+		rows = append(rows, []string{
+			p.Name, p.Origin, p.Function,
+			fmt.Sprintf("%d/%.0f", p.CoveragePct, r.CoverageMeasured*100),
+			p.PotentialLoop, p.PotentialOverall, p.Technique, dca, base,
+		})
+	}
+	return "Table II — PLDS loops detected by DCA; baselines fail (paper/measured)\n" + renderTable(header, rows)
+}
+
+// Figure5 renders the PLDS parallelization speedups.
+func Figure5(results []*PLDSResult) string {
+	header := []string{"Benchmark", "Paper", "Measured"}
+	var rows [][]string
+	for _, r := range results {
+		if !r.Program.Fig5 {
+			continue
+		}
+		rows = append(rows, []string{
+			r.Program.Name,
+			fmt.Sprintf("%.1f", r.Program.Fig5Target),
+			fmt.Sprintf("%.2f", r.Speedup),
+		})
+	}
+	return "Figure 5 — PLDS speedup over sequential, 72-core model (paper/measured)\n" + renderTable(header, rows)
+}

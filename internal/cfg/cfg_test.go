@@ -1,0 +1,241 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+)
+
+func loopsOf(t *testing.T, src, fn string) (*cfg.Graph, []*cfg.Loop) {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := prog.Func(fn)
+	if f == nil {
+		t.Fatalf("no func %q", fn)
+	}
+	return cfg.LoopsOf(f)
+}
+
+func TestStraightLineNoLoops(t *testing.T) {
+	_, loops := loopsOf(t, `func main() { var x int = 1; print(x); }`, "main")
+	if len(loops) != 0 {
+		t.Errorf("loops = %d, want 0", len(loops))
+	}
+}
+
+func TestSingleLoop(t *testing.T) {
+	g, loops := loopsOf(t, `func main() { for (var i int = 0; i < 4; i++) { print(i); } }`, "main")
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	l := loops[0]
+	if l.Depth != 1 || l.Parent != nil {
+		t.Errorf("depth=%d parent=%v", l.Depth, l.Parent)
+	}
+	if len(l.Exits) != 1 || len(l.ExitSrcs) != 1 {
+		t.Errorf("exits=%v srcs=%v", l.Exits, l.ExitSrcs)
+	}
+	if !g.Dominates(l.Header, l.Latches[0]) {
+		t.Error("header must dominate latch")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	_, loops := loopsOf(t, `
+func main() {
+	for (var i int = 0; i < 3; i++) {
+		for (var j int = 0; j < 3; j++) {
+			for (var k int = 0; k < 3; k++) { print(k); }
+		}
+	}
+}`, "main")
+	if len(loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(loops))
+	}
+	depths := map[int]int{}
+	for _, l := range loops {
+		depths[l.Depth]++
+	}
+	if depths[1] != 1 || depths[2] != 1 || depths[3] != 1 {
+		t.Errorf("depths = %v", depths)
+	}
+	// Child chains.
+	for _, l := range loops {
+		if l.Depth == 3 && (l.Parent == nil || l.Parent.Depth != 2) {
+			t.Errorf("innermost parent = %v", l.Parent)
+		}
+	}
+}
+
+func TestSiblingLoops(t *testing.T) {
+	_, loops := loopsOf(t, `
+func main() {
+	for (var i int = 0; i < 3; i++) { print(i); }
+	for (var j int = 0; j < 3; j++) { print(j); }
+}`, "main")
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	for _, l := range loops {
+		if l.Depth != 1 || len(l.Children) != 0 {
+			t.Errorf("sibling loop %s: depth=%d children=%d", l, l.Depth, len(l.Children))
+		}
+	}
+	// Stable indexing in source order.
+	if loops[0].Index != 0 || loops[1].Index != 1 {
+		t.Errorf("indices: %d, %d", loops[0].Index, loops[1].Index)
+	}
+}
+
+func TestMultiExitLoop(t *testing.T) {
+	_, loops := loopsOf(t, `
+func f(a []int, n int) int {
+	for (var i int = 0; i < n; i++) {
+		if (a[i] == 7) { return i; }
+	}
+	return -1;
+}
+func main() { var a []int = new [4]int; print(f(a, 4)); }
+`, "f")
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if len(loops[0].ExitSrcs) != 2 {
+		t.Errorf("exit sources = %d, want 2 (header + return branch)", len(loops[0].ExitSrcs))
+	}
+}
+
+func TestWhileLoopShape(t *testing.T) {
+	g, loops := loopsOf(t, `
+struct N { next *N; }
+func main() {
+	var p *N = nil;
+	while (p != nil) { p = p->next; }
+	print(0);
+}`, "main")
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	l := loops[0]
+	if !g.Reachable(l.Header) {
+		t.Error("header unreachable")
+	}
+	if l.Header.Pos.Line == 0 {
+		t.Error("loop header should carry a source position")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var x int = 0;
+	if (x == 0) { x = 1; } else { x = 2; }
+	print(x);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("main")
+	g := cfg.New(fn)
+	entry := fn.Entry()
+	for _, b := range fn.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		if !g.Dominates(entry, b) {
+			t.Errorf("entry must dominate %s", b.Name)
+		}
+		if g.Dominates(b, entry) && b != entry {
+			t.Errorf("%s must not dominate entry", b.Name)
+		}
+	}
+	// The join block is dominated by the branch block but not by either arm.
+	var thenB, join *ir.Block
+	for _, b := range fn.Blocks {
+		switch {
+		case b.Name[:4] == "then":
+			thenB = b
+		case len(b.Name) >= 5 && b.Name[:5] == "endif":
+			join = b
+		}
+	}
+	if thenB == nil || join == nil {
+		t.Fatal("missing blocks")
+	}
+	if g.Dominates(thenB, join) {
+		t.Error("then-arm must not dominate the join")
+	}
+}
+
+func TestPostDominators(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var x int = 0;
+	if (x == 0) { x = 1; } else { x = 2; }
+	print(x);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("main")
+	g := cfg.New(fn)
+	pd := cfg.ComputePostDom(g)
+	// Both arms are control dependent on the entry branch.
+	entry := fn.Entry()
+	found := 0
+	for _, b := range fn.Blocks {
+		for _, a := range pd.ControllingBranches(b) {
+			if a == entry {
+				found++
+			}
+		}
+	}
+	if found < 2 {
+		t.Errorf("expected both arms control-dependent on entry, found %d", found)
+	}
+}
+
+func TestLoopBodyControlDependence(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	for (var i int = 0; i < 4; i++) { print(i); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("main")
+	g := cfg.New(fn)
+	pd := cfg.ComputePostDom(g)
+	_, loops := cfg.LoopsOf(fn)
+	l := loops[0]
+	// The loop body is control dependent on the header's branch.
+	dep := false
+	for b := range l.Blocks {
+		if b == l.Header {
+			continue
+		}
+		for _, a := range pd.ControllingBranches(b) {
+			if a == l.Header {
+				dep = true
+			}
+		}
+	}
+	if !dep {
+		t.Error("loop body should be control dependent on the header")
+	}
+}
+
+func TestLoopID(t *testing.T) {
+	_, loops := loopsOf(t, `func main() { var x int = 0; while (true) { if (x > 3) { break; } x++; } }`, "main")
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if id := loops[0].ID(); id == "" {
+		t.Error("empty loop id")
+	}
+}

@@ -1,0 +1,135 @@
+package cfg
+
+import "dca/internal/ir"
+
+// PostDom holds the postdominator tree and control-dependence relation of a
+// function. A virtual exit node (represented by nil) postdominates every
+// return block.
+type PostDom struct {
+	G *Graph
+	// ipdom maps a block to its immediate postdominator; blocks whose only
+	// postdominator is the virtual exit map to nil.
+	ipdom map[*ir.Block]*ir.Block
+	// CD maps a block B to the set of branch blocks A such that B is
+	// control dependent on A (Ferrante et al.).
+	CD map[*ir.Block]map[*ir.Block]bool
+}
+
+// ComputePostDom builds postdominators and control dependences.
+func ComputePostDom(g *Graph) *PostDom {
+	pd := &PostDom{G: g, ipdom: map[*ir.Block]*ir.Block{}, CD: map[*ir.Block]map[*ir.Block]bool{}}
+	// Postorder over the forward CFG gives us an order where, reversed, we
+	// can iterate the backward dominance problem. We implement the simple
+	// iterative data-flow formulation over block sets; functions here are
+	// small enough that O(n^2) bitset-free iteration is fine.
+	blocks := g.RPO
+	n := len(blocks)
+	idx := map[*ir.Block]int{}
+	for i, b := range blocks {
+		idx[b] = i
+	}
+	// pdom[i] = set of blocks postdominating blocks[i]; nil bit (virtual
+	// exit) is implicit. Start: returns postdominated by themselves; others
+	// by everything.
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	pdom := make([][]bool, n)
+	isRet := func(b *ir.Block) bool { return len(g.Succs[b]) == 0 }
+	for i, b := range blocks {
+		pdom[i] = make([]bool, n)
+		if isRet(b) {
+			pdom[i][i] = true
+		} else {
+			copy(pdom[i], full)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Visit in reverse RPO (approximates postorder of reverse CFG).
+		for i := n - 1; i >= 0; i-- {
+			b := blocks[i]
+			if isRet(b) {
+				continue
+			}
+			// meet over successors
+			meet := make([]bool, n)
+			copy(meet, full)
+			for _, s := range g.Succs[b] {
+				si := idx[s]
+				for k := 0; k < n; k++ {
+					meet[k] = meet[k] && pdom[si][k]
+				}
+			}
+			meet[i] = true
+			for k := 0; k < n; k++ {
+				if meet[k] != pdom[i][k] {
+					copy(pdom[i], meet)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Immediate postdominator: the strict postdominator not postdominated
+	// by any other strict postdominator.
+	for i, b := range blocks {
+		var best *ir.Block
+		for k := 0; k < n; k++ {
+			if k == i || !pdom[i][k] {
+				continue
+			}
+			c := blocks[k]
+			if best == nil {
+				best = c
+				continue
+			}
+			// c is "closer" if best postdominates c.
+			if pdom[idx[c]][idx[best]] {
+				best = c
+			}
+		}
+		pd.ipdom[b] = best
+	}
+	// Control dependence: for each edge A->B where B does not postdominate
+	// A, every node from B up the postdom tree to (exclusive) ipdom(A) is
+	// control dependent on A.
+	postdominates := func(x, y *ir.Block) bool { // x postdominates y
+		return pdom[idx[y]][idx[x]]
+	}
+	for _, a := range blocks {
+		if len(g.Succs[a]) < 2 {
+			continue
+		}
+		stop := pd.ipdom[a]
+		for _, b := range g.Succs[a] {
+			if postdominates(b, a) {
+				continue
+			}
+			for r := b; r != nil && r != stop; r = pd.ipdom[r] {
+				m := pd.CD[r]
+				if m == nil {
+					m = map[*ir.Block]bool{}
+					pd.CD[r] = m
+				}
+				m[a] = true
+			}
+		}
+	}
+	return pd
+}
+
+// Ipdom returns the immediate postdominator (nil = virtual exit).
+func (pd *PostDom) Ipdom(b *ir.Block) *ir.Block { return pd.ipdom[b] }
+
+// ControllingBranches returns the branch blocks that b is control dependent
+// on.
+func (pd *PostDom) ControllingBranches(b *ir.Block) []*ir.Block {
+	var out []*ir.Block
+	for a := range pd.CD[b] {
+		out = append(out, a)
+	}
+	return out
+}

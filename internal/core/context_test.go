@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/irbuild"
+)
+
+// contextSrc: the kernel loop writes out[(i*stride)%n]. Called with a
+// stride coprime to n the writes are a permutation (commutative); called
+// with stride 0 every iteration writes out[0] (last-writer-wins: order
+// dependent). The context-insensitive analysis must reject the loop; the
+// context-sensitive one must split the verdict.
+const contextSrc = `
+func kernel(out []int, n int, stride int) {
+	for (var i int = 0; i < n; i++) {
+		out[(i * stride) % n] = i * 3 + 1;
+	}
+}
+func goodCaller(a []int) { kernel(a, 16, 5); }
+func badCaller(b []int) { kernel(b, 16, 0); }
+func main() {
+	var a []int = new [16]int;
+	var b []int = new [16]int;
+	goodCaller(a);
+	badCaller(b);
+	print(a[0] + a[15], b[0]);
+}
+`
+
+func TestContextInsensitiveRejects(t *testing.T) {
+	prog, err := irbuild.Compile("ctx.mc", contextSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AnalyzeLoop(prog, "kernel", 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.NonCommutative {
+		t.Fatalf("context-insensitive verdict = %s (%s), want non-commutative", res.Verdict, res.Reason)
+	}
+}
+
+func TestContextSensitiveSplitsVerdict(t *testing.T) {
+	prog, err := irbuild.Compile("ctx.mc", contextSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.AnalyzeLoopContexts(prog, "kernel", 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Contexts) != 2 {
+		t.Fatalf("contexts = %d (%s), want 2", len(rep.Contexts), rep)
+	}
+	good := rep.Context("main>goodCaller>kernel")
+	bad := rep.Context("main>badCaller>kernel")
+	if good == nil || bad == nil {
+		t.Fatalf("missing contexts:\n%s", rep)
+	}
+	if good.Verdict != core.Commutative {
+		t.Errorf("good context = %s (%s), want commutative", good.Verdict, good.Reason)
+	}
+	if bad.Verdict != core.NonCommutative {
+		t.Errorf("bad context = %s, want non-commutative", bad.Verdict)
+	}
+	if good.Invocations != 1 || bad.Invocations != 1 {
+		t.Errorf("invocations: good=%d bad=%d", good.Invocations, bad.Invocations)
+	}
+	if len(rep.Commutative()) != 1 {
+		t.Errorf("commutative contexts = %d", len(rep.Commutative()))
+	}
+	if !strings.Contains(rep.String(), "goodCaller") {
+		t.Errorf("report rendering: %s", rep)
+	}
+}
+
+func TestContextsAllCommutative(t *testing.T) {
+	prog, err := irbuild.Compile("ctx.mc", `
+func bump(a []int, n int) {
+	for (var i int = 0; i < n; i++) { a[i] += 1; }
+}
+func main() {
+	var a []int = new [8]int;
+	bump(a, 8);
+	bump(a, 4);
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) { s += a[i]; }
+	print(s);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.AnalyzeLoopContexts(prog, "bump", 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both bump calls share one context (main>bump).
+	if len(rep.Contexts) != 1 {
+		t.Fatalf("contexts = %d:\n%s", len(rep.Contexts), rep)
+	}
+	c := rep.Contexts[0]
+	if c.Verdict != core.Commutative || c.Invocations != 2 {
+		t.Errorf("context = %+v", c)
+	}
+}

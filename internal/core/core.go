@@ -1,0 +1,275 @@
+// Package core is the paper's primary contribution: Dynamic Commutativity
+// Analysis. For every loop of a program it runs the static stage (selection,
+// iterator/payload separation, outlining, instrumentation) and the dynamic
+// stage (golden execution plus permuted executions under a set of
+// schedules, with live-out verification), and reports a per-loop Verdict.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dca/internal/cfg"
+	"dca/internal/dcart"
+	"dca/internal/instrument"
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/purity"
+	"dca/internal/source"
+)
+
+// Verdict classifies one loop after analysis.
+type Verdict int
+
+// Verdicts. Commutative is DCA's "potentially parallelizable".
+const (
+	// Commutative: every tested permutation preserved all live-out
+	// snapshots and the program output.
+	Commutative Verdict = iota
+	// NonCommutative: some permutation changed a live-out or faulted.
+	NonCommutative
+	// ExcludedIO: the loop performs I/O (directly or through a callee) and
+	// is excluded during the selection step of the static stage.
+	ExcludedIO
+	// NotSeparable: iterator/payload separation or outlining failed; the
+	// loop is outside the prototype's transformable class.
+	NotSeparable
+	// NotExecuted: the workload never reached the loop, so the dynamic
+	// stage has no evidence.
+	NotExecuted
+	// Failed: the instrumented golden run diverged from the original
+	// program or errored; the loop is reported untestable.
+	Failed
+)
+
+var verdictNames = [...]string{"commutative", "non-commutative", "excluded-io", "not-separable", "not-executed", "failed"}
+
+func (v Verdict) String() string { return verdictNames[v] }
+
+// IsParallelizable reports whether DCA proposes the loop for
+// parallelization.
+func (v Verdict) IsParallelizable() bool { return v == Commutative }
+
+// LoopResult is the analysis outcome for one loop.
+type LoopResult struct {
+	Fn      string
+	Index   int // loop index within the function (cfg.FindLoops order)
+	ID      string
+	Pos     source.Pos
+	Depth   int
+	Verdict Verdict
+	Reason  string
+	// Invocations/Iterations observed during the golden run.
+	Invocations int
+	Iterations  int64
+	// SchedulesTested counts permutation schedules that completed.
+	SchedulesTested int
+}
+
+// Report is the whole-program analysis result.
+type Report struct {
+	Prog  *ir.Program
+	Loops []*LoopResult
+}
+
+// Count returns how many loops carry the given verdict.
+func (r *Report) Count(v Verdict) int {
+	n := 0
+	for _, l := range r.Loops {
+		if l.Verdict == v {
+			n++
+		}
+	}
+	return n
+}
+
+// Commutative returns the loops DCA found commutative.
+func (r *Report) Commutative() []*LoopResult {
+	var out []*LoopResult
+	for _, l := range r.Loops {
+		if l.Verdict == Commutative {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Result returns the outcome for a specific loop, or nil.
+func (r *Report) Result(fn string, index int) *LoopResult {
+	for _, l := range r.Loops {
+		if l.Fn == fn && l.Index == index {
+			return l
+		}
+	}
+	return nil
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, l := range r.Loops {
+		fmt.Fprintf(&b, "%-40s %-16s", l.ID, l.Verdict)
+		if l.Reason != "" {
+			fmt.Fprintf(&b, " (%s)", l.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Options configures the analysis.
+type Options struct {
+	// Schedules are the permutations tested against the golden order;
+	// defaults to dcart.DefaultSchedules().
+	Schedules []dcart.Schedule
+	// MaxSteps bounds each program execution (default 200M).
+	MaxSteps int64
+}
+
+func (o *Options) normalize() {
+	if len(o.Schedules) == 0 {
+		o.Schedules = dcart.DefaultSchedules()
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 200_000_000
+	}
+}
+
+// Analyze runs DCA over every loop of every function in the program.
+func Analyze(prog *ir.Program, opt Options) (*Report, error) {
+	opt.normalize()
+	rep := &Report{Prog: prog}
+
+	// Reference output of the unmodified program.
+	var refOut strings.Builder
+	if _, err := interp.Run(prog, interp.Config{Out: &refOut, MaxSteps: opt.MaxSteps}); err != nil {
+		return nil, fmt.Errorf("core: reference execution failed: %w", err)
+	}
+
+	pur := purity.Analyze(prog)
+
+	for _, fn := range prog.Funcs {
+		g, loops := cfg.LoopsOf(fn)
+		for _, loop := range loops {
+			res := &LoopResult{
+				Fn:    fn.Name,
+				Index: loop.Index,
+				ID:    loop.ID(),
+				Pos:   loop.Header.Pos,
+				Depth: loop.Depth,
+			}
+			rep.Loops = append(rep.Loops, res)
+			analyzeLoop(prog, fn, g, loop, pur, opt, refOut.String(), res)
+		}
+	}
+	sort.SliceStable(rep.Loops, func(i, j int) bool {
+		if rep.Loops[i].Fn != rep.Loops[j].Fn {
+			return rep.Loops[i].Fn < rep.Loops[j].Fn
+		}
+		return rep.Loops[i].Index < rep.Loops[j].Index
+	})
+	return rep, nil
+}
+
+// AnalyzeLoop runs DCA on a single loop of the named function.
+func AnalyzeLoop(prog *ir.Program, fnName string, loopIndex int, opt Options) (*LoopResult, error) {
+	opt.normalize()
+	fn := prog.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("core: no function %q", fnName)
+	}
+	g, loops := cfg.LoopsOf(fn)
+	if loopIndex < 0 || loopIndex >= len(loops) {
+		return nil, fmt.Errorf("core: %s has %d loops", fnName, len(loops))
+	}
+	loop := loops[loopIndex]
+	var refOut strings.Builder
+	if _, err := interp.Run(prog, interp.Config{Out: &refOut, MaxSteps: opt.MaxSteps}); err != nil {
+		return nil, fmt.Errorf("core: reference execution failed: %w", err)
+	}
+	res := &LoopResult{Fn: fnName, Index: loopIndex, ID: loop.ID(), Pos: loop.Header.Pos, Depth: loop.Depth}
+	analyzeLoop(prog, fn, g, loop, purity.Analyze(prog), opt, refOut.String(), res)
+	return res, nil
+}
+
+func analyzeLoop(prog *ir.Program, fn *ir.Func, g *cfg.Graph, loop *cfg.Loop, pur *purity.Info, opt Options, refOut string, res *LoopResult) {
+	// --- Selection: exclude I/O loops (§IV-E). ---
+	if pur.LoopDoesIO(loop.Blocks) {
+		res.Verdict = ExcludedIO
+		res.Reason = "loop performs I/O directly or through a callee"
+		return
+	}
+
+	// --- Static stage: separate, outline, instrument. ---
+	inst, err := instrument.Loop(prog, fn.Name, loop.Index)
+	if err != nil {
+		res.Verdict = NotSeparable
+		res.Reason = trimPrefixes(err.Error())
+		return
+	}
+
+	// --- Dynamic stage: golden run. ---
+	golden := dcart.NewRuntime(dcart.Identity{})
+	var goldenOut strings.Builder
+	if _, err := interp.Run(inst.Prog, interp.Config{Out: &goldenOut, Runtime: golden, MaxSteps: opt.MaxSteps}); err != nil {
+		res.Verdict = Failed
+		res.Reason = "golden run failed: " + err.Error()
+		return
+	}
+	if goldenOut.String() != refOut {
+		// The transformation changed observable behaviour even in original
+		// order: a separability assumption was violated dynamically.
+		res.Verdict = Failed
+		res.Reason = "instrumented golden run diverges from original program"
+		return
+	}
+	res.Invocations = golden.Invocations
+	res.Iterations = golden.Iterations
+	if golden.Iterations == 0 {
+		// The workload either never reaches the loop or always exits it
+		// before the payload runs: no dynamic evidence either way.
+		res.Verdict = NotExecuted
+		res.Reason = "workload never executes this loop's payload"
+		return
+	}
+
+	// --- Dynamic stage: permuted runs + live-out verification. ---
+	for _, sched := range opt.Schedules {
+		rt := dcart.NewRuntime(sched)
+		var out strings.Builder
+		if _, err := interp.Run(inst.Prog, interp.Config{Out: &out, Runtime: rt, MaxSteps: opt.MaxSteps}); err != nil {
+			// Permuted execution faulted: reliably detected as a
+			// commutativity violation (§IV-E).
+			res.Verdict = NonCommutative
+			res.Reason = fmt.Sprintf("schedule %s faulted: %v", sched.Name(), err)
+			return
+		}
+		if why := compareRuns(golden, rt, refOut, out.String(), sched); why != "" {
+			res.Verdict = NonCommutative
+			res.Reason = why
+			return
+		}
+		res.SchedulesTested++
+	}
+	res.Verdict = Commutative
+}
+
+func compareRuns(golden, rt *dcart.Runtime, refOut, out string, sched dcart.Schedule) string {
+	if out != refOut {
+		return fmt.Sprintf("schedule %s changed program output", sched.Name())
+	}
+	if len(rt.Snapshots) != len(golden.Snapshots) {
+		return fmt.Sprintf("schedule %s changed invocation count (%d vs %d)", sched.Name(), len(rt.Snapshots), len(golden.Snapshots))
+	}
+	for i := range rt.Snapshots {
+		if rt.Snapshots[i] != golden.Snapshots[i] {
+			return fmt.Sprintf("schedule %s changed live-outs of invocation %d", sched.Name(), i)
+		}
+	}
+	return ""
+}
+
+func trimPrefixes(s string) string {
+	s = strings.TrimPrefix(s, "instrument: ")
+	return s
+}

@@ -1,0 +1,302 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/irbuild"
+)
+
+// analyze compiles src and runs DCA over all loops.
+func analyze(t *testing.T, src string) *core.Report {
+	t.Helper()
+	prog, err := irbuild.Compile("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := core.Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+// expectVerdict asserts the verdict of the index-th loop of fn.
+func expectVerdict(t *testing.T, rep *core.Report, fn string, index int, want core.Verdict) {
+	t.Helper()
+	res := rep.Result(fn, index)
+	if res == nil {
+		t.Fatalf("no result for %s loop %d; report:\n%s", fn, index, rep)
+	}
+	if res.Verdict != want {
+		t.Errorf("%s = %s (%s), want %s", res.ID, res.Verdict, res.Reason, want)
+	}
+}
+
+// TestFig1aArrayMap is the paper's Fig. 1(a): an array map loop must be
+// commutative.
+func TestFig1aArrayMap(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var array []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { array[i] = i; }
+	for (var i int = 0; i < 64; i++) { array[i]++; }
+	var s int = 0;
+	for (var i int = 0; i < 64; i++) { s += array[i]; }
+	print(s);
+}`)
+	expectVerdict(t, rep, "main", 0, core.Commutative) // init map
+	expectVerdict(t, rep, "main", 1, core.Commutative) // increment map
+	expectVerdict(t, rep, "main", 2, core.Commutative) // sum reduction
+}
+
+// TestFig1bPLDSMap is the paper's Fig. 1(b): the same map over a linked
+// list; dependence analysis fails here but DCA must find it commutative.
+func TestFig1bPLDSMap(t *testing.T) {
+	rep := analyze(t, `
+struct Node { val int; next *Node; }
+func main() {
+	var head *Node = nil;
+	for (var i int = 0; i < 32; i++) {
+		var n *Node = new Node;
+		n->val = i;
+		n->next = head;
+		head = n;
+	}
+	var ptr *Node = head;
+	while (ptr != nil) {
+		ptr->val++;
+		ptr = ptr->next;
+	}
+	var s int = 0;
+	ptr = head;
+	while (ptr != nil) { s += ptr->val; ptr = ptr->next; }
+	print(s);
+}`)
+	expectVerdict(t, rep, "main", 1, core.Commutative) // the ptr->val++ loop
+	expectVerdict(t, rep, "main", 2, core.Commutative) // the sum loop
+}
+
+// TestNonCommutativeOrderDependent: a loop whose live-out depends on
+// iteration order must be rejected.
+func TestNonCommutativeOrderDependent(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [16]int;
+	a[0] = 1;
+	// recurrence: a[i] = a[i-1] + 1 — order matters
+	for (var i int = 1; i < 16; i++) { a[i] = a[i-1] + 1; }
+	print(a[15]);
+}`)
+	expectVerdict(t, rep, "main", 0, core.NonCommutative)
+}
+
+func TestNonCommutativeLastWriterWins(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var last int = 0;
+	for (var i int = 0; i < 10; i++) { last = i; }
+	print(last);
+}`)
+	expectVerdict(t, rep, "main", 0, core.NonCommutative)
+}
+
+func TestIOExcluded(t *testing.T) {
+	rep := analyze(t, `
+func emit(x int) { print(x); }
+func main() {
+	for (var i int = 0; i < 4; i++) { print(i); }
+	for (var i int = 0; i < 4; i++) { emit(i); }
+}`)
+	expectVerdict(t, rep, "main", 0, core.ExcludedIO)
+	expectVerdict(t, rep, "main", 1, core.ExcludedIO)
+}
+
+func TestNotExecutedLoop(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var n int = 0;
+	var a []int = new [8]int;
+	for (var i int = 0; i < n; i++) { a[i] = i; }
+	print(a[0]);
+}`)
+	expectVerdict(t, rep, "main", 0, core.NotExecuted)
+}
+
+// TestScalarReduction: s += a[i] is commutative (integer addition).
+func TestScalarReduction(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [32]int;
+	for (var i int = 0; i < 32; i++) { a[i] = i * 3; }
+	var s int = 0;
+	var m int = 0;
+	for (var i int = 0; i < 32; i++) {
+		s += a[i];
+		if (a[i] > m) { m = a[i]; }
+	}
+	print(s, m);
+}`)
+	expectVerdict(t, rep, "main", 1, core.Commutative)
+}
+
+// TestHistogram: a[b[i]]++ with colliding indices is commutative for DCA.
+func TestHistogram(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var b []int = new [40]int;
+	for (var i int = 0; i < 40; i++) { b[i] = (i * 7) % 8; }
+	var h []int = new [8]int;
+	for (var i int = 0; i < 40; i++) { h[b[i]] += 1; }
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) { s += h[i] * i; }
+	print(s);
+}`)
+	expectVerdict(t, rep, "main", 1, core.Commutative)
+}
+
+// TestLoopInsideCalledFunction: loops in callees are analyzed too, across
+// multiple invocations.
+func TestLoopInsideCalledFunction(t *testing.T) {
+	rep := analyze(t, `
+func bump(a []int, n int) {
+	for (var i int = 0; i < n; i++) { a[i] += 1; }
+}
+func main() {
+	var a []int = new [16]int;
+	bump(a, 16);
+	bump(a, 8);
+	var s int = 0;
+	for (var i int = 0; i < 16; i++) { s += a[i]; }
+	print(s);
+}`)
+	res := rep.Result("bump", 0)
+	if res == nil {
+		t.Fatalf("no result for bump loop; report:\n%s", rep)
+	}
+	if res.Verdict != core.Commutative {
+		t.Fatalf("bump loop = %s (%s)", res.Verdict, res.Reason)
+	}
+	if res.Invocations != 2 {
+		t.Errorf("invocations = %d, want 2", res.Invocations)
+	}
+	if res.Iterations != 24 {
+		t.Errorf("golden iterations = %d, want 24 (16 + 8 across the two invocations)", res.Iterations)
+	}
+}
+
+// TestWhileWithBreak: an early-exit search loop; the exit condition depends
+// on the payload's data, so separation pulls the body into the iterator and
+// the loop is reported not separable (pure iterator).
+func TestWhileWithBreak(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [32]int;
+	for (var i int = 0; i < 32; i++) { a[i] = i * 2; }
+	var found int = -1;
+	for (var i int = 0; i < 32; i++) {
+		if (a[i] == 40) { found = i; break; }
+	}
+	print(found);
+}`)
+	res := rep.Result("main", 1)
+	if res == nil {
+		t.Fatalf("missing result:\n%s", rep)
+	}
+	if res.Verdict == core.Commutative {
+		t.Errorf("search loop with break must not be commutative-parallelizable as-is, got %s", res.Verdict)
+	}
+}
+
+// TestFloatAccumulationNonCommutative: float rounding makes permuted sums
+// observable... unless values are exactly representable. Use values that
+// expose rounding.
+func TestFloatSumRoundingDetected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []float = new [24]float;
+	var x float = 1.0;
+	for (var i int = 0; i < 24; i++) { a[i] = x; x = x / 3.0; }
+	var s float = 0.0;
+	for (var i int = 0; i < 24; i++) { s += a[i]; }
+	print(s);
+}`)
+	res := rep.Result("main", 1)
+	if res == nil {
+		t.Fatalf("missing result:\n%s", rep)
+	}
+	if res.Verdict != core.NonCommutative {
+		t.Errorf("float sum with rounding = %s (%s), want non-commutative", res.Verdict, res.Reason)
+	}
+}
+
+// TestNestedLoops: the outer loop over rows of a matrix-scale operation is
+// commutative, as is each inner loop.
+func TestNestedLoops(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var m []int = new [64]int;
+	for (var i int = 0; i < 8; i++) {
+		for (var j int = 0; j < 8; j++) {
+			m[i*8+j] = i + j;
+		}
+	}
+	var s int = 0;
+	for (var k int = 0; k < 64; k++) { s += m[k]; }
+	print(s);
+}`)
+	for idx := 0; idx < 3; idx++ {
+		res := rep.Result("main", idx)
+		if res == nil {
+			t.Fatalf("missing loop %d:\n%s", idx, rep)
+		}
+		if res.Verdict != core.Commutative {
+			t.Errorf("loop %d (%s) = %s (%s), want commutative", idx, res.ID, res.Verdict, res.Reason)
+		}
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [4]int;
+	for (var i int = 0; i < 4; i++) { a[i] = i; }
+	print(a[3]);
+}`)
+	if got := rep.Count(core.Commutative); got != 1 {
+		t.Errorf("Count(Commutative) = %d, want 1", got)
+	}
+	if got := len(rep.Commutative()); got != 1 {
+		t.Errorf("len(Commutative()) = %d, want 1", got)
+	}
+	if s := rep.String(); !strings.Contains(s, "commutative") {
+		t.Errorf("report string missing verdict: %q", s)
+	}
+}
+
+// TestCalleeLiveOutThroughParams: a non-commutative loop inside a void
+// function must be caught through heap state reachable from its reference
+// parameters, even when the whole-program output converges across repeated
+// calls (so output comparison alone would miss it).
+func TestCalleeLiveOutThroughParams(t *testing.T) {
+	rep := analyze(t, `
+func fill(a []int) {
+	var prev int = 0;
+	for (var i int = 0; i < 8; i++) {
+		a[i] = prev;
+		prev = a[i] + i;
+	}
+}
+func main() {
+	var a []int = new [8]int;
+	// Two calls: the second overwrites with identical values, so the final
+	// printed state is insensitive to a wrong first call.
+	fill(a);
+	fill(a);
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) { s += a[i]; }
+	print(s);
+}`)
+	expectVerdict(t, rep, "fill", 0, core.NonCommutative)
+}

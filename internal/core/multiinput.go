@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dca/internal/ir"
+)
+
+// InputVerdict is one workload's verdict for the loop under test.
+type InputVerdict struct {
+	Input  string
+	Result *LoopResult
+}
+
+// MultiInputReport combines DCA verdicts for one loop across several
+// workloads — the paper's §V-D future-work suggestion ("applying combined
+// tests for multiple inputs and exploring inputs leading to execution paths
+// that might affect commutativity"). A loop is only proposed for
+// parallelization when every input that exercises it agrees; a flip across
+// inputs (the 429.mcf situation) is surfaced as instability instead of a
+// silent false positive.
+type MultiInputReport struct {
+	Fn        string
+	LoopIndex int
+	Inputs    []InputVerdict
+	// Combined is Commutative only when every exercising input found the
+	// loop commutative; NonCommutative if any input refuted it; otherwise
+	// the most informative non-verdict (not-executed / excluded / failed).
+	Combined Verdict
+	// Stable reports whether all exercising inputs agreed.
+	Stable bool
+}
+
+func (r *MultiInputReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/L%d across %d inputs: combined=%s stable=%v\n", r.Fn, r.LoopIndex, len(r.Inputs), r.Combined, r.Stable)
+	for _, iv := range r.Inputs {
+		fmt.Fprintf(&b, "  %-24s %-16s", iv.Input, iv.Result.Verdict)
+		if iv.Result.Reason != "" {
+			fmt.Fprintf(&b, " (%s)", iv.Result.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NamedProgram pairs a workload label with its compiled program. All
+// programs must contain the function/loop under test (typically the same
+// source compiled with different embedded inputs).
+type NamedProgram struct {
+	Name string
+	Prog *ir.Program
+}
+
+// AnalyzeAcrossInputs runs DCA on the same loop under several workloads and
+// combines the verdicts.
+func AnalyzeAcrossInputs(inputs []NamedProgram, fnName string, loopIndex int, opt Options) (*MultiInputReport, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("core: no inputs")
+	}
+	rep := &MultiInputReport{Fn: fnName, LoopIndex: loopIndex, Stable: true}
+	sawCommutative, sawNonCommutative := false, false
+	var fallback Verdict = NotExecuted
+	for _, in := range inputs {
+		res, err := AnalyzeLoop(in.Prog, fnName, loopIndex, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: input %q: %w", in.Name, err)
+		}
+		rep.Inputs = append(rep.Inputs, InputVerdict{Input: in.Name, Result: res})
+		switch res.Verdict {
+		case Commutative:
+			sawCommutative = true
+		case NonCommutative:
+			sawNonCommutative = true
+		case NotExecuted:
+			// no evidence either way
+		default:
+			fallback = res.Verdict
+		}
+	}
+	switch {
+	case sawNonCommutative:
+		rep.Combined = NonCommutative
+		rep.Stable = !sawCommutative
+	case sawCommutative:
+		rep.Combined = Commutative
+	default:
+		rep.Combined = fallback
+	}
+	return rep, nil
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/irbuild"
+	"dca/internal/workloads/plds"
+)
+
+func compileProg(t *testing.T, name, src string) core.NamedProgram {
+	t.Helper()
+	prog, err := irbuild.Compile(name+".mc", src)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return core.NamedProgram{Name: name, Prog: prog}
+}
+
+// TestMultiInputMCF reproduces the paper's 429.mcf discussion as a
+// multi-input experiment: under the test/ref-style input the latent
+// dependence is never exercised and DCA says commutative; the adversarial
+// input flips the verdict, and the combined result is an unstable
+// non-commutative — exactly the false positive the single-input analysis
+// would have produced, now surfaced.
+func TestMultiInputMCF(t *testing.T) {
+	clean := plds.MCF(false)
+	dirty := plds.MCF(true)
+	cleanProg, err := clean.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyProg, err := dirty.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.AnalyzeAcrossInputs([]core.NamedProgram{
+		{Name: "test-input", Prog: cleanProg},
+		{Name: "adversarial", Prog: dirtyProg},
+	}, clean.KeyFn, clean.KeyLoop, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Combined != core.NonCommutative {
+		t.Errorf("combined = %s, want non-commutative", rep.Combined)
+	}
+	if rep.Stable {
+		t.Error("verdicts flip across inputs: must be unstable")
+	}
+	if !strings.Contains(rep.String(), "adversarial") {
+		t.Errorf("report rendering:\n%s", rep)
+	}
+}
+
+func TestMultiInputAgreement(t *testing.T) {
+	mk := func(name string, n int) core.NamedProgram {
+		return compileProg(t, name, `
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 0; i < `+itoa(n)+`; i++) { a[i] = i * 2; }
+	print(a[0]);
+}`)
+	}
+	rep, err := core.AnalyzeAcrossInputs([]core.NamedProgram{mk("small", 8), mk("large", 64)}, "main", 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Combined != core.Commutative || !rep.Stable {
+		t.Errorf("combined = %s stable=%v, want commutative/stable", rep.Combined, rep.Stable)
+	}
+}
+
+func TestMultiInputUnexercisedIgnored(t *testing.T) {
+	// One input never executes the loop: it contributes no evidence.
+	rep, err := core.AnalyzeAcrossInputs([]core.NamedProgram{
+		compileProg(t, "empty", `
+func main() {
+	var n int = 0;
+	var a []int = new [8]int;
+	for (var i int = 0; i < n; i++) { a[i] = i; }
+	print(a[0]);
+}`),
+		compileProg(t, "full", `
+func main() {
+	var n int = 8;
+	var a []int = new [8]int;
+	for (var i int = 0; i < n; i++) { a[i] = i; }
+	print(a[0]);
+}`),
+	}, "main", 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Combined != core.Commutative || !rep.Stable {
+		t.Errorf("combined = %s stable=%v", rep.Combined, rep.Stable)
+	}
+}
+
+func TestMultiInputNoInputs(t *testing.T) {
+	if _, err := core.AnalyzeAcrossInputs(nil, "main", 0, core.Options{}); err == nil {
+		t.Error("empty input set must error")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

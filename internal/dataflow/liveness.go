@@ -1,0 +1,212 @@
+// Package dataflow implements the dataflow analyses DCA builds on: backward
+// liveness over locals, loop live-in/live-out sets (the paper's §III notion
+// of observable loop effects), and flow-insensitive def-use summaries used
+// by iterator recognition.
+package dataflow
+
+import (
+	"sort"
+
+	"dca/internal/cfg"
+	"dca/internal/ir"
+)
+
+// LocalSet is a set of IR locals.
+type LocalSet map[*ir.Local]bool
+
+// NewLocalSet builds a set from the given locals.
+func NewLocalSet(ls ...*ir.Local) LocalSet {
+	s := LocalSet{}
+	for _, l := range ls {
+		s[l] = true
+	}
+	return s
+}
+
+// Add inserts l and reports whether it was new.
+func (s LocalSet) Add(l *ir.Local) bool {
+	if s[l] {
+		return false
+	}
+	s[l] = true
+	return true
+}
+
+// AddAll inserts every member of t, reporting whether s grew.
+func (s LocalSet) AddAll(t LocalSet) bool {
+	grew := false
+	for l := range t {
+		if s.Add(l) {
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Clone copies the set.
+func (s LocalSet) Clone() LocalSet {
+	c := make(LocalSet, len(s))
+	for l := range s {
+		c[l] = true
+	}
+	return c
+}
+
+// Sorted returns members ordered by local index (stable for reports).
+func (s LocalSet) Sorted() []*ir.Local {
+	out := make([]*ir.Local, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Liveness holds per-block live-in/live-out sets for one function.
+type Liveness struct {
+	G       *cfg.Graph
+	LiveIn  map[*ir.Block]LocalSet
+	LiveOut map[*ir.Block]LocalSet
+	use     map[*ir.Block]LocalSet // upward-exposed uses
+	def     map[*ir.Block]LocalSet
+}
+
+// ComputeLiveness runs the standard backward may-liveness analysis.
+func ComputeLiveness(g *cfg.Graph) *Liveness {
+	lv := &Liveness{
+		G:       g,
+		LiveIn:  map[*ir.Block]LocalSet{},
+		LiveOut: map[*ir.Block]LocalSet{},
+		use:     map[*ir.Block]LocalSet{},
+		def:     map[*ir.Block]LocalSet{},
+	}
+	for _, b := range g.Fn.Blocks {
+		use, def := LocalSet{}, LocalSet{}
+		for _, in := range b.Instrs {
+			for _, o := range in.Uses() {
+				if o.Local != nil && !def[o.Local] {
+					use[o.Local] = true
+				}
+			}
+			if d := in.Def(); d != nil {
+				def[d] = true
+			}
+		}
+		if b.Term != nil {
+			for _, o := range b.Term.Uses() {
+				if o.Local != nil && !def[o.Local] {
+					use[o.Local] = true
+				}
+			}
+		}
+		lv.use[b], lv.def[b] = use, def
+		lv.LiveIn[b] = LocalSet{}
+		lv.LiveOut[b] = LocalSet{}
+	}
+	// Iterate to fixpoint, visiting blocks in postorder (reverse RPO) for
+	// fast convergence of the backward problem.
+	changed := true
+	for changed {
+		changed = false
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			b := g.RPO[i]
+			out := lv.LiveOut[b]
+			for _, s := range g.Succs[b] {
+				if out.AddAll(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			in := lv.LiveIn[b]
+			for l := range lv.use[b] {
+				if in.Add(l) {
+					changed = true
+				}
+			}
+			for l := range out {
+				if !lv.def[b][l] {
+					if in.Add(l) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// LoopEffects describes the observable variable traffic of a loop: the
+// paper's live-in, live-out and live-through sets (§IV-A2).
+type LoopEffects struct {
+	Loop *cfg.Loop
+	// LiveIn: locals defined outside the loop and used inside it.
+	LiveIn LocalSet
+	// LiveOut: locals defined (or redefined) inside the loop that are live
+	// on some loop exit edge — the values DCA's verification compares.
+	LiveOut LocalSet
+	// LiveThrough: locals live across the loop but untouched by it.
+	LiveThrough LocalSet
+	// DefsInside: every local defined by some instruction in the loop.
+	DefsInside LocalSet
+	// UsesInside: every local read by some instruction in the loop.
+	UsesInside LocalSet
+	// LiveAfter: every local live at some loop exit target. These are the
+	// snapshot roots for DCA's live-out verification: scalars are compared
+	// by value and references by deep heap structure, so heap mutations
+	// reachable from live-through pointers (e.g. array[i]++ with the array
+	// live after the loop) are observed too.
+	LiveAfter LocalSet
+}
+
+// AnalyzeLoop computes the loop's liveness-based effect sets.
+func (lv *Liveness) AnalyzeLoop(l *cfg.Loop) *LoopEffects {
+	e := &LoopEffects{
+		Loop:        l,
+		LiveIn:      LocalSet{},
+		LiveOut:     LocalSet{},
+		LiveThrough: LocalSet{},
+		DefsInside:  LocalSet{},
+		UsesInside:  LocalSet{},
+	}
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if d := in.Def(); d != nil {
+				e.DefsInside[d] = true
+			}
+			for _, o := range in.Uses() {
+				if o.Local != nil {
+					e.UsesInside[o.Local] = true
+				}
+			}
+		}
+		if b.Term != nil {
+			for _, o := range b.Term.Uses() {
+				if o.Local != nil {
+					e.UsesInside[o.Local] = true
+				}
+			}
+		}
+	}
+	// Live at any exit target = live after the loop.
+	liveAfter := LocalSet{}
+	for _, ex := range l.Exits {
+		liveAfter.AddAll(lv.LiveIn[ex])
+	}
+	e.LiveAfter = liveAfter
+	for v := range liveAfter {
+		switch {
+		case e.DefsInside[v]:
+			e.LiveOut[v] = true
+		case lv.LiveIn[l.Header][v]:
+			e.LiveThrough[v] = true
+		}
+	}
+	// Live-in: used inside, live at header entry, not (only) defined inside
+	// before use. We over-approximate with "used inside and live into the
+	// header", which is precise for the reducible loops MiniC produces.
+	for v := range e.UsesInside {
+		if lv.LiveIn[l.Header][v] {
+			e.LiveIn[v] = true
+		}
+	}
+	return e
+}

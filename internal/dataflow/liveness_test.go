@@ -1,0 +1,130 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/dataflow"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+)
+
+func analyze(t *testing.T, src, fn string) (*ir.Func, *cfg.Graph, []*cfg.Loop, *dataflow.Liveness) {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := prog.Func(fn)
+	g, loops := cfg.LoopsOf(f)
+	return f, g, loops, dataflow.ComputeLiveness(g)
+}
+
+func local(fn *ir.Func, name string) *ir.Local {
+	for _, l := range fn.Locals {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+func TestLoopEffects(t *testing.T) {
+	fn, _, loops, lv := analyze(t, `
+func main() {
+	var a []int = new [8]int;
+	var s int = 0;
+	var unused int = 42;
+	for (var i int = 0; i < 8; i++) {
+		s += a[i];
+	}
+	print(s, a[0]);
+}`, "main")
+	e := lv.AnalyzeLoop(loops[0])
+	s, a, u, i := local(fn, "s"), local(fn, "a"), local(fn, "unused"), local(fn, "i")
+	if !e.LiveOut[s] {
+		t.Error("s must be live-out (defined in loop, used after)")
+	}
+	if !e.LiveThrough[a] {
+		t.Error("a must be live-through (untouched local, used after)")
+	}
+	if e.LiveOut[u] || e.LiveThrough[u] || e.LiveAfter[u] {
+		t.Error("unused must not be live anywhere after the loop")
+	}
+	if !e.LiveIn[s] || !e.LiveIn[a] || !e.LiveIn[i] {
+		t.Errorf("live-in must include s, a, i")
+	}
+	if !e.LiveAfter[s] || !e.LiveAfter[a] {
+		t.Error("live-after must include s and a")
+	}
+	if !e.DefsInside[s] || !e.DefsInside[i] {
+		t.Error("defs-inside must include s and i")
+	}
+}
+
+func TestDeadAfterLoop(t *testing.T) {
+	fn, _, loops, lv := analyze(t, `
+func main() {
+	var t int = 0;
+	for (var i int = 0; i < 4; i++) { t += i; }
+	print(1);
+}`, "main")
+	e := lv.AnalyzeLoop(loops[0])
+	tt := local(fn, "t")
+	if e.LiveAfter[tt] {
+		t.Error("t is never used after the loop: not live-after")
+	}
+}
+
+func TestIterationCarriedLiveness(t *testing.T) {
+	fn, _, loops, lv := analyze(t, `
+struct N { v int; next *N; }
+func main() {
+	var p *N = nil;
+	var s int = 0;
+	while (p != nil) { s += p->v; p = p->next; }
+	print(s);
+}`, "main")
+	p := local(fn, "p")
+	if !lv.LiveIn[loops[0].Header][p] {
+		t.Error("pointer iterator must be live into the loop header")
+	}
+}
+
+func TestBranchLiveness(t *testing.T) {
+	fn, g, _, lv := analyze(t, `
+func main() {
+	var x int = 1;
+	var y int = 2;
+	if (x > 0) { print(x); } else { print(y); }
+}`, "main")
+	entry := fn.Entry()
+	x, y := local(fn, "x"), local(fn, "y")
+	if !lv.LiveOut[entry][x] || !lv.LiveOut[entry][y] {
+		t.Errorf("x and y live out of entry: %v", lv.LiveOut[entry])
+	}
+	_ = g
+}
+
+func TestLocalSetOps(t *testing.T) {
+	fn, _, _, _ := analyze(t, `func main() { var a int = 1; var b int = 2; print(a+b); }`, "main")
+	a, b := local(fn, "a"), local(fn, "b")
+	s := dataflow.NewLocalSet(a)
+	if !s.Add(b) || s.Add(b) {
+		t.Error("Add growth reporting broken")
+	}
+	c := s.Clone()
+	c[a] = false
+	delete(c, a)
+	if !s[a] {
+		t.Error("Clone must be independent")
+	}
+	other := dataflow.NewLocalSet(a, b)
+	if s.AddAll(other) {
+		t.Error("AddAll of subset must not grow")
+	}
+	sorted := s.Sorted()
+	if len(sorted) != 2 || sorted[0].Index > sorted[1].Index {
+		t.Errorf("Sorted = %v", sorted)
+	}
+}

@@ -1,0 +1,198 @@
+package dcart_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dca/internal/dcart"
+	"dca/internal/ir"
+	"dca/internal/types"
+)
+
+// TestSchedulesArePermutations (property): every schedule returns a valid
+// permutation of [0, n) for any n.
+func TestSchedulesArePermutations(t *testing.T) {
+	schedules := append([]dcart.Schedule{dcart.Identity{}, dcart.Rotate{}}, dcart.DefaultSchedules()...)
+	for _, s := range schedules {
+		s := s
+		f := func(n uint8) bool {
+			p := s.Permute(int(n))
+			if len(p) != int(n) {
+				return false
+			}
+			seen := make([]bool, n)
+			for _, x := range p {
+				if x < 0 || x >= int(n) || seen[x] {
+					return false
+				}
+				seen[x] = true
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestIdentityAndReverse(t *testing.T) {
+	id := dcart.Identity{}.Permute(4)
+	rev := dcart.Reverse{}.Permute(4)
+	if !sort.IntsAreSorted(id) {
+		t.Errorf("identity = %v", id)
+	}
+	for i, x := range rev {
+		if x != 3-i {
+			t.Errorf("reverse = %v", rev)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := dcart.Random{Seed: 42}.Permute(16)
+	b := dcart.Random{Seed: 42}.Permute(16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give the same shuffle")
+		}
+	}
+	c := dcart.Random{Seed: 43}.Permute(16)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ (16! >> 1)")
+	}
+}
+
+func TestSnapshotScalars(t *testing.T) {
+	a := dcart.Snapshot([]ir.Value{ir.IntVal(1), ir.BoolVal(true), ir.FloatVal(2.5), ir.StringVal("x"), ir.NilVal()})
+	b := dcart.Snapshot([]ir.Value{ir.IntVal(1), ir.BoolVal(true), ir.FloatVal(2.5), ir.StringVal("x"), ir.NilVal()})
+	if a != b {
+		t.Errorf("equal scalars must snapshot equal:\n%s\n%s", a, b)
+	}
+	c := dcart.Snapshot([]ir.Value{ir.IntVal(2)})
+	if a == c {
+		t.Error("different values must snapshot differently")
+	}
+}
+
+func TestSnapshotIdentityInsensitive(t *testing.T) {
+	// Two structurally identical lists built from objects with different
+	// allocation IDs must snapshot identically.
+	mkList := func(base int64) ir.Value {
+		si := types.NewStructInfo("N", []types.FieldInfo{
+			{Name: "v", Type: types.IntType},
+			{Name: "next", Type: &types.Type{Kind: types.Pointer}},
+		})
+		var head ir.Value = ir.NilVal()
+		for i := 0; i < 3; i++ {
+			o := ir.NewStructObject(base+int64(i), si)
+			o.Elems[0] = ir.IntVal(int64(10 + i))
+			o.Elems[1] = head
+			head = ir.RefVal(o)
+		}
+		return head
+	}
+	a := dcart.Snapshot([]ir.Value{mkList(100)})
+	b := dcart.Snapshot([]ir.Value{mkList(900)})
+	if a != b {
+		t.Errorf("allocation IDs leaked into the snapshot:\n%s\n%s", a, b)
+	}
+}
+
+func TestSnapshotObservesMutation(t *testing.T) {
+	o := ir.NewArrayObject(1, types.IntType, 3)
+	before := dcart.Snapshot([]ir.Value{ir.RefVal(o)})
+	o.Elems[1] = ir.IntVal(7)
+	after := dcart.Snapshot([]ir.Value{ir.RefVal(o)})
+	if before == after {
+		t.Error("mutation must change the snapshot")
+	}
+}
+
+func TestSnapshotCycles(t *testing.T) {
+	si := types.NewStructInfo("C", []types.FieldInfo{
+		{Name: "next", Type: &types.Type{Kind: types.Pointer}},
+	})
+	a := ir.NewStructObject(1, si)
+	b := ir.NewStructObject(2, si)
+	a.Elems[0] = ir.RefVal(b)
+	b.Elems[0] = ir.RefVal(a) // cycle
+	s := dcart.Snapshot([]ir.Value{ir.RefVal(a)})
+	if s == "" {
+		t.Fatal("empty snapshot for cycle")
+	}
+	// Sharing vs copies must be distinguished: a diamond where both fields
+	// point to ONE object differs from two identical objects.
+	two := types.NewStructInfo("D", []types.FieldInfo{
+		{Name: "l", Type: &types.Type{Kind: types.Pointer}},
+		{Name: "r", Type: &types.Type{Kind: types.Pointer}},
+	})
+	leafT := types.NewStructInfo("L", []types.FieldInfo{{Name: "v", Type: types.IntType}})
+	shared := ir.NewStructObject(3, two)
+	leaf := ir.NewStructObject(4, leafT)
+	shared.Elems[0], shared.Elems[1] = ir.RefVal(leaf), ir.RefVal(leaf)
+	copies := ir.NewStructObject(5, two)
+	copies.Elems[0], copies.Elems[1] = ir.RefVal(ir.NewStructObject(6, leafT)), ir.RefVal(ir.NewStructObject(7, leafT))
+	if dcart.Snapshot([]ir.Value{ir.RefVal(shared)}) == dcart.Snapshot([]ir.Value{ir.RefVal(copies)}) {
+		t.Error("sharing must be distinguished from structural copies")
+	}
+}
+
+func TestRuntimeProtocolErrors(t *testing.T) {
+	rt := dcart.NewRuntime(dcart.Identity{})
+	// rt_iterator_next outside a replay is an error.
+	if _, err := rt.Intrinsic(nil, nil, "rt_iterator_next", nil); err == nil {
+		t.Error("next outside replay must fail")
+	}
+	if _, err := rt.Intrinsic(nil, nil, "rt_verify", nil); err == nil {
+		t.Error("verify outside invocation must fail")
+	}
+	if _, err := rt.Intrinsic(nil, nil, "rt_bogus", nil); err == nil {
+		t.Error("unknown intrinsic must fail")
+	}
+}
+
+func TestRuntimeRecordReplay(t *testing.T) {
+	rt := dcart.NewRuntime(dcart.Reverse{})
+	for i := int64(0); i < 3; i++ {
+		if _, err := rt.Intrinsic(nil, nil, "rt_iterator_linearize", []ir.Value{ir.IntVal(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Intrinsic(nil, nil, "rt_iterator_permute", []ir.Value{ir.NilVal()}); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		v, err := rt.Intrinsic(nil, nil, "rt_iterator_next", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Bool() {
+			break
+		}
+		x, err := rt.Intrinsic(nil, nil, "rt_iterator_get", []ir.Value{ir.IntVal(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, x.I)
+	}
+	want := []int64{2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay order = %v, want %v", got, want)
+		}
+	}
+	if _, err := rt.Intrinsic(nil, nil, "rt_verify", []ir.Value{ir.IntVal(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Invocations != 1 || len(rt.Snapshots) != 1 || rt.Iterations != 3 {
+		t.Errorf("rt state: inv=%d snaps=%d iters=%d", rt.Invocations, len(rt.Snapshots), rt.Iterations)
+	}
+}

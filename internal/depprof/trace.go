@@ -1,0 +1,324 @@
+// Package depprof reimplements profile-driven dependence-based parallelism
+// detection in the style of Tournavitis et al. [8]: a full memory-access
+// trace of one workload execution, per-loop-invocation detection of loop-
+// carried RAW/WAR/WAW dependences, dynamic array privatization (write-first
+// test), memory reduction groups, and static scalar classification
+// (induction, reduction, min/max) — a loop is reported parallelizable iff
+// every remaining carried dependence is benign.
+//
+// Crucially — and this is the paper's central contrast — the pointer-chase
+// iterator of a PLDS loop (ptr = ptr->next) is a loop-carried scalar
+// dependence that is neither induction nor reduction, so dependence
+// profiling must reject every PLDS traversal that DCA accepts.
+package depprof
+
+import (
+	"dca/internal/affine"
+	"dca/internal/cfg"
+	"dca/internal/interp"
+	"dca/internal/ir"
+)
+
+// LoopKey identifies a loop by function name and loop index.
+type LoopKey struct {
+	Fn    string
+	Index int
+}
+
+// Addr is a dynamic memory address: heap object identity plus element.
+type Addr struct {
+	Obj int64
+	Idx int
+}
+
+// addrState tracks the access history of one address within one loop
+// invocation.
+type addrState struct {
+	lastWriteIter int64
+	lastReadIter  int64
+	curIter       int64
+	writtenInCur  bool
+	everReadFirst bool
+	// group tracking: -1 unset, -2 mixed, else reduction group id
+	group int
+	// carried dependence flags for this address
+	raw, war, waw bool
+}
+
+// invocation is one dynamic activation of a loop.
+type invocation struct {
+	loop  *cfg.Loop
+	key   LoopKey
+	iter  int64
+	addrs map[Addr]*addrState
+	lp    *LoopProfile
+}
+
+// LoopProfile aggregates dynamic facts about one loop across invocations.
+type LoopProfile struct {
+	Key         LoopKey
+	Loop        *cfg.Loop
+	Invocations int
+	// Iterations counts loop-header entries; BodyExecuted reports whether
+	// any body block (or the header itself for single-block loops) ever ran.
+	Iterations   int64
+	BodyExecuted bool
+	// Carried dependences observed anywhere, after per-address analysis.
+	FatalRAW bool // carried RAW outside any reduction group
+	NeedPriv bool // some address carried WAR/WAW without RAW
+	// ReductionAddrs: some addresses were pure reduction-group traffic.
+	ReductionAddrs bool
+	addrFatalRAW   int
+	addrNeedPriv   int
+	addrPrivFail   int
+}
+
+// Profile is the result of tracing one program execution.
+type Profile struct {
+	Loops map[LoopKey]*LoopProfile
+	Steps int64
+	// LoopSteps counts dynamic instructions attributed to each loop
+	// (including callees), for coverage accounting.
+	LoopSteps map[LoopKey]int64
+	// Contains records observed dynamic nesting: Contains[a][b] means an
+	// invocation of b ran inside an invocation of a (possibly across
+	// calls). Loop selection uses it to parallelize outermost loops only.
+	Contains map[LoopKey]map[LoopKey]bool
+}
+
+// tracer implements interp.Tracer.
+type tracer struct {
+	prof *Profile
+	// static maps, precomputed over all functions
+	loopsOf map[*ir.Func][]*cfg.Loop
+	chainOf map[*ir.Block][]*cfg.Loop // outermost..innermost loops containing block
+	groupOf map[ir.Instr]int          // reduction group ids
+	frames  []*frameCtx
+	active  []*invocation // global invocation stack (across frames)
+}
+
+type frameCtx struct {
+	fn *ir.Func
+	// how many invocations this frame pushed
+	pushed int
+}
+
+// Trace executes the program and collects the dependence profile.
+func Trace(prog *ir.Program, maxSteps int64) (*Profile, error) {
+	tr := &tracer{
+		prof: &Profile{
+			Loops:     map[LoopKey]*LoopProfile{},
+			LoopSteps: map[LoopKey]int64{},
+			Contains:  map[LoopKey]map[LoopKey]bool{},
+		},
+		chainOf: map[*ir.Block][]*cfg.Loop{},
+		groupOf: map[ir.Instr]int{},
+	}
+	for _, fn := range prog.Funcs {
+		_, loops := cfg.LoopsOf(fn)
+		for _, l := range loops {
+			tr.prof.Loops[LoopKey{fn.Name, l.Index}] = &LoopProfile{
+				Key:  LoopKey{fn.Name, l.Index},
+				Loop: l,
+			}
+		}
+		for _, b := range fn.Blocks {
+			var chain []*cfg.Loop
+			for _, l := range loops {
+				if l.Blocks[b] {
+					chain = append(chain, l)
+				}
+			}
+			// order outermost first (by depth)
+			for i := 0; i < len(chain); i++ {
+				for j := i + 1; j < len(chain); j++ {
+					if chain[j].Depth < chain[i].Depth {
+						chain[i], chain[j] = chain[j], chain[i]
+					}
+				}
+			}
+			tr.chainOf[b] = chain
+		}
+		for in, g := range affine.MemReductionGroups(fn) {
+			tr.groupOf[in] = g
+		}
+	}
+	res, err := interp.Run(prog, interp.Config{Tracer: tr, MaxSteps: maxSteps})
+	if err != nil {
+		return nil, err
+	}
+	tr.prof.Steps = res.Steps
+	// Close any invocations left open (program ended inside loops).
+	for len(tr.active) > 0 {
+		tr.closeInvocation(tr.active[len(tr.active)-1])
+		tr.active = tr.active[:len(tr.active)-1]
+	}
+	return tr.prof, nil
+}
+
+// ---------------------------------------------------------------- Tracer
+
+func (tr *tracer) OnCall(fr *interp.Frame) {
+	tr.frames = append(tr.frames, &frameCtx{fn: fr.Fn})
+}
+
+func (tr *tracer) OnRet(_ *interp.Frame) {
+	fc := tr.frames[len(tr.frames)-1]
+	for i := 0; i < fc.pushed; i++ {
+		tr.closeInvocation(tr.active[len(tr.active)-1])
+		tr.active = tr.active[:len(tr.active)-1]
+	}
+	tr.frames = tr.frames[:len(tr.frames)-1]
+}
+
+func (tr *tracer) OnBlock(fr *interp.Frame, b *ir.Block) {
+	fc := tr.frames[len(tr.frames)-1]
+	chain := tr.chainOf[b]
+	// Pop invocations of this frame whose loop no longer contains b.
+	for fc.pushed > 0 {
+		top := tr.active[len(tr.active)-1]
+		if top.loop.Blocks[b] {
+			break
+		}
+		tr.closeInvocation(top)
+		tr.active = tr.active[:len(tr.active)-1]
+		fc.pushed--
+	}
+	// Push newly-entered loops (outermost first).
+	for _, l := range chain {
+		if fc.pushed > 0 {
+			// already active?
+			found := false
+			for i := len(tr.active) - fc.pushed; i < len(tr.active); i++ {
+				if tr.active[i].loop == l {
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		key := LoopKey{fr.Fn.Name, l.Index}
+		inv := &invocation{loop: l, key: key, addrs: map[Addr]*addrState{}, lp: tr.prof.Loops[key]}
+		inv.lp.Invocations++
+		for _, anc := range tr.active {
+			m := tr.prof.Contains[anc.key]
+			if m == nil {
+				m = map[LoopKey]bool{}
+				tr.prof.Contains[anc.key] = m
+			}
+			m[key] = true
+		}
+		tr.active = append(tr.active, inv)
+		fc.pushed++
+	}
+	// Header entry = new iteration for that loop's invocation; any other
+	// loop block proves the body executed.
+	for i := len(tr.active) - fc.pushed; i >= 0 && i < len(tr.active); i++ {
+		inv := tr.active[i]
+		if inv.loop.Header == b {
+			inv.iter++
+			inv.lp.Iterations++
+			if len(inv.loop.Blocks) == 1 {
+				inv.lp.BodyExecuted = true
+			}
+		} else if inv.loop.Blocks[b] {
+			inv.lp.BodyExecuted = true
+		}
+	}
+	// Coverage: attribute this block's instructions to every active loop.
+	cost := int64(len(b.Instrs)) + 1
+	for _, inv := range tr.active {
+		tr.prof.LoopSteps[inv.key] += cost
+	}
+}
+
+func (tr *tracer) OnLoad(_ *interp.Frame, in *ir.Load, obj *ir.Object, idx int) {
+	a := Addr{Obj: obj.ID, Idx: idx}
+	g, hasG := tr.groupOf[in]
+	for _, inv := range tr.active {
+		st := inv.state(a)
+		if st.curIter != inv.iter {
+			st.curIter = inv.iter
+			st.writtenInCur = false
+		}
+		if !st.writtenInCur {
+			st.everReadFirst = true
+			if st.lastWriteIter > 0 && st.lastWriteIter != inv.iter {
+				st.raw = true
+			}
+		}
+		st.lastReadIter = inv.iter
+		inv.updateGroup(st, g, hasG)
+	}
+}
+
+func (tr *tracer) OnStore(_ *interp.Frame, in *ir.Store, obj *ir.Object, idx int) {
+	a := Addr{Obj: obj.ID, Idx: idx}
+	g, hasG := tr.groupOf[in]
+	for _, inv := range tr.active {
+		st := inv.state(a)
+		if st.curIter != inv.iter {
+			st.curIter = inv.iter
+			st.writtenInCur = false
+		}
+		if st.lastReadIter > 0 && st.lastReadIter != inv.iter {
+			st.war = true
+		}
+		if st.lastWriteIter > 0 && st.lastWriteIter != inv.iter {
+			st.waw = true
+		}
+		st.lastWriteIter = inv.iter
+		st.writtenInCur = true
+		inv.updateGroup(st, g, hasG)
+	}
+}
+
+func (inv *invocation) state(a Addr) *addrState {
+	st, ok := inv.addrs[a]
+	if !ok {
+		st = &addrState{group: -1}
+		inv.addrs[a] = st
+	}
+	return st
+}
+
+func (inv *invocation) updateGroup(st *addrState, g int, hasG bool) {
+	if !hasG {
+		st.group = -2 // accessed by a non-reduction instruction
+		return
+	}
+	switch st.group {
+	case -1:
+		st.group = g
+	case g:
+	default:
+		st.group = -2
+	}
+}
+
+// closeInvocation folds an invocation's per-address states into the loop
+// profile.
+func (tr *tracer) closeInvocation(inv *invocation) {
+	lp := inv.lp
+	for _, st := range inv.addrs {
+		isReduction := st.group >= 0
+		if isReduction {
+			lp.ReductionAddrs = true
+			continue // all carried traffic on this address is one op= group
+		}
+		if st.raw {
+			lp.FatalRAW = true
+			lp.addrFatalRAW++
+			continue
+		}
+		if st.war || st.waw {
+			lp.NeedPriv = true
+			lp.addrNeedPriv++
+			if st.everReadFirst {
+				lp.addrPrivFail++
+			}
+		}
+	}
+}

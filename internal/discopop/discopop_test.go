@@ -1,0 +1,141 @@
+package discopop_test
+
+import (
+	"testing"
+
+	"dca/internal/discopop"
+	"dca/internal/irbuild"
+)
+
+func analyze(t *testing.T, src string) *discopop.Report {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := discopop.Analyze(prog, 0)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+func TestDoallDetected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [16]int;
+	for (var i int = 0; i < 16; i++) { a[i] = i; }
+	print(a[0]);
+}`)
+	if v := rep.Verdict("main", 0); v == nil || !v.Parallel {
+		t.Errorf("doall verdict = %+v", v)
+	}
+	if rep.ParallelLoops() != 1 {
+		t.Errorf("parallel loops = %d", rep.ParallelLoops())
+	}
+}
+
+func TestMinMaxNotDetected(t *testing.T) {
+	// DiscoPoP's pattern matcher lacks conditional min/max reductions.
+	rep := analyze(t, `
+func main() {
+	var a []int = new [16]int;
+	var m int = 0;
+	for (var i int = 0; i < 16; i++) {
+		if (a[i] > m) { m = a[i]; }
+	}
+	print(m);
+}`)
+	if v := rep.Verdict("main", 0); v == nil || v.Parallel {
+		t.Errorf("minmax must be serial for DiscoPoP, got %+v", v)
+	}
+}
+
+func TestImpureCallNotDetected(t *testing.T) {
+	// Calls with side effects cross computational units.
+	rep := analyze(t, `
+func upd(a []int, i int) { a[i] = i; }
+func main() {
+	var a []int = new [16]int;
+	for (var i int = 0; i < 16; i++) { upd(a, i); }
+	print(a[0]);
+}`)
+	if v := rep.Verdict("main", 0); v == nil || v.Parallel {
+		t.Errorf("impure-call loop must be serial for DiscoPoP, got %+v", v)
+	}
+}
+
+func TestTaskSectionIndependent(t *testing.T) {
+	rep := analyze(t, `
+func pure2(x int) int { return x + 1; }
+func work(a []int, b []int, n int) {
+	for (var i int = 0; i < n; i++) { a[i] = pure2(i); }
+	for (var j int = 0; j < n; j++) { b[j] = pure2(j * 2); }
+}
+func main() {
+	var a []int = new [8]int;
+	var b []int = new [8]int;
+	work(a, b, 8);
+	print(a[0] + b[0]);
+}`)
+	if len(rep.TaskSections) != 1 {
+		t.Fatalf("task sections = %d, want 1\n%s", len(rep.TaskSections), rep)
+	}
+	if rep.ParallelRegions() != rep.ParallelLoops()+1 {
+		t.Error("region count must add the section")
+	}
+}
+
+func TestTaskSectionDependentNotCounted(t *testing.T) {
+	rep := analyze(t, `
+func work(a []int, n int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i++) { a[i] = i; }
+	for (var j int = 0; j < n; j++) { s += a[j]; }
+	return s;
+}
+func main() {
+	var a []int = new [8]int;
+	print(work(a, 8));
+}`)
+	if len(rep.TaskSections) != 0 {
+		t.Errorf("dependent loops must not form a section: %v", rep.TaskSections)
+	}
+}
+
+func TestTaskSectionScalarFlowNotCounted(t *testing.T) {
+	rep := analyze(t, `
+func work(a []int, b []int, n int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i++) { s += i; a[i] = i; }
+	var t int = 0;
+	for (var j int = 0; j < n; j++) { t += s; b[j] = j; }
+	return t;
+}
+func main() {
+	var a []int = new [8]int;
+	var b []int = new [8]int;
+	print(work(a, b, 8));
+}`)
+	if len(rep.TaskSections) != 0 {
+		t.Errorf("scalar flow between units must block the section: %v", rep.TaskSections)
+	}
+}
+
+func TestUnexecutedUnitsNotSections(t *testing.T) {
+	rep := analyze(t, `
+func pure2(x int) int { return x + 1; }
+func work(a []int, b []int, n int) {
+	for (var i int = 0; i < n; i++) { a[i] = pure2(i); }
+	for (var j int = 0; j < n; j++) { b[j] = pure2(j); }
+}
+func main() {
+	var a []int = new [8]int;
+	var b []int = new [8]int;
+	work(a, b, 0); // loops never execute
+	print(a[0] + b[0]);
+}`)
+	if len(rep.TaskSections) != 0 {
+		t.Errorf("unexecuted units must not form sections: %v", rep.TaskSections)
+	}
+}

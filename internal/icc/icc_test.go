@@ -1,0 +1,146 @@
+package icc_test
+
+import (
+	"testing"
+
+	"dca/internal/icc"
+	"dca/internal/irbuild"
+)
+
+func analyze(t *testing.T, src string) *icc.Report {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return icc.Analyze(prog)
+}
+
+func expect(t *testing.T, rep *icc.Report, fn string, idx int, want bool) {
+	t.Helper()
+	v := rep.Verdict(fn, idx)
+	if v == nil {
+		t.Fatalf("no verdict for %s/L%d", fn, idx)
+	}
+	if v.Parallel != want {
+		t.Errorf("%s/L%d = %v (%v), want %v", fn, idx, v.Parallel, v.Reasons, want)
+	}
+}
+
+func TestDoallAccepted(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { a[i] = i * i; }
+	print(a[0]);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+// TestPureCallAccepted: ICC inlines pure functions; Polly would reject.
+func TestPureCallAccepted(t *testing.T) {
+	rep := analyze(t, `
+func sq(x int) int { return x * x; }
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { a[i] = sq(i); }
+	print(a[0]);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+func TestImpureCallRejected(t *testing.T) {
+	rep := analyze(t, `
+func store(a []int, i int) { a[i] = i; }
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { store(a, i); }
+	print(a[0]);
+}`)
+	// The callee writes the heap: without dependence info through the call,
+	// ICC rejects.
+	expect(t, rep, "main", 0, false)
+}
+
+func TestScalarReductionAccepted(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	var s int = 0;
+	for (var i int = 0; i < 64; i++) { s += a[i]; }
+	print(s);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+func TestMinMaxAccepted(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	var m int = 0;
+	for (var i int = 0; i < 64; i++) {
+		if (a[i] > m) { m = a[i]; }
+	}
+	print(m);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+func TestHistogramRejected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var b []int = new [64]int;
+	var h []int = new [8]int;
+	for (var i int = 0; i < 64; i++) { h[b[i]] += 1; }
+	print(h[0]);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestPLDSRejected(t *testing.T) {
+	rep := analyze(t, `
+struct Node { val int; next *Node; }
+func main() {
+	var head *Node = new Node;
+	var p *Node = head;
+	while (p != nil) { p->val++; p = p->next; }
+	print(head->val);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+// TestReadOnlyFieldAccess: reading fields of loop-invariant pointers is
+// acceptable to ICC (no field stores to conflict).
+func TestReadOnlyFieldAccess(t *testing.T) {
+	rep := analyze(t, `
+struct Cfg { scale int; }
+func main() {
+	var c *Cfg = new Cfg;
+	c->scale = 3;
+	var a []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { a[i] = i * c->scale; }
+	print(a[0]);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+func TestFieldStoreRejected(t *testing.T) {
+	rep := analyze(t, `
+struct Acc { sum int; }
+func main() {
+	var c *Acc = new Acc;
+	for (var i int = 0; i < 64; i++) { c->sum += i; }
+	print(c->sum);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestRecurrenceRejected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 1; i < 64; i++) { a[i] = a[i-1] + 1; }
+	print(a[63]);
+}`)
+	expect(t, rep, "main", 0, false)
+}

@@ -1,0 +1,129 @@
+package idioms_test
+
+import (
+	"testing"
+
+	"dca/internal/idioms"
+	"dca/internal/irbuild"
+)
+
+func analyze(t *testing.T, src string) *idioms.Report {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return idioms.Analyze(prog)
+}
+
+func expect(t *testing.T, rep *idioms.Report, fn string, idx int, want bool) {
+	t.Helper()
+	v := rep.Verdict(fn, idx)
+	if v == nil {
+		t.Fatalf("no verdict for %s/L%d", fn, idx)
+	}
+	if v.Parallel != want {
+		t.Errorf("%s/L%d = %v (idioms %v, reasons %v), want %v", fn, idx, v.Parallel, v.Idioms, v.Reasons, want)
+	}
+}
+
+// TestHistogramDetected: the indirect-subscript histogram is Idioms'
+// signature capability — no other static tool flags it.
+func TestHistogramDetected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var b []int = new [64]int;
+	var h []int = new [8]int;
+	for (var i int = 0; i < 64; i++) { h[b[i]] += 1; }
+	print(h[0]);
+}`)
+	expect(t, rep, "main", 0, true)
+	v := rep.Verdict("main", 0)
+	has := false
+	for _, k := range v.Idioms {
+		if k == "histogram" {
+			has = true
+		}
+	}
+	if !has {
+		t.Errorf("expected histogram idiom, got %v", v.Idioms)
+	}
+}
+
+func TestScalarReductionDetected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	var s int = 0;
+	for (var i int = 0; i < 64; i++) { s += a[i] * a[i]; }
+	print(s);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+func TestMinMaxDetected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	var m int = 0;
+	for (var i int = 0; i < 64; i++) {
+		if (a[i] > m) { m = a[i]; }
+	}
+	print(m);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+// TestPlainDoallNotFlagged: no idiom present — Idioms does not report plain
+// parallel loops (hence its small counts in Table III).
+func TestPlainDoallNotFlagged(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { a[i] = i; }
+	print(a[0]);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+// TestIdiomWithRecurrenceRejected: the idiom is present but another carried
+// dependence poisons the loop.
+func TestIdiomWithRecurrenceRejected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	var s int = 0;
+	for (var i int = 1; i < 64; i++) {
+		s += a[i];
+		a[i] = a[i-1] + 1;
+	}
+	print(s);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestPLDSReductionRejected(t *testing.T) {
+	rep := analyze(t, `
+struct Node { val int; next *Node; }
+func main() {
+	var head *Node = new Node;
+	var p *Node = head;
+	var s int = 0;
+	while (p != nil) { s += p->val; p = p->next; }
+	print(s);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestIOHistogramRejected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var b []int = new [8]int;
+	var h []int = new [8]int;
+	for (var i int = 0; i < 8; i++) {
+		h[b[i]] += 1;
+		print(i);
+	}
+}`)
+	expect(t, rep, "main", 0, false)
+}

@@ -1,0 +1,250 @@
+// Package instrument implements DCA's commutativity-testing transformation
+// (§IV-A3 iterator linearization and §IV-A4 commutativity-testing
+// instrumentation). Given a program, a function and a loop index, it clones
+// the program and rewrites the loop into:
+//
+//	linearized loop        — the original loop with the payload region
+//	                         replaced by @rt_iterator_linearize(iter values),
+//	                         so the iterator runs to completion recording
+//	                         the per-iteration values the payload would see;
+//	@rt_iterator_permute() — hands the recorded sequence to the runtime,
+//	                         which reorders it under the active schedule;
+//	driver loop            — while @rt_iterator_next() { payload(@rt_iterator_get(k)..., env) }
+//	@rt_verify(live-outs)  — snapshots the loop's live-out state for
+//	                         comparison against the golden execution order.
+//
+// Loop exits are funneled through an exit-id dispatch so multi-exit loops
+// resume at the correct continuation after the driver completes.
+package instrument
+
+import (
+	"fmt"
+
+	"dca/internal/cfg"
+	"dca/internal/dataflow"
+	"dca/internal/ir"
+	"dca/internal/iterrec"
+	"dca/internal/outline"
+	"dca/internal/pointer"
+	"dca/internal/scalar"
+	"dca/internal/types"
+)
+
+// Intrinsic names serviced by the DCA runtime.
+const (
+	RTLinearize = "rt_iterator_linearize"
+	RTPermute   = "rt_iterator_permute"
+	RTNext      = "rt_iterator_next"
+	RTGet       = "rt_iterator_get"
+	RTVerify    = "rt_verify"
+)
+
+// Instrumented is a program rewritten to test one loop.
+type Instrumented struct {
+	Prog    *ir.Program // instrumented clone
+	Fn      *ir.Func    // function containing the rewritten loop (in Prog)
+	LoopID  string
+	Sep     *iterrec.Separation // separation computed on the clone
+	Payload *outline.Result
+	// LiveOut names the locals whose values rt_verify snapshots.
+	LiveOut []*ir.Local
+	// Carried classifies the loop-carried scalars of the rewritten loop
+	// (computed before rewriting); the parallel executor uses it to choose
+	// reduction combiners for environment fields.
+	Carried []scalar.Carried
+}
+
+// Loop instruments the loopIndex-th loop (in cfg.FindLoops order) of the
+// named function. The input program is not modified.
+func Loop(prog *ir.Program, fnName string, loopIndex int) (*Instrumented, error) {
+	clone := prog.Clone()
+	fn := clone.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("instrument: no function %q", fnName)
+	}
+	g, loops := cfg.LoopsOf(fn)
+	if loopIndex < 0 || loopIndex >= len(loops) {
+		return nil, fmt.Errorf("instrument: %s has %d loops, index %d out of range", fnName, len(loops), loopIndex)
+	}
+	loop := loops[loopIndex]
+	pd := cfg.ComputePostDom(g)
+	pa := pointer.Analyze(clone)
+	lv := dataflow.ComputeLiveness(g)
+	sep := iterrec.Separate(g, pd, loop, pa, lv)
+	if !sep.OK {
+		return nil, fmt.Errorf("instrument: %s: %s", loop.ID(), sep.Reason)
+	}
+	effects := lv.AnalyzeLoop(loop)
+
+	pay, err := outline.Outline(sep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Live-out roots: the locals live at the loop exits, plus every
+	// reference-typed parameter of the containing function — heap state
+	// reachable from a parameter escapes to the caller even when no local
+	// is live after the loop (a map loop at the end of a void function
+	// must still have its array/list state verified).
+	liveOut := effects.LiveAfter.Clone()
+	for _, p := range fn.Params {
+		if p.Type.IsRef() {
+			liveOut[p] = true
+		}
+	}
+	inst := &Instrumented{
+		Prog:    clone,
+		Fn:      fn,
+		LoopID:  loop.ID(),
+		Sep:     sep,
+		Payload: pay,
+		LiveOut: liveOut.Sorted(),
+		Carried: scalar.Classify(&scalar.Env{G: g, PD: pd, LV: lv}, loop),
+	}
+	if err := rewrite(inst, g, effects); err != nil {
+		return nil, err
+	}
+	if err := clone.Verify(); err != nil {
+		return nil, fmt.Errorf("instrument: rewritten program is malformed: %w", err)
+	}
+	return inst, nil
+}
+
+func rewrite(inst *Instrumented, g *cfg.Graph, effects *dataflow.LoopEffects) error {
+	fn := inst.Fn
+	sep := inst.Sep
+	loop := sep.Loop
+
+	// --- New locals. ---
+	exitID := fn.NewTemp(types.IntType)
+	envLoc := fn.NewLocal("dca_env", inst.Payload.PtrType)
+	envLoc.Synth = true
+	hasNext := fn.NewTemp(types.BoolType)
+	var getTmps []*ir.Local
+	for _, il := range sep.IterLocals {
+		t := fn.NewLocal("dca_it_"+il.Name, il.Type)
+		t.Synth = true
+		getTmps = append(getTmps, t)
+	}
+
+	// --- New blocks. ---
+	permuteB := fn.NewBlock("dca.permute")
+	driverHdr := fn.NewBlock("dca.driver.header")
+	driverBody := fn.NewBlock("dca.driver.body")
+	verifyB := fn.NewBlock("dca.verify")
+
+	// --- 1. Redirect loop exits through exit-id recording blocks. This
+	// happens before linearization so a continuation-block suffix inherits
+	// the redirected terminator.
+	exitIndex := map[*ir.Block]int{}
+	for i, e := range loop.Exits {
+		exitIndex[e] = i
+	}
+	redirect := map[*ir.Block]*ir.Block{} // original exit target -> recorder
+	for _, e := range loop.Exits {
+		rec := fn.NewBlock("dca.exit")
+		rec.Append(&ir.Mov{Dst: exitID, Src: ir.IntOp(int64(exitIndex[e]))})
+		rec.Term = &ir.Goto{Target: permuteB}
+		redirect[e] = rec
+	}
+	for _, src := range loop.ExitSrcs {
+		switch t := src.Term.(type) {
+		case *ir.If:
+			if !loop.Blocks[t.Then] {
+				t.Then = redirect[t.Then]
+			}
+			if !loop.Blocks[t.Else] {
+				t.Else = redirect[t.Else]
+			}
+		case *ir.Goto:
+			if !loop.Blocks[t.Target] {
+				t.Target = redirect[t.Target]
+			}
+		}
+	}
+
+	// --- 2. Linearize: rewrite the payload region entry into a record. ---
+	// Continuation target for the record.
+	var contTarget *ir.Block
+	if sep.Cont.Index == 0 {
+		contTarget = sep.Cont.Block
+	} else {
+		// Split the continuation block's iterator suffix into its own block.
+		suffix := fn.NewBlock("dca.lin.cont")
+		suffix.Pos = sep.Cont.Block.Pos
+		suffix.Instrs = append(suffix.Instrs, sep.Cont.Block.Instrs[sep.Cont.Index:]...)
+		suffix.Term = sep.Cont.Block.Term
+		contTarget = suffix
+	}
+	var recordArgs []ir.Operand
+	for _, il := range sep.IterLocals {
+		recordArgs = append(recordArgs, ir.LocalOp(il))
+	}
+	// B0: keep iterator prefix, record, jump to continuation.
+	b0 := sep.B0
+	prefix := append([]ir.Instr(nil), b0.Instrs[:sep.P0]...)
+	prefix = append(prefix, &ir.Intrinsic{Name: RTLinearize, Args: recordArgs})
+	b0.Instrs = prefix
+	b0.Term = &ir.Goto{Target: contTarget}
+
+	// --- 3. Permute block: build env, hand over to the runtime. ---
+	permuteB.Append(&ir.Alloc{Dst: envLoc, Struct: inst.Payload.EnvType})
+	for _, l := range sep.EnvLocals {
+		idx := inst.Payload.EnvIndex[l]
+		permuteB.Append(&ir.Store{
+			Base:      ir.LocalOp(envLoc),
+			Index:     ir.IntOp(int64(idx)),
+			Src:       ir.LocalOp(l),
+			FieldName: inst.Payload.EnvType.Fields[idx].Name,
+		})
+	}
+	permuteB.Append(&ir.Intrinsic{Name: RTPermute, Args: []ir.Operand{ir.LocalOp(envLoc)}})
+	permuteB.Term = &ir.Goto{Target: driverHdr}
+
+	// --- 4. Driver loop. ---
+	driverHdr.Append(&ir.Intrinsic{Dst: hasNext, Name: RTNext})
+	driverHdr.Term = &ir.If{Cond: ir.LocalOp(hasNext), Then: driverBody, Else: verifyB}
+	var callArgs []ir.Operand
+	for k, tmp := range getTmps {
+		driverBody.Append(&ir.Intrinsic{Dst: tmp, Name: RTGet, Args: []ir.Operand{ir.IntOp(int64(k))}})
+		callArgs = append(callArgs, ir.LocalOp(tmp))
+	}
+	callArgs = append(callArgs, ir.LocalOp(envLoc))
+	driverBody.Append(&ir.Call{Callee: inst.Payload.Payload.Name, Args: callArgs})
+	driverBody.Term = &ir.Goto{Target: driverHdr}
+
+	// --- 5. Verify block: restore env locals, snapshot live-outs, dispatch. ---
+	for _, l := range sep.EnvLocals {
+		idx := inst.Payload.EnvIndex[l]
+		verifyB.Append(&ir.Load{
+			Dst:       l,
+			Base:      ir.LocalOp(envLoc),
+			Index:     ir.IntOp(int64(idx)),
+			FieldName: inst.Payload.EnvType.Fields[idx].Name,
+		})
+	}
+	var roots []ir.Operand
+	for _, l := range inst.LiveOut {
+		roots = append(roots, ir.LocalOp(l))
+	}
+	verifyB.Append(&ir.Intrinsic{Name: RTVerify, Args: roots})
+	// Exit dispatch.
+	switch len(loop.Exits) {
+	case 0:
+		return fmt.Errorf("instrument: loop %s has no exits", inst.LoopID)
+	case 1:
+		verifyB.Term = &ir.Goto{Target: loop.Exits[0]}
+	default:
+		cur := verifyB
+		for i := 0; i < len(loop.Exits)-1; i++ {
+			cond := fn.NewTemp(types.BoolType)
+			cur.Append(&ir.BinOp{Dst: cond, Op: ir.Eq, X: ir.LocalOp(exitID), Y: ir.IntOp(int64(i))})
+			next := fn.NewBlock("dca.dispatch")
+			cur.Term = &ir.If{Cond: ir.LocalOp(cond), Then: loop.Exits[i], Else: next}
+			cur = next
+		}
+		cur.Term = &ir.Goto{Target: loop.Exits[len(loop.Exits)-1]}
+	}
+	_ = g
+	return nil
+}

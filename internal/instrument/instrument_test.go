@@ -1,0 +1,182 @@
+package instrument_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/dcart"
+	"dca/internal/instrument"
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// run executes the instrumented program under a schedule and returns the
+// runtime and printed output.
+func run(t *testing.T, inst *instrument.Instrumented, sched dcart.Schedule) (*dcart.Runtime, string) {
+	t.Helper()
+	rt := dcart.NewRuntime(sched)
+	var out strings.Builder
+	if _, err := interp.Run(inst.Prog, interp.Config{Out: &out, Runtime: rt}); err != nil {
+		t.Fatalf("instrumented run (%s): %v", sched.Name(), err)
+	}
+	return rt, out.String()
+}
+
+const sumSrc = `
+func main() {
+	var a []int = new [16]int;
+	for (var i int = 0; i < 16; i++) { a[i] = (i * 7) % 11; }
+	var s int = 0;
+	for (var i int = 0; i < 16; i++) { s += a[i]; }
+	print(s);
+}
+`
+
+func TestInstrumentPreservesSemantics(t *testing.T) {
+	prog := compile(t, sumSrc)
+	var ref strings.Builder
+	if _, err := interp.Run(prog, interp.Config{Out: &ref}); err != nil {
+		t.Fatal(err)
+	}
+	for loopIdx := 0; loopIdx < 2; loopIdx++ {
+		inst, err := instrument.Loop(prog, "main", loopIdx)
+		if err != nil {
+			t.Fatalf("instrument L%d: %v", loopIdx, err)
+		}
+		for _, sched := range []dcart.Schedule{dcart.Identity{}, dcart.Reverse{}, dcart.Random{Seed: 5}, dcart.Rotate{}} {
+			rt, out := run(t, inst, sched)
+			if out != ref.String() {
+				t.Errorf("L%d under %s: output %q != reference %q", loopIdx, sched.Name(), out, ref.String())
+			}
+			if rt.Invocations != 1 {
+				t.Errorf("L%d: invocations = %d", loopIdx, rt.Invocations)
+			}
+			if rt.Iterations != 16 {
+				t.Errorf("L%d: iterations = %d", loopIdx, rt.Iterations)
+			}
+		}
+	}
+}
+
+func TestOriginalProgramUntouched(t *testing.T) {
+	prog := compile(t, sumSrc)
+	before := prog.String()
+	if _, err := instrument.Loop(prog, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() != before {
+		t.Error("instrumentation mutated the input program")
+	}
+}
+
+func TestInstrumentedContainsIntrinsics(t *testing.T) {
+	prog := compile(t, sumSrc)
+	inst, err := instrument.Loop(prog, "main", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.Fn.String()
+	for _, want := range []string{
+		"@" + instrument.RTLinearize, "@" + instrument.RTPermute,
+		"@" + instrument.RTNext, "@" + instrument.RTGet, "@" + instrument.RTVerify,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("instrumented function missing %s:\n%s", want, s)
+		}
+	}
+	if inst.Prog.Func(inst.Payload.Payload.Name) == nil {
+		t.Error("payload function missing from instrumented program")
+	}
+}
+
+func TestMultiExitDispatch(t *testing.T) {
+	prog := compile(t, `
+func f(a []int, n int, key int) int {
+	var i int = 0;
+	var seen int = 0;
+	while (i < n) {
+		seen += a[i];
+		i++;
+		if (seen > key) { return i; }
+	}
+	return 0 - 1;
+}
+func main() {
+	var a []int = new [8]int;
+	for (var i int = 0; i < 8; i++) { a[i] = 1; }
+	print(f(a, 8, 3), f(a, 8, 100));
+}`)
+	// seen feeds the exit condition, so everything lands in the iterator:
+	// not separable — but the multi-exit machinery is exercised via a loop
+	// with a break on the iterator state.
+	if _, err := instrument.Loop(prog, "f", 0); err == nil {
+		t.Log("loop unexpectedly separable (fine if semantics preserved)")
+	}
+
+	prog2 := compile(t, `
+func g(a []int, n int, limit int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i++) {
+		if (i == limit) { break; }
+		s += a[i];
+	}
+	return s;
+}
+func main() {
+	var a []int = new [8]int;
+	for (var i int = 0; i < 8; i++) { a[i] = i; }
+	print(g(a, 8, 5), g(a, 8, 100));
+}`)
+	inst, err := instrument.Loop(prog2, "g", 0)
+	if err != nil {
+		t.Fatalf("break-on-iterator loop must instrument: %v", err)
+	}
+	var ref strings.Builder
+	if _, err := interp.Run(prog2, interp.Config{Out: &ref}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []dcart.Schedule{dcart.Identity{}, dcart.Reverse{}} {
+		if _, out := run(t, inst, sched); out != ref.String() {
+			t.Errorf("%s: output %q != %q", sched.Name(), out, ref.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	prog := compile(t, sumSrc)
+	if _, err := instrument.Loop(prog, "nosuch", 0); err == nil {
+		t.Error("unknown function must fail")
+	}
+	if _, err := instrument.Loop(prog, "main", 99); err == nil {
+		t.Error("out-of-range loop index must fail")
+	}
+}
+
+func TestSnapshotDiffersUnderPermutation(t *testing.T) {
+	// Order-dependent loop: permuted snapshots must differ from golden.
+	prog := compile(t, `
+func main() {
+	var last int = 0;
+	for (var i int = 0; i < 6; i++) { last = i; }
+	print(last);
+}`)
+	inst, err := instrument.Loop(prog, "main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _ := run(t, inst, dcart.Identity{})
+	rev, _ := run(t, inst, dcart.Reverse{})
+	if golden.Snapshots[0] == rev.Snapshots[0] {
+		t.Error("last-writer-wins loop must produce different snapshots")
+	}
+}

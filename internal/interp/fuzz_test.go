@@ -1,0 +1,40 @@
+package interp_test
+
+import (
+	"io"
+	"testing"
+
+	"dca/internal/interp"
+	"dca/internal/irbuild"
+)
+
+// FuzzCompileAndRun pushes arbitrary text through the entire pipeline —
+// parse, check, lower, verify, execute under a step budget. Programs that
+// fail any stage are skipped; programs that compile must execute without
+// panicking (runtime errors are fine, they are values).
+func FuzzCompileAndRun(f *testing.F) {
+	seeds := []string{
+		"func main() { print(1 + 2 * 3); }",
+		"func main() { var a []int = new [3]int; a[1] = 7; print(a[1] / a[0]); }", // div by zero at runtime
+		"struct N { v int; next *N; } func main() { var p *N = nil; while (p != nil) { p = p->next; } print(0); }",
+		"func f(n int) int { if (n < 2) { return n; } return f(n-1) + f(n-2); } func main() { print(f(10)); }",
+		"func main() { var i int = 0; while (i < 1000000) { i++; } print(i); }", // budget pressure
+		"func main() { var a []int = new [0]int; print(len(a)); }",
+		"func main() { var x int = 9223372036854775807; print(x + 1); }", // wraparound
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		prog, err := irbuild.Compile("fuzz.mc", src)
+		if err != nil {
+			return
+		}
+		// Compiled programs must verify and run to completion, a runtime
+		// error, or the budget — never a panic.
+		_, _ = interp.Run(prog, interp.Config{Out: io.Discard, MaxSteps: 200_000})
+	})
+}

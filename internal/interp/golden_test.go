@@ -1,0 +1,115 @@
+package interp_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/interp"
+	"dca/internal/irbuild"
+)
+
+var update = flag.Bool("update", false, "rewrite golden .out files")
+
+// TestGoldenCorpus compiles and runs every testdata program and compares
+// its output against the checked-in golden file (regenerate with
+// `go test ./internal/interp -run TestGoldenCorpus -update`). The corpus
+// doubles as an end-to-end regression net for the whole frontend.
+func TestGoldenCorpus(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no corpus programs: %v", err)
+	}
+	for _, src := range srcs {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			text, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := irbuild.Compile(src, string(text))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var out strings.Builder
+			if _, err := interp.Run(prog, interp.Config{Out: &out}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			golden := strings.TrimSuffix(src, ".mc") + ".out"
+			if *update {
+				if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output mismatch:\ngot:\n%s\nwant:\n%s", out.String(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusDeterministic runs each program twice and demands
+// identical outputs and step counts — the determinism the DCA dynamic
+// stage depends on.
+func TestGoldenCorpusDeterministic(t *testing.T) {
+	srcs, _ := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	for _, src := range srcs {
+		text, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := irbuild.Compile(src, string(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out1, out2 strings.Builder
+		r1, err := interp.Run(prog, interp.Config{Out: &out1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := interp.Run(prog, interp.Config{Out: &out2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out1.String() != out2.String() || r1.Steps != r2.Steps {
+			t.Errorf("%s: non-deterministic execution (%d vs %d steps)", src, r1.Steps, r2.Steps)
+		}
+	}
+}
+
+// TestGoldenCorpusUnderDCA runs the whole analysis over every corpus
+// program: no crashes, and the instrumented golden runs must reproduce the
+// program output for every loop the pipeline can transform.
+func TestGoldenCorpusUnderDCA(t *testing.T) {
+	srcs, _ := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	for _, src := range srcs {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			text, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := irbuild.Compile(src, string(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.Analyze(prog, core.Options{})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			for _, l := range rep.Loops {
+				if l.Verdict == core.Failed {
+					t.Errorf("%s: pipeline failure: %s", l.ID, l.Reason)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,445 @@
+// Package interp is a tree-walking interpreter for the IR. It is DCA's
+// execution substrate: the dynamic stage runs instrumented programs under
+// it, the dependence profilers subscribe to its heap-access trace, and the
+// benchmark harness uses its dynamic instruction counts as the cost model
+// for the machine simulator.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dca/internal/ir"
+)
+
+// ErrBudget is returned when execution exceeds the step budget.
+var ErrBudget = errors.New("interp: step budget exhausted")
+
+// Frame is one activation record.
+type Frame struct {
+	Fn     *ir.Func
+	Locals []ir.Value
+	Parent *Frame
+	Depth  int
+}
+
+// Tracer receives execution events. A nil tracer costs nothing.
+type Tracer interface {
+	// OnBlock fires when control enters a basic block.
+	OnBlock(fr *Frame, b *ir.Block)
+	// OnLoad fires for every heap read: object plus element index.
+	OnLoad(fr *Frame, in *ir.Load, obj *ir.Object, idx int)
+	// OnStore fires for every heap write.
+	OnStore(fr *Frame, in *ir.Store, obj *ir.Object, idx int)
+	// OnCall fires after the callee frame is created, before it runs.
+	OnCall(fr *Frame)
+	// OnRet fires when a frame returns.
+	OnRet(fr *Frame)
+}
+
+// Runtime services Intrinsic instructions (the rt_* calls inserted by the
+// DCA instrumentation pass).
+type Runtime interface {
+	Intrinsic(it *Interp, fr *Frame, name string, args []ir.Value) (ir.Value, error)
+}
+
+// Config controls one execution.
+type Config struct {
+	Out         io.Writer // print destination; nil discards
+	Runtime     Runtime   // intrinsic handler; nil makes intrinsics errors
+	Tracer      Tracer    // event hooks; nil disables tracing
+	MaxSteps    int64     // instruction budget; 0 means 1e9
+	CountBlocks bool      // record per-block execution counts
+}
+
+// Result reports what an execution did.
+type Result struct {
+	Steps      int64
+	BlockCount map[*ir.Block]int64
+	Ret        ir.Value
+	Output     string // only set by helpers that capture output
+}
+
+// Interp executes IR programs.
+type Interp struct {
+	prog    *ir.Program
+	cfg     Config
+	steps   int64
+	max     int64
+	nextID  int64
+	blockCt map[*ir.Block]int64
+}
+
+// New creates an interpreter for prog.
+func New(prog *ir.Program, cfg Config) *Interp {
+	max := cfg.MaxSteps
+	if max == 0 {
+		max = 1_000_000_000
+	}
+	it := &Interp{prog: prog, cfg: cfg, max: max}
+	if cfg.CountBlocks {
+		it.blockCt = map[*ir.Block]int64{}
+	}
+	return it
+}
+
+// Run executes prog from main().
+func Run(prog *ir.Program, cfg Config) (*Result, error) {
+	it := New(prog, cfg)
+	main := prog.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: program %q has no main function", prog.Name)
+	}
+	ret, err := it.Call(main, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Steps: it.steps, BlockCount: it.blockCt, Ret: ret}, nil
+}
+
+// Steps returns the number of instructions executed so far.
+func (it *Interp) Steps() int64 { return it.steps }
+
+// BlockCounts returns per-block execution counts (nil unless enabled).
+func (it *Interp) BlockCounts() map[*ir.Block]int64 { return it.blockCt }
+
+// Program returns the program under execution.
+func (it *Interp) Program() *ir.Program { return it.prog }
+
+// NewObjectID mints a fresh heap object ID (also used by the DCA runtime
+// when it materializes helper objects).
+func (it *Interp) NewObjectID() int64 {
+	it.nextID++
+	return it.nextID
+}
+
+// Call invokes fn with the given argument values under parent.
+func (it *Interp) Call(fn *ir.Func, args []ir.Value, parent *Frame) (ir.Value, error) {
+	if len(args) != len(fn.Params) {
+		return ir.Value{}, fmt.Errorf("interp: call %s with %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	depth := 0
+	if parent != nil {
+		depth = parent.Depth + 1
+	}
+	if depth > 10000 {
+		return ir.Value{}, fmt.Errorf("interp: call stack overflow in %s", fn.Name)
+	}
+	fr := &Frame{Fn: fn, Locals: make([]ir.Value, len(fn.Locals)), Parent: parent, Depth: depth}
+	for i, p := range fn.Params {
+		fr.Locals[p.Index] = args[i]
+	}
+	if it.cfg.Tracer != nil {
+		it.cfg.Tracer.OnCall(fr)
+	}
+	ret, err := it.exec(fr)
+	if it.cfg.Tracer != nil {
+		it.cfg.Tracer.OnRet(fr)
+	}
+	return ret, err
+}
+
+// CallByName invokes the named function with args.
+func (it *Interp) CallByName(name string, args ...ir.Value) (ir.Value, error) {
+	fn := it.prog.Func(name)
+	if fn == nil {
+		return ir.Value{}, fmt.Errorf("interp: no function %q", name)
+	}
+	return it.Call(fn, args, nil)
+}
+
+func (it *Interp) operand(fr *Frame, o ir.Operand) ir.Value {
+	if o.Local != nil {
+		return fr.Locals[o.Local.Index]
+	}
+	return o.Const
+}
+
+func (it *Interp) exec(fr *Frame) (ir.Value, error) {
+	b := fr.Fn.Entry()
+	for {
+		if it.cfg.Tracer != nil {
+			it.cfg.Tracer.OnBlock(fr, b)
+		}
+		if it.blockCt != nil {
+			it.blockCt[b] += int64(len(b.Instrs)) + 1
+		}
+		for _, in := range b.Instrs {
+			it.steps++
+			if it.steps > it.max {
+				return ir.Value{}, ErrBudget
+			}
+			if err := it.step(fr, in); err != nil {
+				return ir.Value{}, fmt.Errorf("%s: %s: %w", fr.Fn.Name, in, err)
+			}
+		}
+		it.steps++
+		if it.steps > it.max {
+			return ir.Value{}, ErrBudget
+		}
+		switch t := b.Term.(type) {
+		case *ir.Goto:
+			b = t.Target
+		case *ir.If:
+			if it.operand(fr, t.Cond).Bool() {
+				b = t.Then
+			} else {
+				b = t.Else
+			}
+		case *ir.Ret:
+			if t.Val == nil {
+				return ir.Value{}, nil
+			}
+			return it.operand(fr, *t.Val), nil
+		default:
+			return ir.Value{}, fmt.Errorf("interp: %s: block %s has bad terminator", fr.Fn.Name, b.Name)
+		}
+	}
+}
+
+func (it *Interp) step(fr *Frame, in ir.Instr) error {
+	switch i := in.(type) {
+	case *ir.Mov:
+		fr.Locals[i.Dst.Index] = it.operand(fr, i.Src)
+	case *ir.BinOp:
+		v, err := EvalBinOp(i.Op, it.operand(fr, i.X), it.operand(fr, i.Y))
+		if err != nil {
+			return err
+		}
+		fr.Locals[i.Dst.Index] = v
+	case *ir.UnOp:
+		x := it.operand(fr, i.X)
+		switch i.Op {
+		case ir.Neg:
+			switch x.Kind {
+			case ir.KindInt:
+				fr.Locals[i.Dst.Index] = ir.IntVal(-x.I)
+			case ir.KindFloat:
+				fr.Locals[i.Dst.Index] = ir.FloatVal(-x.F)
+			default:
+				return fmt.Errorf("neg of %s", x)
+			}
+		case ir.Not:
+			fr.Locals[i.Dst.Index] = ir.BoolVal(!x.Bool())
+		}
+	case *ir.Load:
+		base := it.operand(fr, i.Base)
+		if base.IsNilRef() {
+			return fmt.Errorf("nil dereference")
+		}
+		idxv := it.operand(fr, i.Index)
+		idx := int(idxv.I)
+		obj := base.Ref
+		if idx < 0 || idx >= len(obj.Elems) {
+			return fmt.Errorf("index %d out of range [0,%d)", idx, len(obj.Elems))
+		}
+		if it.cfg.Tracer != nil {
+			it.cfg.Tracer.OnLoad(fr, i, obj, idx)
+		}
+		fr.Locals[i.Dst.Index] = obj.Elems[idx]
+	case *ir.Store:
+		base := it.operand(fr, i.Base)
+		if base.IsNilRef() {
+			return fmt.Errorf("nil dereference")
+		}
+		idxv := it.operand(fr, i.Index)
+		idx := int(idxv.I)
+		obj := base.Ref
+		if idx < 0 || idx >= len(obj.Elems) {
+			return fmt.Errorf("index %d out of range [0,%d)", idx, len(obj.Elems))
+		}
+		if it.cfg.Tracer != nil {
+			it.cfg.Tracer.OnStore(fr, i, obj, idx)
+		}
+		obj.Elems[idx] = it.operand(fr, i.Src)
+	case *ir.Alloc:
+		if i.Struct != nil {
+			fr.Locals[i.Dst.Index] = ir.RefVal(ir.NewStructObject(it.NewObjectID(), i.Struct))
+		} else {
+			n := it.operand(fr, i.Count)
+			if n.I < 0 {
+				return fmt.Errorf("negative array length %d", n.I)
+			}
+			if n.I > 64<<20 {
+				return fmt.Errorf("array length %d too large", n.I)
+			}
+			fr.Locals[i.Dst.Index] = ir.RefVal(ir.NewArrayObject(it.NewObjectID(), i.Elem, int(n.I)))
+		}
+	case *ir.Call:
+		args := make([]ir.Value, len(i.Args))
+		for k, a := range i.Args {
+			args[k] = it.operand(fr, a)
+		}
+		if i.Builtin {
+			v, err := evalBuiltin(i.Callee, args)
+			if err != nil {
+				return err
+			}
+			if i.Dst != nil {
+				fr.Locals[i.Dst.Index] = v
+			}
+			return nil
+		}
+		fn := it.prog.Func(i.Callee)
+		if fn == nil {
+			return fmt.Errorf("unknown function %q", i.Callee)
+		}
+		v, err := it.Call(fn, args, fr)
+		if err != nil {
+			return err
+		}
+		if i.Dst != nil {
+			fr.Locals[i.Dst.Index] = v
+		}
+	case *ir.Print:
+		if it.cfg.Out != nil {
+			for k, a := range i.Args {
+				if k > 0 {
+					fmt.Fprint(it.cfg.Out, " ")
+				}
+				v := it.operand(fr, a)
+				if v.Kind == ir.KindString {
+					fmt.Fprint(it.cfg.Out, v.S)
+				} else {
+					fmt.Fprint(it.cfg.Out, v.String())
+				}
+			}
+			fmt.Fprintln(it.cfg.Out)
+		}
+	case *ir.Intrinsic:
+		if it.cfg.Runtime == nil {
+			return fmt.Errorf("intrinsic @%s with no runtime installed", i.Name)
+		}
+		args := make([]ir.Value, len(i.Args))
+		for k, a := range i.Args {
+			args[k] = it.operand(fr, a)
+		}
+		v, err := it.cfg.Runtime.Intrinsic(it, fr, i.Name, args)
+		if err != nil {
+			return err
+		}
+		if i.Dst != nil {
+			fr.Locals[i.Dst.Index] = v
+		}
+	default:
+		return fmt.Errorf("interp: unknown instruction %T", in)
+	}
+	return nil
+}
+
+// EvalBinOp evaluates a binary operator on constant values with exactly the
+// interpreter's semantics; the optimizer uses it for constant folding.
+func EvalBinOp(op ir.BinKind, x, y ir.Value) (ir.Value, error) {
+	switch op {
+	case ir.Eq:
+		return ir.BoolVal(x.Equal(y)), nil
+	case ir.Ne:
+		return ir.BoolVal(!x.Equal(y)), nil
+	}
+	if x.Kind == ir.KindInt && y.Kind == ir.KindInt {
+		switch op {
+		case ir.Add:
+			return ir.IntVal(x.I + y.I), nil
+		case ir.Sub:
+			return ir.IntVal(x.I - y.I), nil
+		case ir.Mul:
+			return ir.IntVal(x.I * y.I), nil
+		case ir.Div:
+			if y.I == 0 {
+				return ir.Value{}, errors.New("integer division by zero")
+			}
+			return ir.IntVal(x.I / y.I), nil
+		case ir.Rem:
+			if y.I == 0 {
+				return ir.Value{}, errors.New("integer modulo by zero")
+			}
+			return ir.IntVal(x.I % y.I), nil
+		case ir.Shl:
+			return ir.IntVal(x.I << uint(y.I&63)), nil
+		case ir.Shr:
+			return ir.IntVal(x.I >> uint(y.I&63)), nil
+		case ir.BitAnd:
+			return ir.IntVal(x.I & y.I), nil
+		case ir.BitOr:
+			return ir.IntVal(x.I | y.I), nil
+		case ir.BitXor:
+			return ir.IntVal(x.I ^ y.I), nil
+		case ir.Lt:
+			return ir.BoolVal(x.I < y.I), nil
+		case ir.Le:
+			return ir.BoolVal(x.I <= y.I), nil
+		case ir.Gt:
+			return ir.BoolVal(x.I > y.I), nil
+		case ir.Ge:
+			return ir.BoolVal(x.I >= y.I), nil
+		}
+	}
+	if x.Kind == ir.KindFloat && y.Kind == ir.KindFloat {
+		switch op {
+		case ir.Add:
+			return ir.FloatVal(x.F + y.F), nil
+		case ir.Sub:
+			return ir.FloatVal(x.F - y.F), nil
+		case ir.Mul:
+			return ir.FloatVal(x.F * y.F), nil
+		case ir.Div:
+			if y.F == 0 {
+				return ir.Value{}, errors.New("float division by zero")
+			}
+			return ir.FloatVal(x.F / y.F), nil
+		case ir.Lt:
+			return ir.BoolVal(x.F < y.F), nil
+		case ir.Le:
+			return ir.BoolVal(x.F <= y.F), nil
+		case ir.Gt:
+			return ir.BoolVal(x.F > y.F), nil
+		case ir.Ge:
+			return ir.BoolVal(x.F >= y.F), nil
+		}
+	}
+	if x.Kind == ir.KindString && y.Kind == ir.KindString {
+		switch op {
+		case ir.Add:
+			return ir.StringVal(x.S + y.S), nil
+		case ir.Lt:
+			return ir.BoolVal(x.S < y.S), nil
+		case ir.Le:
+			return ir.BoolVal(x.S <= y.S), nil
+		case ir.Gt:
+			return ir.BoolVal(x.S > y.S), nil
+		case ir.Ge:
+			return ir.BoolVal(x.S >= y.S), nil
+		}
+	}
+	return ir.Value{}, fmt.Errorf("bad operands for %s: %s, %s", op, x, y)
+}
+
+func evalBuiltin(name string, args []ir.Value) (ir.Value, error) {
+	switch name {
+	case "len":
+		if args[0].IsNilRef() {
+			return ir.Value{}, errors.New("len of nil")
+		}
+		return ir.IntVal(int64(len(args[0].Ref.Elems))), nil
+	case "float":
+		return ir.FloatVal(float64(args[0].I)), nil
+	case "int":
+		return ir.IntVal(int64(args[0].F)), nil
+	case "sqrt":
+		return ir.FloatVal(math.Sqrt(args[0].F)), nil
+	case "abs":
+		if args[0].I < 0 {
+			return ir.IntVal(-args[0].I), nil
+		}
+		return args[0], nil
+	case "fabs":
+		return ir.FloatVal(math.Abs(args[0].F)), nil
+	case "log":
+		return ir.FloatVal(math.Log(args[0].F)), nil
+	case "pow":
+		return ir.FloatVal(math.Pow(args[0].F, args[1].F)), nil
+	}
+	return ir.Value{}, fmt.Errorf("unknown builtin %q", name)
+}

@@ -1,0 +1,179 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"dca/internal/types"
+)
+
+// ValKind classifies runtime values.
+type ValKind int
+
+// Value kinds.
+const (
+	KindNil ValKind = iota // zero pointer/array reference
+	KindInt
+	KindFloat
+	KindBool
+	KindString
+	KindRef // reference to a heap Object
+)
+
+// Value is a MiniC runtime value. Values are small and copied freely; heap
+// state lives behind Ref.
+type Value struct {
+	Kind ValKind
+	I    int64 // Int; Bool uses 0/1
+	F    float64
+	S    string
+	Ref  *Object
+}
+
+// IntVal makes an integer value.
+func IntVal(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// FloatVal makes a floating-point value.
+func FloatVal(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// BoolVal makes a boolean value.
+func BoolVal(v bool) Value {
+	if v {
+		return Value{Kind: KindBool, I: 1}
+	}
+	return Value{Kind: KindBool}
+}
+
+// StringVal makes a string value.
+func StringVal(v string) Value { return Value{Kind: KindString, S: v} }
+
+// RefVal makes a heap reference value.
+func RefVal(o *Object) Value { return Value{Kind: KindRef, Ref: o} }
+
+// NilVal makes the nil reference value.
+func NilVal() Value { return Value{Kind: KindNil} }
+
+// Bool reports the truth of a KindBool value.
+func (v Value) Bool() bool { return v.Kind == KindBool && v.I != 0 }
+
+// IsNilRef reports whether the value is a nil reference.
+func (v Value) IsNilRef() bool { return v.Kind == KindNil || (v.Kind == KindRef && v.Ref == nil) }
+
+// Equal reports shallow equality: scalars by value, references by identity.
+func (v Value) Equal(u Value) bool {
+	if v.IsNilRef() || u.IsNilRef() {
+		return v.IsNilRef() && u.IsNilRef()
+	}
+	if v.Kind != u.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt, KindBool:
+		return v.I == u.I
+	case KindFloat:
+		return v.F == u.F
+	case KindString:
+		return v.S == u.S
+	case KindRef:
+		return v.Ref == u.Ref
+	}
+	return true
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindString:
+		return fmt.Sprintf("%q", v.S)
+	case KindRef:
+		if v.Ref == nil {
+			return "nil"
+		}
+		return fmt.Sprintf("&%s#%d", v.Ref.TypeName, v.Ref.ID)
+	}
+	return "?"
+}
+
+// ZeroValue returns the zero value of a semantic type.
+func ZeroValue(t *types.Type) Value {
+	switch t.Kind {
+	case types.Int:
+		return IntVal(0)
+	case types.Float:
+		return FloatVal(0)
+	case types.Bool:
+		return BoolVal(false)
+	case types.String:
+		return StringVal("")
+	}
+	return NilVal()
+}
+
+// Object is a heap object: either a struct instance (TypeName = struct name,
+// one element per field) or an array (TypeName = "[]T"). Object identity —
+// the Go pointer — is the address used by dependence profiling; ID is a
+// stable allocation number used in printing and snapshots.
+type Object struct {
+	ID       int64
+	TypeName string
+	Struct   *types.StructInfo // nil for arrays
+	Elem     *types.Type       // element type for arrays, nil for structs
+	Elems    []Value
+}
+
+// NewStructObject allocates a zeroed struct instance.
+func NewStructObject(id int64, si *types.StructInfo) *Object {
+	o := &Object{ID: id, TypeName: si.Name, Struct: si, Elems: make([]Value, len(si.Fields))}
+	for i, f := range si.Fields {
+		o.Elems[i] = ZeroValue(f.Type)
+	}
+	return o
+}
+
+// NewArrayObject allocates a zeroed array of n elements.
+func NewArrayObject(id int64, elem *types.Type, n int) *Object {
+	o := &Object{ID: id, TypeName: "[]" + elem.String(), Elem: elem, Elems: make([]Value, n)}
+	z := ZeroValue(elem)
+	for i := range o.Elems {
+		o.Elems[i] = z
+	}
+	return o
+}
+
+// Len returns the number of elements/fields.
+func (o *Object) Len() int { return len(o.Elems) }
+
+// FieldName returns a printable name for element i.
+func (o *Object) FieldName(i int) string {
+	if o.Struct != nil && i >= 0 && i < len(o.Struct.Fields) {
+		return o.Struct.Fields[i].Name
+	}
+	return fmt.Sprintf("[%d]", i)
+}
+
+func (o *Object) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s#%d{", o.TypeName, o.ID)
+	for i, e := range o.Elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if o.Struct != nil {
+			b.WriteString(o.FieldName(i))
+			b.WriteString(": ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}

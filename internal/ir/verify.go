@@ -1,0 +1,69 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of a function:
+//   - every block has a terminator;
+//   - branch targets belong to the function;
+//   - every operand local and defined local belongs to the function;
+//   - local indices are consistent.
+//
+// Passes run Verify after transforming IR; a failure is a compiler bug.
+func (f *Func) Verify() error {
+	blocks := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		blocks[b] = true
+	}
+	locals := map[*Local]bool{}
+	for i, l := range f.Locals {
+		if l.Index != i {
+			return fmt.Errorf("ir: %s: local %q has index %d, want %d", f.Name, l.Name, l.Index, i)
+		}
+		locals[l] = true
+	}
+	checkOp := func(where string, o Operand) error {
+		if o.Local != nil && !locals[o.Local] {
+			return fmt.Errorf("ir: %s: %s reads foreign local %q", f.Name, where, o.Local.Name)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if d := in.Def(); d != nil && !locals[d] {
+				return fmt.Errorf("ir: %s: block %s: %s defines foreign local %q", f.Name, b.Name, in, d.Name)
+			}
+			for _, u := range in.Uses() {
+				if err := checkOp(fmt.Sprintf("block %s: %s", b.Name, in), u); err != nil {
+					return err
+				}
+			}
+		}
+		if b.Term == nil {
+			return fmt.Errorf("ir: %s: block %s has no terminator", f.Name, b.Name)
+		}
+		for _, u := range b.Term.Uses() {
+			if err := checkOp(fmt.Sprintf("block %s terminator", b.Name), u); err != nil {
+				return err
+			}
+		}
+		for _, s := range b.Term.Succs() {
+			if !blocks[s] {
+				return fmt.Errorf("ir: %s: block %s branches to foreign block %q", f.Name, b.Name, s.Name)
+			}
+		}
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: function has no blocks", f.Name)
+	}
+	return nil
+}
+
+// Verify checks all functions in the program.
+func (p *Program) Verify() error {
+	for _, f := range p.Funcs {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

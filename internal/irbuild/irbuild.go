@@ -1,0 +1,491 @@
+// Package irbuild lowers a type-checked MiniC AST into the three-address IR.
+// Logical && and || become control flow; struct/array accesses become
+// Load/Store over (object, index) addresses; loops become the natural-loop
+// CFG shapes that the loop finder recovers.
+package irbuild
+
+import (
+	"fmt"
+
+	"dca/internal/ast"
+	"dca/internal/ir"
+	"dca/internal/parser"
+	"dca/internal/types"
+)
+
+// Build lowers the whole program.
+func Build(info *types.Info) (*ir.Program, error) {
+	prog := &ir.Program{Name: info.Program.File.Name, Structs: info.Structs}
+	for _, fd := range info.Program.Funcs {
+		b := &builder{info: info, prog: prog}
+		fn, err := b.buildFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		prog.AddFunc(fn)
+	}
+	if err := prog.Verify(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustBuild lowers and panics on error; for compiled-in workloads.
+func MustBuild(info *types.Info) *ir.Program {
+	p, err := Build(info)
+	if err != nil {
+		panic("irbuild.MustBuild: " + err.Error())
+	}
+	return p
+}
+
+// Compile parses, checks and lowers source text in one step.
+func Compile(name, text string) (*ir.Program, error) {
+	prog, err := parser.Parse(name, text)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return Build(info)
+}
+
+// MustCompile is Compile panicking on error.
+func MustCompile(name, text string) *ir.Program {
+	p, err := Compile(name, text)
+	if err != nil {
+		panic("irbuild.MustCompile(" + name + "): " + err.Error())
+	}
+	return p
+}
+
+type loopCtx struct {
+	breakTo    *ir.Block
+	continueTo *ir.Block
+}
+
+type builder struct {
+	info   *types.Info
+	prog   *ir.Program
+	fn     *ir.Func
+	cur    *ir.Block
+	scopes []map[string]*ir.Local
+	loops  []loopCtx
+	err    error
+}
+
+func (b *builder) errorf(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (b *builder) buildFunc(fd *ast.FuncDecl) (*ir.Func, error) {
+	sig := b.info.Funcs[fd.Name]
+	fn := ir.NewFunc(fd.Name, sig.Result)
+	fn.Pos = fd.Pos()
+	b.fn = fn
+	b.pushScope()
+	for i, p := range fd.Params {
+		l := fn.NewParam(p.Name, sig.Params[i])
+		b.declare(p.Name, l)
+	}
+	entry := fn.NewBlock("entry")
+	b.cur = entry
+	b.buildBlockStmt(fd.Body)
+	// Fall-off-the-end return.
+	if b.cur != nil {
+		if sig.Result.Kind == types.Void {
+			b.cur.Term = &ir.Ret{}
+		} else {
+			v := ir.ConstOp(ir.ZeroValue(sig.Result))
+			b.cur.Term = &ir.Ret{Val: &v}
+		}
+	}
+	b.popScope()
+	// Any block left unterminated is unreachable structure (e.g. after
+	// break); terminate it with a self-consistent return.
+	for _, blk := range fn.Blocks {
+		if blk.Term == nil {
+			if sig.Result.Kind == types.Void {
+				blk.Term = &ir.Ret{}
+			} else {
+				v := ir.ConstOp(ir.ZeroValue(sig.Result))
+				blk.Term = &ir.Ret{Val: &v}
+			}
+		}
+	}
+	return fn, b.err
+}
+
+func (b *builder) pushScope() { b.scopes = append(b.scopes, map[string]*ir.Local{}) }
+func (b *builder) popScope()  { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *builder) declare(name string, l *ir.Local) {
+	b.scopes[len(b.scopes)-1][name] = l
+}
+
+func (b *builder) lookup(name string) *ir.Local {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if l, ok := b.scopes[i][name]; ok {
+			return l
+		}
+	}
+	b.errorf("irbuild: undefined variable %q", name)
+	return b.fn.NewTemp(types.IntType)
+}
+
+// emit appends an instruction to the current block (if reachable).
+func (b *builder) emit(in ir.Instr) {
+	if b.cur != nil {
+		b.cur.Append(in)
+	}
+}
+
+// terminate seals the current block and moves to next (which may be nil for
+// dead code after return/break).
+func (b *builder) terminate(t ir.Term, next *ir.Block) {
+	if b.cur != nil {
+		b.cur.Term = t
+	}
+	b.cur = next
+}
+
+func (b *builder) buildBlockStmt(s *ast.BlockStmt) {
+	b.pushScope()
+	for _, st := range s.Stmts {
+		b.buildStmt(st)
+	}
+	b.popScope()
+}
+
+func (b *builder) buildStmt(s ast.Stmt) {
+	if b.cur == nil {
+		return // unreachable code after return/break/continue
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.buildBlockStmt(s)
+	case *ast.VarDecl:
+		t := b.info.VarTypes[s]
+		l := b.fn.NewLocal(s.Name, t)
+		if s.Init != nil {
+			v := b.buildExpr(s.Init)
+			b.emit(&ir.Mov{Dst: l, Src: v})
+		} else {
+			b.emit(&ir.Mov{Dst: l, Src: ir.ConstOp(ir.ZeroValue(t))})
+		}
+		b.declare(s.Name, l)
+	case *ast.AssignStmt:
+		b.buildAssign(s)
+	case *ast.IncDecStmt:
+		op := "+="
+		if s.Dec {
+			op = "-="
+		}
+		one := &ast.IntLit{LitPos: s.Pos(), Val: 1}
+		b.info.ExprTypes[one] = types.IntType
+		if b.info.TypeOf(s.LHS).Kind == types.Float {
+			fone := &ast.FloatLit{LitPos: s.Pos(), Val: 1}
+			b.info.ExprTypes[fone] = types.FloatType
+			b.buildAssign(&ast.AssignStmt{LHS: s.LHS, Op: op, RHS: fone})
+		} else {
+			b.buildAssign(&ast.AssignStmt{LHS: s.LHS, Op: op, RHS: one})
+		}
+	case *ast.IfStmt:
+		b.buildIf(s)
+	case *ast.WhileStmt:
+		b.buildWhile(s)
+	case *ast.ForStmt:
+		b.buildFor(s)
+	case *ast.ReturnStmt:
+		if s.Val != nil {
+			v := b.buildExpr(s.Val)
+			b.terminate(&ir.Ret{Val: &v}, nil)
+		} else {
+			b.terminate(&ir.Ret{}, nil)
+		}
+	case *ast.BreakStmt:
+		if len(b.loops) == 0 {
+			b.errorf("irbuild: break outside loop at %s", s.Pos())
+			return
+		}
+		b.terminate(&ir.Goto{Target: b.loops[len(b.loops)-1].breakTo}, nil)
+	case *ast.ContinueStmt:
+		if len(b.loops) == 0 {
+			b.errorf("irbuild: continue outside loop at %s", s.Pos())
+			return
+		}
+		b.terminate(&ir.Goto{Target: b.loops[len(b.loops)-1].continueTo}, nil)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			b.errorf("irbuild: expression statement must be a call")
+			return
+		}
+		b.buildCall(call, false)
+	case *ast.PrintStmt:
+		args := make([]ir.Operand, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = b.buildExpr(a)
+		}
+		b.emit(&ir.Print{Args: args})
+	default:
+		b.errorf("irbuild: unhandled statement %T", s)
+	}
+}
+
+func (b *builder) buildAssign(s *ast.AssignStmt) {
+	// Compute the RHS value (possibly combined with the old LHS value).
+	combine := func(old ir.Operand) ir.Operand {
+		rhs := b.buildExpr(s.RHS)
+		if s.Op == "=" {
+			return rhs
+		}
+		kind, _ := ir.BinKindFromString(s.Op[:1]) // "+=" -> "+"
+		t := b.info.TypeOf(s.LHS)
+		dst := b.fn.NewTemp(t)
+		b.emit(&ir.BinOp{Dst: dst, Op: kind, X: old, Y: rhs})
+		return ir.LocalOp(dst)
+	}
+	switch lhs := s.LHS.(type) {
+	case *ast.Ident:
+		l := b.lookup(lhs.Name)
+		v := combine(ir.LocalOp(l))
+		b.emit(&ir.Mov{Dst: l, Src: v})
+	case *ast.IndexExpr:
+		base := b.buildExpr(lhs.X)
+		idx := b.buildExpr(lhs.Index)
+		var old ir.Operand
+		if s.Op != "=" {
+			t := b.info.TypeOf(lhs)
+			tmp := b.fn.NewTemp(t)
+			b.emit(&ir.Load{Dst: tmp, Base: base, Index: idx})
+			old = ir.LocalOp(tmp)
+		}
+		v := combine(old)
+		b.emit(&ir.Store{Base: base, Index: idx, Src: v})
+	case *ast.FieldExpr:
+		base := b.buildExpr(lhs.X)
+		xt := b.info.TypeOf(lhs.X)
+		fi := xt.Struct.FieldIndex(lhs.Name)
+		idx := ir.IntOp(int64(fi))
+		var old ir.Operand
+		if s.Op != "=" {
+			t := b.info.TypeOf(lhs)
+			tmp := b.fn.NewTemp(t)
+			b.emit(&ir.Load{Dst: tmp, Base: base, Index: idx, FieldName: lhs.Name})
+			old = ir.LocalOp(tmp)
+		}
+		v := combine(old)
+		b.emit(&ir.Store{Base: base, Index: idx, Src: v, FieldName: lhs.Name})
+	default:
+		b.errorf("irbuild: bad assignment target %T", s.LHS)
+	}
+}
+
+func (b *builder) buildIf(s *ast.IfStmt) {
+	thenB := b.fn.NewBlock("then")
+	var elseB *ir.Block
+	done := b.fn.NewBlock("endif")
+	if s.Else != nil {
+		elseB = b.fn.NewBlock("else")
+	} else {
+		elseB = done
+	}
+	b.buildCond(s.Cond, thenB, elseB)
+	b.cur = thenB
+	b.buildBlockStmt(s.Then)
+	b.terminate(&ir.Goto{Target: done}, nil)
+	if s.Else != nil {
+		b.cur = elseB
+		b.buildStmt(s.Else)
+		b.terminate(&ir.Goto{Target: done}, nil)
+	}
+	b.cur = done
+}
+
+func (b *builder) buildWhile(s *ast.WhileStmt) {
+	header := b.fn.NewBlock("while.header")
+	header.Pos = s.Pos()
+	body := b.fn.NewBlock("while.body")
+	exit := b.fn.NewBlock("while.exit")
+	b.terminate(&ir.Goto{Target: header}, header)
+	b.buildCond(s.Cond, body, exit)
+	b.loops = append(b.loops, loopCtx{breakTo: exit, continueTo: header})
+	b.cur = body
+	b.buildBlockStmt(s.Body)
+	b.terminate(&ir.Goto{Target: header}, exit)
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+func (b *builder) buildFor(s *ast.ForStmt) {
+	b.pushScope()
+	if s.Init != nil {
+		b.buildStmt(s.Init)
+	}
+	header := b.fn.NewBlock("for.header")
+	header.Pos = s.Pos()
+	body := b.fn.NewBlock("for.body")
+	latch := b.fn.NewBlock("for.latch")
+	exit := b.fn.NewBlock("for.exit")
+	b.terminate(&ir.Goto{Target: header}, header)
+	if s.Cond != nil {
+		b.buildCond(s.Cond, body, exit)
+	} else {
+		b.terminate(&ir.Goto{Target: body}, nil)
+	}
+	b.loops = append(b.loops, loopCtx{breakTo: exit, continueTo: latch})
+	b.cur = body
+	b.buildBlockStmt(s.Body)
+	b.terminate(&ir.Goto{Target: latch}, latch)
+	if s.Post != nil {
+		b.buildStmt(s.Post)
+	}
+	b.terminate(&ir.Goto{Target: header}, exit)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.popScope()
+}
+
+// buildCond lowers a boolean expression in branch position, applying
+// short-circuit evaluation for && and ||.
+func (b *builder) buildCond(e ast.Expr, thenB, elseB *ir.Block) {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case "&&":
+			mid := b.fn.NewBlock("and.rhs")
+			b.buildCond(e.X, mid, elseB)
+			b.cur = mid
+			b.buildCond(e.Y, thenB, elseB)
+			return
+		case "||":
+			mid := b.fn.NewBlock("or.rhs")
+			b.buildCond(e.X, thenB, mid)
+			b.cur = mid
+			b.buildCond(e.Y, thenB, elseB)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == "!" {
+			b.buildCond(e.X, elseB, thenB)
+			return
+		}
+	}
+	v := b.buildExpr(e)
+	b.terminate(&ir.If{Cond: v, Then: thenB, Else: elseB}, nil)
+}
+
+func (b *builder) buildExpr(e ast.Expr) ir.Operand {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ir.IntOp(e.Val)
+	case *ast.FloatLit:
+		return ir.ConstOp(ir.FloatVal(e.Val))
+	case *ast.BoolLit:
+		return ir.ConstOp(ir.BoolVal(e.Val))
+	case *ast.StringLit:
+		return ir.ConstOp(ir.StringVal(e.Val))
+	case *ast.NilLit:
+		return ir.ConstOp(ir.NilVal())
+	case *ast.Ident:
+		return ir.LocalOp(b.lookup(e.Name))
+	case *ast.UnaryExpr:
+		x := b.buildExpr(e.X)
+		t := b.info.TypeOf(e)
+		dst := b.fn.NewTemp(t)
+		op := ir.Neg
+		if e.Op == "!" {
+			op = ir.Not
+		}
+		b.emit(&ir.UnOp{Dst: dst, Op: op, X: x})
+		return ir.LocalOp(dst)
+	case *ast.BinaryExpr:
+		if e.Op == "&&" || e.Op == "||" {
+			return b.buildShortCircuit(e)
+		}
+		x := b.buildExpr(e.X)
+		y := b.buildExpr(e.Y)
+		kind, ok := ir.BinKindFromString(e.Op)
+		if !ok {
+			b.errorf("irbuild: unknown operator %q", e.Op)
+			kind = ir.Add
+		}
+		dst := b.fn.NewTemp(b.info.TypeOf(e))
+		b.emit(&ir.BinOp{Dst: dst, Op: kind, X: x, Y: y})
+		return ir.LocalOp(dst)
+	case *ast.IndexExpr:
+		base := b.buildExpr(e.X)
+		idx := b.buildExpr(e.Index)
+		dst := b.fn.NewTemp(b.info.TypeOf(e))
+		b.emit(&ir.Load{Dst: dst, Base: base, Index: idx})
+		return ir.LocalOp(dst)
+	case *ast.FieldExpr:
+		base := b.buildExpr(e.X)
+		xt := b.info.TypeOf(e.X)
+		fi := xt.Struct.FieldIndex(e.Name)
+		dst := b.fn.NewTemp(b.info.TypeOf(e))
+		b.emit(&ir.Load{Dst: dst, Base: base, Index: ir.IntOp(int64(fi)), FieldName: e.Name})
+		return ir.LocalOp(dst)
+	case *ast.NewExpr:
+		t := b.info.TypeOf(e)
+		dst := b.fn.NewTemp(t)
+		if e.Len != nil {
+			n := b.buildExpr(e.Len)
+			b.emit(&ir.Alloc{Dst: dst, Elem: t.Elem, Count: n})
+		} else {
+			b.emit(&ir.Alloc{Dst: dst, Struct: t.Struct})
+		}
+		return ir.LocalOp(dst)
+	case *ast.CallExpr:
+		return b.buildCall(e, true)
+	}
+	b.errorf("irbuild: unhandled expression %T", e)
+	return ir.IntOp(0)
+}
+
+// buildShortCircuit lowers a && / || in value position.
+func (b *builder) buildShortCircuit(e *ast.BinaryExpr) ir.Operand {
+	dst := b.fn.NewTemp(types.BoolType)
+	tB := b.fn.NewBlock("sc.true")
+	fB := b.fn.NewBlock("sc.false")
+	done := b.fn.NewBlock("sc.done")
+	b.buildCond(e, tB, fB)
+	b.cur = tB
+	b.emit(&ir.Mov{Dst: dst, Src: ir.ConstOp(ir.BoolVal(true))})
+	b.terminate(&ir.Goto{Target: done}, nil)
+	b.cur = fB
+	b.emit(&ir.Mov{Dst: dst, Src: ir.ConstOp(ir.BoolVal(false))})
+	b.terminate(&ir.Goto{Target: done}, done)
+	return ir.LocalOp(dst)
+}
+
+func (b *builder) buildCall(e *ast.CallExpr, wantValue bool) ir.Operand {
+	name := e.Fn.Name
+	args := make([]ir.Operand, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = b.buildExpr(a)
+	}
+	_, builtin := types.Builtins[name]
+	var sig *types.FuncSig
+	if builtin {
+		sig = types.Builtins[name]
+	} else {
+		sig = b.info.Funcs[name]
+		if sig == nil {
+			b.errorf("irbuild: call to unknown function %q", name)
+			return ir.IntOp(0)
+		}
+	}
+	var dst *ir.Local
+	if sig.Result.Kind != types.Void {
+		dst = b.fn.NewTemp(sig.Result)
+	}
+	b.emit(&ir.Call{Dst: dst, Callee: name, Builtin: builtin, Args: args})
+	if !wantValue || dst == nil {
+		return ir.IntOp(0)
+	}
+	return ir.LocalOp(dst)
+}

@@ -1,0 +1,210 @@
+package irbuild_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// run executes and returns output.
+func run(t *testing.T, prog *ir.Program) string {
+	t.Helper()
+	var out strings.Builder
+	if _, err := interp.Run(prog, interp.Config{Out: &out}); err != nil {
+		t.Fatalf("run: %v\n%s", err, prog)
+	}
+	return out.String()
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	prog := compile(t, `
+func sideEffect(a []int) bool { a[0] = a[0] + 1; return true; }
+func main() {
+	var a []int = new [1]int;
+	var t bool = false;
+	if (t && sideEffect(a)) { print("no"); }
+	print(a[0]);
+	if (true || sideEffect(a)) { }
+	print(a[0]);
+}`)
+	// sideEffect must never run: the counter stays 0.
+	if got := run(t, prog); got != "0\n0\n" {
+		t.Errorf("short-circuit output = %q", got)
+	}
+}
+
+func TestCompoundAssignLowering(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var a []int = new [3]int;
+	a[1] = 10;
+	a[1] += 5;
+	a[1] *= 2;
+	a[1] -= 3;
+	a[1] /= 2;
+	a[1] %= 7;
+	print(a[1]);
+}`)
+	// ((10+5)*2-3)/2 % 7 = 13 % 7 = 6
+	if got := run(t, prog); got != "6\n" {
+		t.Errorf("compound assign = %q", got)
+	}
+	// The index expression of a compound assignment must be evaluated once:
+	prog2 := compile(t, `
+func bump(c []int) int { c[0]++; return c[0]; }
+func main() {
+	var c []int = new [1]int;
+	var a []int = new [8]int;
+	a[bump(c)] += 1;
+	print(c[0], a[1]);
+}`)
+	if got := run(t, prog2); got != "1 1\n" {
+		t.Errorf("index evaluated more than once: %q", got)
+	}
+}
+
+func TestFloatIncDec(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var f float = 1.5;
+	f++;
+	f--;
+	f++;
+	print(f);
+}`)
+	if got := run(t, prog); got != "2.5\n" {
+		t.Errorf("float inc/dec = %q", got)
+	}
+}
+
+func TestImplicitReturns(t *testing.T) {
+	prog := compile(t, `
+func f(x int) int {
+	if (x > 0) { return x; }
+	return 0 - x;
+}
+func g() { }
+func h(x int) int {
+	if (x > 0) { return 1; }
+	return 0;
+}
+func main() { print(f(3) + f(-4) + h(0)); }`)
+	if got := run(t, prog); got != "7\n" {
+		t.Errorf("returns = %q", got)
+	}
+	// Every block of every function must have a terminator.
+	for _, fn := range prog.Funcs {
+		if err := fn.Verify(); err != nil {
+			t.Errorf("verify %s: %v", fn.Name, err)
+		}
+	}
+}
+
+func TestBreakContinueOutsideLoop(t *testing.T) {
+	if _, err := irbuild.Compile("t.mc", `func main() { break; }`); err == nil {
+		t.Error("break outside loop must fail")
+	}
+	if _, err := irbuild.Compile("t.mc", `func main() { continue; }`); err == nil {
+		t.Error("continue outside loop must fail")
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	prog := compile(t, `
+func f() int {
+	return 1;
+	print("unreachable");
+}
+func main() { print(f()); }`)
+	if got := run(t, prog); got != "1\n" {
+		t.Errorf("dead code = %q", got)
+	}
+}
+
+func TestLoopShapes(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var s int = 0;
+	// for with continue hits the latch, break hits the exit
+	for (var i int = 0; i < 10; i++) {
+		if (i % 2 == 1) { continue; }
+		if (i > 6) { break; }
+		s += i;
+	}
+	print(s);
+}`)
+	if got := run(t, prog); got != "12\n" { // 0+2+4+6
+		t.Errorf("loop shape = %q", got)
+	}
+	_, loops := cfg.LoopsOf(prog.Func("main"))
+	if len(loops) != 1 {
+		t.Errorf("loops = %d", len(loops))
+	}
+}
+
+func TestVariableShadowing(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var x int = 1;
+	{
+		var x int = 2;
+		print(x);
+	}
+	print(x);
+	for (var x int = 9; x < 10; x++) { print(x); }
+	print(x);
+}`)
+	if got := run(t, prog); got != "2\n1\n9\n1\n" {
+		t.Errorf("shadowing = %q", got)
+	}
+}
+
+func TestNestedFieldStores(t *testing.T) {
+	prog := compile(t, `
+struct Inner { v int; }
+struct Outer { in *Inner; }
+func main() {
+	var o *Outer = new Outer;
+	o->in = new Inner;
+	o->in->v = 41;
+	o->in->v += 1;
+	print(o->in->v);
+}`)
+	if got := run(t, prog); got != "42\n" {
+		t.Errorf("nested fields = %q", got)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var a string = "foo";
+	var b string = a + "bar";
+	print(b, b == "foobar", a < b);
+}`)
+	if got := run(t, prog); got != "foobar true true\n" {
+		t.Errorf("strings = %q", got)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile must panic on bad source")
+		}
+	}()
+	irbuild.MustCompile("bad.mc", `func main() { x = ; }`)
+}

@@ -1,0 +1,297 @@
+package iterrec_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/dataflow"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+	"dca/internal/iterrec"
+	"dca/internal/pointer"
+)
+
+// separate compiles src and separates the idx-th loop of fn.
+func separate(t *testing.T, src, fn string, idx int) *iterrec.Separation {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := prog.Func(fn)
+	g, loops := cfg.LoopsOf(f)
+	if idx >= len(loops) {
+		t.Fatalf("%s has %d loops", fn, len(loops))
+	}
+	return iterrec.Separate(g, cfg.ComputePostDom(g), loops[idx],
+		pointer.Analyze(prog), dataflow.ComputeLiveness(g))
+}
+
+func names(ls []*ir.Local) []string {
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.Name
+	}
+	return out
+}
+
+func TestForLoopSeparation(t *testing.T) {
+	sep := separate(t, `
+func main() {
+	var a []int = new [8]int;
+	for (var i int = 0; i < 8; i++) { a[i] = i * 2; }
+	print(a[0]);
+}`, "main", 0)
+	if !sep.OK {
+		t.Fatalf("not separable: %s", sep.Reason)
+	}
+	if got := names(sep.IterLocals); len(got) != 1 || got[0] != "i" {
+		t.Errorf("iter locals = %v, want [i]", got)
+	}
+	if got := names(sep.EnvLocals); len(got) != 1 || got[0] != "a" {
+		t.Errorf("env locals = %v, want [a]", got)
+	}
+	if sep.PayloadInstrCount == 0 {
+		t.Error("payload empty")
+	}
+}
+
+func TestPLDSIteratorSlice(t *testing.T) {
+	sep := separate(t, `
+struct Node { val int; next *Node; }
+func walk(head *Node) {
+	var ptr *Node = head;
+	while (ptr != nil) {
+		ptr->val++;
+		ptr = ptr->next;
+	}
+}
+func main() {
+	var n *Node = new Node;
+	walk(n);
+	print(n->val);
+}`, "walk", 0)
+	if !sep.OK {
+		t.Fatalf("not separable: %s", sep.Reason)
+	}
+	// The iterator must contain the pointer advance, the payload the
+	// increment: exactly one iterator value (ptr).
+	if got := names(sep.IterLocals); len(got) != 1 || got[0] != "ptr" {
+		t.Errorf("iter locals = %v", got)
+	}
+	for in := range sep.IterInstrs {
+		if strings.Contains(in.String(), "->val") {
+			t.Errorf("payload instruction leaked into iterator: %s", in)
+		}
+	}
+}
+
+// TestWorklistPopInIterator: a pop that feeds the loop condition through
+// the heap must be pulled into the iterator slice via memory dependences.
+func TestWorklistPopInIterator(t *testing.T) {
+	sep := separate(t, `
+struct Item { val int; next *Item; }
+struct List { head *Item; }
+func drain(wl *List, out []int) {
+	while (wl->head != nil) {
+		var cur *Item = wl->head;
+		wl->head = cur->next;
+		out[cur->val] = cur->val * 2;
+	}
+}
+func main() {
+	var wl *List = new List;
+	var it *Item = new Item;
+	it->val = 0;
+	wl->head = it;
+	var out []int = new [4]int;
+	drain(wl, out);
+	print(out[0]);
+}`, "drain", 0)
+	if !sep.OK {
+		t.Fatalf("not separable: %s", sep.Reason)
+	}
+	// The pop feeds the loop condition through the heap, so it belongs to
+	// the iterator; the out[] store is payload; cur is the per-iteration
+	// value the linearization records.
+	if got := names(sep.IterLocals); len(got) != 1 || got[0] != "cur" {
+		t.Errorf("iter locals = %v, want [cur]", got)
+	}
+	iterHasPop := false
+	for in := range sep.IterInstrs {
+		s := in.String()
+		if strings.Contains(s, "->head =") {
+			iterHasPop = true
+		}
+		if strings.Contains(s, "out[") || strings.Contains(s, "= out") {
+			t.Errorf("payload store leaked into iterator: %s", s)
+		}
+	}
+	if !iterHasPop {
+		t.Error("worklist pop must be in the iterator slice")
+	}
+}
+
+// TestPayloadReadsIteratorState: a payload reading memory the iterator
+// mutates cannot be replayed after full linearization; rejected.
+func TestPayloadReadsIteratorState(t *testing.T) {
+	sep := separate(t, `
+struct List { head int; }
+func f(wl *List, out []int, n int) {
+	var i int = 0;
+	while (i < n) {
+		wl->head = wl->head + 1; // iterator state (feeds nothing? make it feed the condition)
+		out[i] = wl->head;       // payload reads iterator-mutated memory
+		i = i + wl->head % 2 + 1;
+	}
+}
+func main() {
+	var wl *List = new List;
+	var out []int = new [64]int;
+	f(wl, out, 8);
+	print(out[0]);
+}`, "f", 0)
+	if sep.OK {
+		t.Fatal("payload reading iterator-written memory must be rejected")
+	}
+	if !strings.Contains(sep.Reason, "iterator") {
+		t.Errorf("reason = %q", sep.Reason)
+	}
+}
+
+// TestPureIteratorRejected: a search loop whose whole body feeds the exit
+// condition has no payload.
+func TestPureIteratorRejected(t *testing.T) {
+	sep := separate(t, `
+struct Node { val int; next *Node; }
+func find(head *Node, key int) *Node {
+	var p *Node = head;
+	while (p != nil && p->val != key) { p = p->next; }
+	return p;
+}
+func main() {
+	var n *Node = new Node;
+	print(find(n, 1) == nil);
+}`, "find", 0)
+	if sep.OK {
+		t.Fatal("pure-iterator loop must be rejected")
+	}
+	if !strings.Contains(sep.Reason, "pure iterator") && !strings.Contains(sep.Reason, "empty payload") {
+		t.Errorf("reason = %q", sep.Reason)
+	}
+}
+
+// TestGuardedPayload: internal control flow stays in the payload region.
+func TestGuardedPayload(t *testing.T) {
+	sep := separate(t, `
+func main() {
+	var a []int = new [16]int;
+	var s int = 0;
+	for (var i int = 0; i < 16; i++) {
+		if (i % 3 == 0) {
+			s += i;
+		} else {
+			a[i] = i;
+		}
+	}
+	print(s, a[1]);
+}`, "main", 0)
+	if !sep.OK {
+		t.Fatalf("not separable: %s", sep.Reason)
+	}
+	env := names(sep.EnvLocals)
+	if len(env) != 2 {
+		t.Errorf("env locals = %v, want [a s]", env)
+	}
+}
+
+// TestInternalLocals: per-iteration temporaries stay out of the env.
+func TestInternalLocals(t *testing.T) {
+	sep := separate(t, `
+func main() {
+	var a []int = new [8]int;
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) {
+		var tmp int = i * i + 1;
+		s += tmp;
+		_ignore(a, tmp);
+	}
+	print(s, a[0]);
+}
+func _ignore(a []int, x int) { a[x % 8] = x; }
+`, "main", 0)
+	if !sep.OK {
+		t.Fatalf("not separable: %s", sep.Reason)
+	}
+	if !sep.Internal[findLocal(t, sep, "tmp")] {
+		t.Errorf("tmp must be iteration-internal; env = %v", names(sep.EnvLocals))
+	}
+}
+
+func findLocal(t *testing.T, sep *iterrec.Separation, name string) *ir.Local {
+	t.Helper()
+	for _, l := range sep.Fn.Locals {
+		if l.Name == name {
+			return l
+		}
+	}
+	t.Fatalf("no local %q", name)
+	return nil
+}
+
+// TestPayloadDefSetStable: the def set is captured at separation time.
+func TestPayloadDefSetStable(t *testing.T) {
+	sep := separate(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) { s += i; }
+	print(s);
+}`, "main", 0)
+	if !sep.OK {
+		t.Fatal(sep.Reason)
+	}
+	if !sep.PayloadDefSet[findLocal(t, sep, "s")] {
+		t.Error("s must be in the payload def set")
+	}
+}
+
+// TestFieldSensitivityAblation quantifies why field-sensitive memory
+// regions are load-bearing: at object granularity (the ablation analysis)
+// the payload's val-field store collapses into the same region as the
+// iterator's next-field load, the closure swallows the payload, and the
+// canonical PLDS map degenerates to a pure iterator.
+func TestFieldSensitivityAblation(t *testing.T) {
+	const src = `
+struct Node { val int; next *Node; }
+func walk(head *Node) {
+	var p *Node = head;
+	while (p != nil) {
+		p->val = p->val * 2 + 1;
+		p = p->next;
+	}
+}
+func main() {
+	var n *Node = new Node;
+	walk(n);
+	print(n->val);
+}`
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("walk")
+	g, loops := cfg.LoopsOf(f)
+	pd := cfg.ComputePostDom(g)
+	lv := dataflow.ComputeLiveness(g)
+
+	sensitive := iterrec.Separate(g, pd, loops[0], pointer.Analyze(prog), lv)
+	if !sensitive.OK {
+		t.Fatalf("field-sensitive separation must succeed: %s", sensitive.Reason)
+	}
+	insensitive := iterrec.Separate(g, pd, loops[0], pointer.AnalyzeFieldInsensitive(prog), lv)
+	if insensitive.OK && insensitive.PayloadInstrCount >= sensitive.PayloadInstrCount {
+		t.Errorf("object-granular regions should degrade separation: sensitive payload=%d, insensitive ok=%v payload=%d",
+			sensitive.PayloadInstrCount, insensitive.OK, insensitive.PayloadInstrCount)
+	}
+}

@@ -1,0 +1,252 @@
+// Package machine is the multicore execution-time model used to regenerate
+// the paper's speedup figures. We do not have the authors' 72-core Xeon
+// Gold 6154, so wall-clock ratios are derived from measured interpreter
+// profiles instead: the dynamic instruction count of each loop (including
+// callees) is the work, parallel loops execute their iterations over P
+// cores list-scheduled in chunks, every parallel invocation pays a
+// fork/join overhead, and each workload carries a memory-bandwidth ceiling
+// that caps its effective core count (NPB class B on a 72-core node is
+// bandwidth-bound for most kernels; EP is the compute-bound exception).
+//
+// The model deliberately uses only quantities the rest of the repository
+// measures (steps, iterations, invocations, nesting), so "who wins and by
+// roughly what factor" is decided by which loops a detector finds — not by
+// per-tool tuning.
+package machine
+
+import (
+	"sort"
+
+	"dca/internal/depprof"
+)
+
+// Config describes the modelled host.
+type Config struct {
+	// Cores is the machine's core count.
+	Cores int
+	// ForkJoinSteps is the per-invocation cost (in interpreter steps) of
+	// spawning and joining a parallel region.
+	ForkJoinSteps float64
+	// PerIterSteps is the per-iteration scheduling overhead.
+	PerIterSteps float64
+	// BandwidthCap bounds the effective core count of memory-bound
+	// workloads (0 = uncapped). It is a property of the workload on the
+	// host, applied identically to every detector.
+	BandwidthCap float64
+}
+
+// Xeon72 models the paper's evaluation host for a given workload bandwidth
+// ceiling. The overhead constants are expressed in interpreter steps and
+// scaled to the proxy workloads' dynamic sizes (1e5-ish steps per program,
+// against ~1e11 instructions for NPB class B): fork/join penalizes
+// low-trip-count regions without drowning hot ones.
+func Xeon72(bandwidthCap float64) Config {
+	return Config{Cores: 72, ForkJoinSteps: 16, PerIterSteps: 0.25, BandwidthCap: bandwidthCap}
+}
+
+// Speedup estimates the whole-program speedup when the given loops run in
+// parallel. The selected loops must be dynamically disjoint (use Select).
+func Speedup(cfg Config, prof *depprof.Profile, selected []depprof.LoopKey) float64 {
+	total := float64(prof.Steps)
+	if total == 0 {
+		return 1
+	}
+	p := float64(cfg.Cores)
+	if cfg.BandwidthCap > 0 && cfg.BandwidthCap < p {
+		p = cfg.BandwidthCap
+	}
+	if p < 1 {
+		p = 1
+	}
+	tpar := total
+	for _, key := range selected {
+		lp := prof.Loops[key]
+		steps := float64(prof.LoopSteps[key])
+		if lp == nil || steps == 0 || lp.Iterations == 0 {
+			continue
+		}
+		// LoopProfile.Iterations counts header entries; each invocation has
+		// one extra entry for the exit check, so subtract it to get body
+		// iterations.
+		iters := float64(lp.Iterations - int64(lp.Invocations))
+		inv := float64(lp.Invocations)
+		if iters <= 0 || inv <= 0 {
+			continue
+		}
+		// Average iterations per invocation bound the usable parallelism of
+		// each region: a 4-iteration loop cannot use 72 cores.
+		perInv := iters / inv
+		pEff := p
+		if perInv < pEff {
+			pEff = perInv
+		}
+		if pEff < 1 {
+			pEff = 1
+		}
+		parTime := steps/pEff + iters*cfg.PerIterSteps/pEff + inv*cfg.ForkJoinSteps
+		if parTime >= steps {
+			continue // unprofitable: the code generator keeps it sequential
+		}
+		tpar += parTime - steps
+	}
+	if tpar <= 0 {
+		tpar = 1
+	}
+	return total / tpar
+}
+
+// Select picks the loops to parallelize from a detected set: outermost
+// first (by observed dynamic nesting), largest coverage first, skipping
+// loops whose share of execution falls below minCoverage (the expert
+// profitability filter the paper applies) and loops nested inside an
+// already-selected loop.
+func Select(prof *depprof.Profile, detected []depprof.LoopKey, minCoverage float64) []depprof.LoopKey {
+	sorted := append([]depprof.LoopKey(nil), detected...)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := prof.LoopSteps[sorted[i]], prof.LoopSteps[sorted[j]]
+		if si != sj {
+			return si > sj
+		}
+		if sorted[i].Fn != sorted[j].Fn {
+			return sorted[i].Fn < sorted[j].Fn
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	total := float64(prof.Steps)
+	var out []depprof.LoopKey
+	for _, key := range sorted {
+		if total > 0 && float64(prof.LoopSteps[key])/total < minCoverage {
+			continue
+		}
+		conflict := false
+		for _, sel := range out {
+			if prof.Contains[sel][key] || prof.Contains[key][sel] {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// Coverage returns the fraction of total execution spent inside the given
+// (disjoint) loops.
+func Coverage(prof *depprof.Profile, selected []depprof.LoopKey) float64 {
+	if prof.Steps == 0 {
+		return 0
+	}
+	var sum int64
+	for _, key := range selected {
+		sum += prof.LoopSteps[key]
+	}
+	c := float64(sum) / float64(prof.Steps)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// benefit estimates the steps saved by parallelizing one loop (0 when
+// unprofitable), mirroring Speedup's per-loop model.
+func benefit(cfg Config, prof *depprof.Profile, key depprof.LoopKey) float64 {
+	lp := prof.Loops[key]
+	steps := float64(prof.LoopSteps[key])
+	if lp == nil || steps == 0 {
+		return 0
+	}
+	iters := float64(lp.Iterations - int64(lp.Invocations))
+	inv := float64(lp.Invocations)
+	if iters <= 0 || inv <= 0 {
+		return 0
+	}
+	p := float64(cfg.Cores)
+	if cfg.BandwidthCap > 0 && cfg.BandwidthCap < p {
+		p = cfg.BandwidthCap
+	}
+	if perInv := iters / inv; perInv < p {
+		p = perInv
+	}
+	if p < 1 {
+		p = 1
+	}
+	parTime := steps/p + iters*cfg.PerIterSteps/p + inv*cfg.ForkJoinSteps
+	if parTime >= steps {
+		return 0
+	}
+	return steps - parTime
+}
+
+// SelectBest chooses the parallel loops like Select, but resolves nesting
+// by estimated benefit: an outer loop with few iterations per invocation
+// (say a handful of repeated searches) loses to the wide loops it
+// contains. This mirrors the profitability decisions of the expert NPB
+// parallelization the paper borrows.
+func SelectBest(cfg Config, prof *depprof.Profile, detected []depprof.LoopKey, minCoverage float64) []depprof.LoopKey {
+	total := float64(prof.Steps)
+	cands := map[depprof.LoopKey]bool{}
+	for _, k := range detected {
+		if total > 0 && float64(prof.LoopSteps[k])/total < minCoverage {
+			continue
+		}
+		cands[k] = true
+	}
+	// Parent = the smallest candidate strictly containing the loop.
+	parent := map[depprof.LoopKey]*depprof.LoopKey{}
+	children := map[depprof.LoopKey][]depprof.LoopKey{}
+	for k := range cands {
+		var best *depprof.LoopKey
+		for a := range cands {
+			if a == k || !prof.Contains[a][k] {
+				continue
+			}
+			if best == nil || prof.LoopSteps[a] < prof.LoopSteps[*best] {
+				a := a
+				best = &a
+			}
+		}
+		parent[k] = best
+		if best != nil {
+			children[*best] = append(children[*best], k)
+		}
+	}
+	var resolve func(k depprof.LoopKey) (float64, []depprof.LoopKey)
+	resolve = func(k depprof.LoopKey) (float64, []depprof.LoopKey) {
+		var kidB float64
+		var kidKeys []depprof.LoopKey
+		kids := append([]depprof.LoopKey(nil), children[k]...)
+		sort.Slice(kids, func(i, j int) bool { return less(kids[i], kids[j]) })
+		for _, c := range kids {
+			b, ks := resolve(c)
+			kidB += b
+			kidKeys = append(kidKeys, ks...)
+		}
+		own := benefit(cfg, prof, k)
+		if own >= kidB {
+			return own, []depprof.LoopKey{k}
+		}
+		return kidB, kidKeys
+	}
+	var roots []depprof.LoopKey
+	for k := range cands {
+		if parent[k] == nil {
+			roots = append(roots, k)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return less(roots[i], roots[j]) })
+	var out []depprof.LoopKey
+	for _, r := range roots {
+		_, ks := resolve(r)
+		out = append(out, ks...)
+	}
+	return out
+}
+
+func less(a, b depprof.LoopKey) bool {
+	if a.Fn != b.Fn {
+		return a.Fn < b.Fn
+	}
+	return a.Index < b.Index
+}

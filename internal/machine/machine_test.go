@@ -1,0 +1,202 @@
+package machine_test
+
+import (
+	"math"
+	"testing"
+
+	"dca/internal/depprof"
+	"dca/internal/irbuild"
+	"dca/internal/machine"
+)
+
+func profileOf(t *testing.T, src string) *depprof.Profile {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prof, err := depprof.Trace(prog, 0)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return prof
+}
+
+const hotLoop = `
+func main() {
+	var a []int = new [20000]int;
+	for (var i int = 0; i < 20000; i++) { a[i] = i * 3 + (i % 7); }
+	var s int = 0;
+	for (var i int = 0; i < 20000; i++) { s += a[i]; }
+	print(s);
+}`
+
+func TestSpeedupAmdahl(t *testing.T) {
+	prof := profileOf(t, hotLoop)
+	all := []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "main", Index: 1}}
+	sel := machine.Select(prof, all, 0.01)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d loops, want 2", len(sel))
+	}
+	cfg := machine.Xeon72(0)
+	s := machine.Speedup(cfg, prof, sel)
+	if s < 5 || s > 72 {
+		t.Errorf("speedup = %.2f, want within (5, 72)", s)
+	}
+	// Parallelizing nothing gives exactly 1.
+	if got := machine.Speedup(cfg, prof, nil); got != 1 {
+		t.Errorf("empty selection speedup = %v, want 1", got)
+	}
+	// More parallel loops never slow the estimate below a subset (same cfg,
+	// hot loops).
+	s1 := machine.Speedup(cfg, prof, sel[:1])
+	if s < s1 {
+		t.Errorf("speedup with both loops (%.2f) below single loop (%.2f)", s, s1)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	prof := profileOf(t, hotLoop)
+	sel := machine.Select(prof, []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "main", Index: 1}}, 0.01)
+	uncapped := machine.Speedup(machine.Xeon72(0), prof, sel)
+	capped := machine.Speedup(machine.Xeon72(3), prof, sel)
+	if capped >= uncapped {
+		t.Errorf("capped speedup %.2f should be below uncapped %.2f", capped, uncapped)
+	}
+	if capped > 3.0001 {
+		t.Errorf("capped speedup %.2f exceeds the cap", capped)
+	}
+}
+
+func TestSelectOutermostOnly(t *testing.T) {
+	prof := profileOf(t, `
+func main() {
+	var m []int = new [4096]int;
+	for (var i int = 0; i < 64; i++) {
+		for (var j int = 0; j < 64; j++) { m[i*64+j] = i + j; }
+	}
+	print(m[0]);
+}`)
+	all := []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "main", Index: 1}}
+	sel := machine.Select(prof, all, 0.01)
+	if len(sel) != 1 {
+		t.Fatalf("selected %v, want only the outer loop", sel)
+	}
+	if sel[0].Index != 0 {
+		t.Errorf("selected inner loop %v instead of outer", sel[0])
+	}
+}
+
+func TestSelectAcrossCalls(t *testing.T) {
+	prof := profileOf(t, `
+func work(a []int, n int) {
+	for (var j int = 0; j < n; j++) { a[j] += j; }
+}
+func main() {
+	var a []int = new [256]int;
+	for (var i int = 0; i < 50; i++) { work(a, 256); }
+	print(a[0]);
+}`)
+	all := []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "work", Index: 0}}
+	sel := machine.Select(prof, all, 0.01)
+	if len(sel) != 1 {
+		t.Fatalf("selected %v, want one (dynamic nesting must exclude the callee loop)", sel)
+	}
+	if sel[0].Fn != "main" {
+		t.Errorf("selected %v, want the outer main loop", sel[0])
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	prof := profileOf(t, hotLoop)
+	sel := machine.Select(prof, []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "main", Index: 1}}, 0.01)
+	c := machine.Coverage(prof, sel)
+	if c < 0.8 || c > 1 {
+		t.Errorf("coverage = %.2f, want near 1 for a two-hot-loop program", c)
+	}
+	if got := machine.Coverage(prof, nil); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+}
+
+func TestMinCoverageFilter(t *testing.T) {
+	prof := profileOf(t, `
+func main() {
+	var tiny []int = new [4]int;
+	for (var i int = 0; i < 4; i++) { tiny[i] = i; }
+	var a []int = new [20000]int;
+	for (var i int = 0; i < 20000; i++) { a[i] = i; }
+	print(a[0], tiny[0]);
+}`)
+	all := []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "main", Index: 1}}
+	sel := machine.Select(prof, all, 0.05)
+	if len(sel) != 1 || sel[0].Index != 1 {
+		t.Errorf("profitability filter failed: selected %v", sel)
+	}
+}
+
+func TestSmallTripLoopLimitedParallelism(t *testing.T) {
+	prof := profileOf(t, `
+func main() {
+	var a []int = new [4]int;
+	for (var i int = 0; i < 4; i++) {
+		var acc int = 0;
+		for (var j int = 0; j < 5000; j++) { acc += i * j; }
+		a[i] = acc;
+	}
+	print(a[3]);
+}`)
+	sel := []depprof.LoopKey{{Fn: "main", Index: 0}}
+	s := machine.Speedup(machine.Xeon72(0), prof, sel)
+	// Only 4 iterations: cannot exceed 4x no matter the core count.
+	if s > 4.01 || s < 1.5 {
+		t.Errorf("4-iteration loop speedup = %.2f, want within (1.5, 4]", s)
+	}
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("speedup is not finite: %v", s)
+	}
+}
+
+func TestSelectBestPrefersWideInnerLoops(t *testing.T) {
+	// An outer loop with 3 iterations wrapping a wide inner loop: benefit-
+	// based selection must pick the inner loop once the outer's parallelism
+	// is exhausted at 3 cores.
+	prof := profileOf(t, `
+func main() {
+	var a []int = new [2000]int;
+	for (var r int = 0; r < 3; r++) {
+		for (var i int = 0; i < 2000; i++) { a[i] += r * i; }
+	}
+	print(a[5]);
+}`)
+	all := []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "main", Index: 1}}
+	cfg := machine.Xeon72(0)
+	sel := machine.SelectBest(cfg, prof, all, 0.001)
+	if len(sel) != 1 || sel[0].Index != 1 {
+		t.Fatalf("SelectBest = %v, want the inner loop", sel)
+	}
+	inner := machine.Speedup(cfg, prof, sel)
+	outer := machine.Speedup(cfg, prof, []depprof.LoopKey{{Fn: "main", Index: 0}})
+	if inner <= outer {
+		t.Errorf("inner-loop speedup %.2f must beat outer %.2f", inner, outer)
+	}
+}
+
+func TestSelectBestKeepsHotOuter(t *testing.T) {
+	// A wide outer loop with a narrow inner: the outer wins.
+	prof := profileOf(t, `
+func main() {
+	var a []int = new [500]int;
+	for (var i int = 0; i < 500; i++) {
+		var acc int = 0;
+		for (var k int = 0; k < 3; k++) { acc += i * k; }
+		a[i] = acc;
+	}
+	print(a[5]);
+}`)
+	all := []depprof.LoopKey{{Fn: "main", Index: 0}, {Fn: "main", Index: 1}}
+	sel := machine.SelectBest(machine.Xeon72(0), prof, all, 0.001)
+	if len(sel) != 1 || sel[0].Index != 0 {
+		t.Fatalf("SelectBest = %v, want the outer loop", sel)
+	}
+}

@@ -1,0 +1,176 @@
+package opt_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+	"dca/internal/opt"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func runOut(t *testing.T, prog *ir.Program) (string, int64) {
+	t.Helper()
+	var out strings.Builder
+	res, err := interp.Run(prog, interp.Config{Out: &out})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, prog)
+	}
+	return out.String(), res.Steps
+}
+
+func TestConstantFolding(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var x int = 2 + 3 * 4;
+	var y int = (100 / 5) % 7;
+	var b bool = !(1 < 2);
+	print(x, y, b);
+}`)
+	before, _ := runOut(t, prog)
+	stats := opt.Program(prog)
+	if err := prog.Verify(); err != nil {
+		t.Fatalf("optimized IR invalid: %v", err)
+	}
+	after, steps := runOut(t, prog)
+	if before != after {
+		t.Errorf("semantics changed: %q vs %q", before, after)
+	}
+	if stats.Folded == 0 || stats.Propagated == 0 {
+		t.Errorf("expected folds and propagations, got %+v", stats)
+	}
+	// All arithmetic on constants folds away; only moves/prints remain.
+	if steps > 15 {
+		t.Errorf("steps after opt = %d, expected a handful", steps)
+	}
+}
+
+func TestBranchPruning(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	if (true) { print(1); } else { print(2); }
+	if (1 > 2) { print(3); }
+	print(4);
+}`)
+	before, _ := runOut(t, prog)
+	stats := opt.Program(prog)
+	after, _ := runOut(t, prog)
+	if before != after {
+		t.Errorf("semantics changed: %q vs %q", before, after)
+	}
+	if stats.BranchesPruned < 2 || stats.BlocksRemoved == 0 {
+		t.Errorf("expected pruned branches and removed blocks: %+v", stats)
+	}
+	if err := prog.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var unused int = 3 * 14;
+	var chain int = unused + 1;
+	var alive int = 7;
+	print(alive);
+}`)
+	stats := opt.Program(prog)
+	if stats.InstrsEliminated == 0 {
+		t.Errorf("expected eliminations: %+v", stats)
+	}
+	out, _ := runOut(t, prog)
+	if out != "7\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestTrapsPreserved(t *testing.T) {
+	// A dead division by a zero variable must not be eliminated.
+	prog := compile(t, `
+func main() {
+	var z int = 0;
+	var trap int = 1 / z;
+	print(2);
+}`)
+	opt.Program(prog)
+	var out strings.Builder
+	_, err := interp.Run(prog, interp.Config{Out: &out})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("trap erased by the optimizer: err=%v out=%q", err, out.String())
+	}
+}
+
+func TestConstantDivByZeroNotFolded(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var x int = 1 / 0;
+	print(x);
+}`)
+	opt.Program(prog)
+	if _, err := interp.Run(prog, interp.Config{}); err == nil {
+		t.Error("constant division by zero must still trap")
+	}
+}
+
+// TestGoldenCorpusPreserved: the optimizer must preserve the output of the
+// whole end-to-end corpus while reducing the dynamic instruction count.
+func TestGoldenCorpusPreserved(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("..", "interp", "testdata", "*.mc"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	reducedSomewhere := false
+	for _, src := range srcs {
+		text, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := compile(t, string(text))
+		refOut, refSteps := runOut(t, ref)
+
+		o := compile(t, string(text))
+		opt.Program(o)
+		if err := o.Verify(); err != nil {
+			t.Fatalf("%s: invalid after opt: %v", src, err)
+		}
+		out, steps := runOut(t, o)
+		if out != refOut {
+			t.Errorf("%s: output changed by optimizer", src)
+		}
+		if steps > refSteps {
+			t.Errorf("%s: optimizer made execution longer (%d > %d)", src, steps, refSteps)
+		}
+		if steps < refSteps {
+			reducedSomewhere = true
+		}
+	}
+	if !reducedSomewhere {
+		t.Error("optimizer reduced nothing across the corpus")
+	}
+}
+
+func TestIdempotentFixpoint(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	var a int = 1 + 2;
+	var b int = a * 3;
+	if (b == 9) { print(b); }
+}`)
+	opt.Program(prog)
+	second := opt.Program(prog)
+	if second.Total() != 0 {
+		t.Errorf("second optimization round still rewrote: %+v", second)
+	}
+}

@@ -1,0 +1,150 @@
+package outline_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/dataflow"
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+	"dca/internal/iterrec"
+	"dca/internal/outline"
+	"dca/internal/pointer"
+	"dca/internal/types"
+)
+
+func outlineLoop(t *testing.T, src, fn string, idx int) (*ir.Program, *iterrec.Separation, *outline.Result) {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := prog.Func(fn)
+	g, loops := cfg.LoopsOf(f)
+	sep := iterrec.Separate(g, cfg.ComputePostDom(g), loops[idx],
+		pointer.Analyze(prog), dataflow.ComputeLiveness(g))
+	if !sep.OK {
+		t.Fatalf("not separable: %s", sep.Reason)
+	}
+	res, err := outline.Outline(sep)
+	if err != nil {
+		t.Fatalf("outline: %v", err)
+	}
+	return prog, sep, res
+}
+
+func TestOutlineShape(t *testing.T) {
+	prog, sep, res := outlineLoop(t, `
+func main() {
+	var a []int = new [8]int;
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) { s += i; a[i] = s * 0 + i; }
+	print(s, a[3]);
+}`, "main", 0)
+	pay := prog.Func(res.Payload.Name)
+	if pay == nil {
+		t.Fatal("payload not registered with the program")
+	}
+	// Params: one per iterator local plus the env pointer.
+	if len(pay.Params) != len(sep.IterLocals)+1 {
+		t.Errorf("params = %d, want %d", len(pay.Params), len(sep.IterLocals)+1)
+	}
+	if res.EnvParam.Type.Kind != types.Pointer {
+		t.Errorf("env param type = %s", res.EnvParam.Type)
+	}
+	if len(res.EnvType.Fields) != len(sep.EnvLocals) {
+		t.Errorf("env fields = %d, want %d", len(res.EnvType.Fields), len(sep.EnvLocals))
+	}
+	if err := pay.Verify(); err != nil {
+		t.Fatalf("payload malformed: %v", err)
+	}
+	// No print/intrinsics in the payload.
+	for _, b := range pay.Blocks {
+		for _, in := range b.Instrs {
+			switch in.(type) {
+			case *ir.Print, *ir.Intrinsic:
+				t.Errorf("forbidden instruction in payload: %s", in)
+			}
+		}
+	}
+}
+
+// TestOutlinedPayloadExecutes: calling the outlined function by hand
+// performs one iteration's work through the env object.
+func TestOutlinedPayloadExecutes(t *testing.T) {
+	prog, sep, res := outlineLoop(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) { s += i * 10; }
+	print(s);
+}`, "main", 0)
+	it := interp.New(prog, interp.Config{})
+	env := ir.NewStructObject(it.NewObjectID(), res.EnvType)
+	// s starts at 5.
+	env.Elems[res.EnvIndex[sep.EnvLocals[0]]] = ir.IntVal(5)
+	// Run payload for i = 3.
+	if _, err := it.Call(prog.Func(res.Payload.Name), []ir.Value{ir.IntVal(3), ir.RefVal(env)}, nil); err != nil {
+		t.Fatalf("payload call: %v", err)
+	}
+	got := env.Elems[res.EnvIndex[sep.EnvLocals[0]]]
+	if got.I != 35 {
+		t.Errorf("env s = %v, want 35 (5 + 3*10)", got)
+	}
+}
+
+func TestOutlineControlFlowPayload(t *testing.T) {
+	prog, _, res := outlineLoop(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 10; i++) {
+		if (i % 2 == 0) { s += i; } else { s += 2 * i; }
+	}
+	print(s);
+}`, "main", 0)
+	pay := prog.Func(res.Payload.Name)
+	// The payload keeps its internal branch.
+	branches := 0
+	for _, b := range pay.Blocks {
+		if _, ok := b.Term.(*ir.If); ok {
+			branches++
+		}
+	}
+	if branches == 0 {
+		t.Error("payload lost its internal control flow")
+	}
+}
+
+func TestOutlineInnerLoopInPayload(t *testing.T) {
+	prog, _, res := outlineLoop(t, `
+func main() {
+	var total int = 0;
+	for (var i int = 0; i < 6; i++) {
+		var acc int = 0;
+		for (var j int = 0; j < 4; j++) { acc += i * j; }
+		total += acc;
+	}
+	print(total);
+}`, "main", 0)
+	pay := prog.Func(res.Payload.Name)
+	_, loops := cfg.LoopsOf(pay)
+	if len(loops) != 1 {
+		t.Errorf("payload must contain the inner loop, got %d loops", len(loops))
+	}
+}
+
+func TestOutlineNaming(t *testing.T) {
+	_, _, res := outlineLoop(t, `
+func work(a []int, n int) {
+	for (var i int = 0; i < n; i++) { a[i] = i; }
+}
+func main() { var a []int = new [4]int; work(a, 4); print(a[0]); }
+`, "work", 0)
+	if !strings.HasPrefix(res.Payload.Name, "payload$work$L0") {
+		t.Errorf("payload name = %q", res.Payload.Name)
+	}
+	if !strings.HasPrefix(res.EnvType.Name, "Env$work$L0") {
+		t.Errorf("env name = %q", res.EnvType.Name)
+	}
+}

@@ -1,0 +1,178 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dca/internal/ast"
+	"dca/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestStructAndFuncDecls(t *testing.T) {
+	prog := parse(t, `
+struct Node { val int; next *Node; data []float; }
+func f(a int, b *Node, c []int) int { return a; }
+func g() { }
+`)
+	if len(prog.Structs) != 1 || len(prog.Funcs) != 2 {
+		t.Fatalf("decls: %d structs, %d funcs", len(prog.Structs), len(prog.Funcs))
+	}
+	n := prog.Struct("Node")
+	if n == nil || len(n.Fields) != 3 {
+		t.Fatalf("Node = %+v", n)
+	}
+	if n.Fields[1].Type.String() != "*Node" || n.Fields[2].Type.String() != "[]float" {
+		t.Errorf("field types: %s, %s", n.Fields[1].Type, n.Fields[2].Type)
+	}
+	f := prog.Func("f")
+	if f == nil || len(f.Params) != 3 || f.Ret == nil || f.Ret.String() != "int" {
+		t.Fatalf("f = %+v", f)
+	}
+	if g := prog.Func("g"); g == nil || g.Ret != nil {
+		t.Errorf("g should be void")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := parse(t, `func main() { var x int = 1 + 2 * 3; var y bool = 1 < 2 && 3 < 4 || false; }`)
+	body := prog.Func("main").Body.Stmts
+	// 1 + 2*3: top is +, right is *
+	init := body[0].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	if init.Op != "+" {
+		t.Fatalf("top op = %s", init.Op)
+	}
+	if r, ok := init.Y.(*ast.BinaryExpr); !ok || r.Op != "*" {
+		t.Errorf("rhs = %#v", init.Y)
+	}
+	// (1<2 && 3<4) || false: top is ||
+	y := body[1].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	if y.Op != "||" {
+		t.Errorf("bool top = %s", y.Op)
+	}
+	if l, ok := y.X.(*ast.BinaryExpr); !ok || l.Op != "&&" {
+		t.Errorf("lhs = %#v", y.X)
+	}
+}
+
+func TestPostfixChains(t *testing.T) {
+	prog := parse(t, `func main() { x->a->b[i + 1]->c = f(1, g(2))[0]; }`)
+	stmt := prog.Func("main").Body.Stmts[0].(*ast.AssignStmt)
+	if _, ok := stmt.LHS.(*ast.FieldExpr); !ok {
+		t.Errorf("lhs = %#v", stmt.LHS)
+	}
+	if _, ok := stmt.RHS.(*ast.IndexExpr); !ok {
+		t.Errorf("rhs = %#v", stmt.RHS)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	prog := parse(t, `
+func main() {
+	var a []int = new [10]int;
+	var p *N = new N;
+	if (a[0] == 1) { a[1] = 2; } else if (true) { } else { }
+	while (a[0] < 5) { a[0]++; continue; }
+	for (var i int = 0; i < 10; i++) { break; }
+	for (; ;) { break; }
+	print("x", 1, 2.5);
+	return;
+}
+struct N { v int; }
+`)
+	if len(prog.Func("main").Body.Stmts) != 8 {
+		t.Errorf("stmts = %d", len(prog.Func("main").Body.Stmts))
+	}
+}
+
+func TestForClausesOptional(t *testing.T) {
+	prog := parse(t, `func main() { for (x = 0; ; x++) { break; } }`)
+	f := prog.Func("main").Body.Stmts[0].(*ast.ForStmt)
+	if f.Init == nil || f.Cond != nil || f.Post == nil {
+		t.Errorf("for clauses: init=%v cond=%v post=%v", f.Init, f.Cond, f.Post)
+	}
+}
+
+func TestConversionCalls(t *testing.T) {
+	prog := parse(t, `func main() { var x float = float(3); var y int = int(x); }`)
+	decl := prog.Func("main").Body.Stmts[0].(*ast.VarDecl)
+	call, ok := decl.Init.(*ast.CallExpr)
+	if !ok || call.Fn.Name != "float" {
+		t.Errorf("init = %#v", decl.Init)
+	}
+}
+
+func TestUnaryAndNegatives(t *testing.T) {
+	prog := parse(t, `func main() { var x int = -3 + -y; var b bool = !(x == 0); }`)
+	init := prog.Func("main").Body.Stmts[0].(*ast.VarDecl).Init.(*ast.BinaryExpr)
+	if _, ok := init.X.(*ast.UnaryExpr); !ok {
+		t.Errorf("lhs = %#v", init.X)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`func main() { var x int = ; }`,
+		`func main() { if x { } }`, // missing parens
+		`func main() { x + ; }`,
+		`struct S { }`,   // ok actually: empty struct allowed
+		`func () { }`,    // missing name
+		`func f( { }`,    // bad params
+		`garbage tokens`, // top-level junk
+	}
+	for i, src := range cases {
+		if i == 3 {
+			continue // empty struct is legal
+		}
+		if _, err := parser.Parse("e.mc", src); err == nil {
+			t.Errorf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// The parser must report an error but keep parsing later declarations.
+	_, err := parser.Parse("e.mc", `
+func bad() { var ; }
+func good() { }
+`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "expected") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	parser.MustParse("bad.mc", "not a program")
+}
+
+// TestParserTotal (property): the parser never panics and always
+// terminates on arbitrary input.
+func TestParserTotal(t *testing.T) {
+	f := func(src string) bool {
+		if len(src) > 2048 {
+			src = src[:2048]
+		}
+		_, _ = parser.Parse("q.mc", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

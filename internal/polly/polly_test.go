@@ -1,0 +1,156 @@
+package polly_test
+
+import (
+	"testing"
+
+	"dca/internal/irbuild"
+	"dca/internal/polly"
+)
+
+func analyze(t *testing.T, src string) *polly.Report {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return polly.Analyze(prog)
+}
+
+func expect(t *testing.T, rep *polly.Report, fn string, idx int, want bool) {
+	t.Helper()
+	v := rep.Verdict(fn, idx)
+	if v == nil {
+		t.Fatalf("no verdict for %s/L%d", fn, idx)
+	}
+	if v.Parallel != want {
+		t.Errorf("%s/L%d = %v (%v), want %v", fn, idx, v.Parallel, v.Reasons, want)
+	}
+}
+
+func TestAffineDoallAccepted(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	var b []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { a[i] = b[i] * 2 + 1; }
+	print(a[0]);
+}`)
+	expect(t, rep, "main", 0, true)
+}
+
+func TestNestedAffineAccepted(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var m []int = new [64]int;
+	for (var i int = 0; i < 8; i++) {
+		for (var j int = 0; j < 8; j++) { m[i*8+j] = i + j; }
+	}
+	print(m[63]);
+}`)
+	expect(t, rep, "main", 0, true) // outer: 8i+j covers disjoint rows
+	expect(t, rep, "main", 1, true) // inner
+}
+
+func TestRecurrenceRejected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 1; i < 64; i++) { a[i] = a[i-1] + 1; }
+	print(a[63]);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestReductionRejectedByPolly(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	var s int = 0;
+	for (var i int = 0; i < 64; i++) { s += a[i]; }
+	print(s);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestCallRejected(t *testing.T) {
+	rep := analyze(t, `
+func f(x int) int { return x * 2; }
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { a[i] = f(i); }
+	print(a[0]);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestPLDSRejected(t *testing.T) {
+	rep := analyze(t, `
+struct Node { val int; next *Node; }
+func main() {
+	var head *Node = new Node;
+	var p *Node = head;
+	while (p != nil) { p->val++; p = p->next; }
+	print(head->val);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestEarlyExitRejected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [64]int;
+	for (var i int = 0; i < 64; i++) {
+		a[i] = i;
+		if (i == 40) { break; }
+	}
+	print(a[0]);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestStridedDisjointAccepted(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [128]int;
+	for (var i int = 0; i < 64; i++) { a[2*i] = a[2*i+1] + 1; }
+	print(a[0]);
+}`)
+	// Writes hit even elements, reads odd: strong SIV proves independence.
+	expect(t, rep, "main", 0, true)
+}
+
+func TestOverlappingStrideRejected(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var a []int = new [130]int;
+	for (var i int = 0; i < 64; i++) { a[2*i] = a[2*i+2] + 1; }
+	print(a[0]);
+}`)
+	// distance 1 in iteration space: carried.
+	expect(t, rep, "main", 0, false)
+}
+
+func TestHistogramRejectedByPolly(t *testing.T) {
+	rep := analyze(t, `
+func main() {
+	var b []int = new [64]int;
+	var h []int = new [8]int;
+	for (var i int = 0; i < 64; i++) { h[b[i]] += 1; }
+	print(h[0]);
+}`)
+	expect(t, rep, "main", 0, false)
+}
+
+func TestSymbolicBoundAccepted(t *testing.T) {
+	rep := analyze(t, `
+func fill(a []int, n int) {
+	for (var i int = 0; i < n; i++) { a[i] = i; }
+}
+func main() {
+	var a []int = new [32]int;
+	fill(a, 32);
+	print(a[31]);
+}`)
+	// Polly accepts parametric bounds.
+	expect(t, rep, "fill", 0, true)
+}

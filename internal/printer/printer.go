@@ -1,0 +1,271 @@
+// Package printer renders a MiniC AST back to canonical source text. The
+// output reparses to an identical tree (round-trip property), which makes
+// the printer usable as a formatter (`dca fmt`) and lets the workload
+// generators emit canonical sources.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dca/internal/ast"
+)
+
+// Print renders a whole program.
+func Print(prog *ast.Program) string {
+	p := &printer{}
+	for i, s := range prog.Structs {
+		if i > 0 {
+			p.nl()
+		}
+		p.structDecl(s)
+	}
+	if len(prog.Structs) > 0 && len(prog.Funcs) > 0 {
+		p.nl()
+	}
+	for i, f := range prog.Funcs {
+		if i > 0 {
+			p.nl()
+		}
+		p.funcDecl(f)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl()                          { p.b.WriteByte('\n') }
+func (p *printer) w(s string)                   { p.b.WriteString(s) }
+func (p *printer) f(format string, args ...any) { fmt.Fprintf(&p.b, format, args...) }
+
+func (p *printer) line(s string) {
+	p.w(strings.Repeat("\t", p.indent))
+	p.w(s)
+	p.nl()
+}
+
+func (p *printer) structDecl(s *ast.StructDecl) {
+	p.f("struct %s {", s.Name)
+	if len(s.Fields) > 0 {
+		p.w(" ")
+		for _, fd := range s.Fields {
+			p.f("%s %s; ", fd.Name, fd.Type)
+		}
+	} else {
+		p.w(" ")
+	}
+	p.w("}\n")
+}
+
+func (p *printer) funcDecl(fd *ast.FuncDecl) {
+	p.f("func %s(", fd.Name)
+	for i, prm := range fd.Params {
+		if i > 0 {
+			p.w(", ")
+		}
+		p.f("%s %s", prm.Name, prm.Type)
+	}
+	p.w(")")
+	if fd.Ret != nil {
+		p.f(" %s", fd.Ret)
+	}
+	p.w(" {\n")
+	p.indent++
+	for _, st := range fd.Body.Stmts {
+		p.stmt(st)
+	}
+	p.indent--
+	p.w("}\n")
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, st := range s.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *ast.VarDecl:
+		if s.Init != nil {
+			p.line(fmt.Sprintf("var %s %s = %s;", s.Name, s.Type, expr(s.Init)))
+		} else {
+			p.line(fmt.Sprintf("var %s %s;", s.Name, s.Type))
+		}
+	case *ast.AssignStmt:
+		p.line(fmt.Sprintf("%s %s %s;", expr(s.LHS), s.Op, expr(s.RHS)))
+	case *ast.IncDecStmt:
+		op := "++"
+		if s.Dec {
+			op = "--"
+		}
+		p.line(expr(s.LHS) + op + ";")
+	case *ast.IfStmt:
+		p.ifChain(s, true)
+	case *ast.WhileStmt:
+		p.line(fmt.Sprintf("while (%s) {", expr(s.Cond)))
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *ast.ForStmt:
+		var init, cond, post string
+		if s.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(capture(s.Init)), ";")
+		}
+		if s.Cond != nil {
+			cond = expr(s.Cond)
+		}
+		if s.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(capture(s.Post)), ";")
+		}
+		p.line(fmt.Sprintf("for (%s; %s; %s) {", init, cond, post))
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *ast.ReturnStmt:
+		if s.Val != nil {
+			p.line("return " + expr(s.Val) + ";")
+		} else {
+			p.line("return;")
+		}
+	case *ast.BreakStmt:
+		p.line("break;")
+	case *ast.ContinueStmt:
+		p.line("continue;")
+	case *ast.ExprStmt:
+		p.line(expr(s.X) + ";")
+	case *ast.PrintStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = expr(a)
+		}
+		p.line("print(" + strings.Join(args, ", ") + ");")
+	}
+}
+
+func (p *printer) ifChain(s *ast.IfStmt, leading bool) {
+	head := fmt.Sprintf("if (%s) {", expr(s.Cond))
+	if leading {
+		p.line(head)
+	} else {
+		p.w(" " + head + "\n")
+	}
+	p.indent++
+	for _, st := range s.Then.Stmts {
+		p.stmt(st)
+	}
+	p.indent--
+	switch e := s.Else.(type) {
+	case nil:
+		p.line("}")
+	case *ast.IfStmt:
+		p.w(strings.Repeat("\t", p.indent) + "} else")
+		p.ifChain(e, false)
+	case *ast.BlockStmt:
+		p.line("} else {")
+		p.indent++
+		for _, st := range e.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+// capture prints a statement without indentation (for for-clauses).
+func capture(s ast.Stmt) string {
+	q := &printer{}
+	q.stmt(s)
+	return q.b.String()
+}
+
+// expr renders an expression with minimal, correct parenthesization.
+func expr(e ast.Expr) string { return exprPrec(e, 0) }
+
+// Binary precedence levels mirror the parser's table.
+func precOf(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=":
+		return 3
+	case "<", "<=", ">", ">=":
+		return 4
+	case "+", "-", "|", "^":
+		return 5
+	case "*", "/", "%", "<<", ">>", "&":
+		return 6
+	}
+	return 0
+}
+
+func exprPrec(e ast.Expr, min int) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IntLit:
+		return strconv.FormatInt(e.Val, 10)
+	case *ast.FloatLit:
+		s := strconv.FormatFloat(e.Val, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *ast.BoolLit:
+		if e.Val {
+			return "true"
+		}
+		return "false"
+	case *ast.StringLit:
+		return strconv.Quote(e.Val)
+	case *ast.NilLit:
+		return "nil"
+	case *ast.BinaryExpr:
+		prec := precOf(e.Op)
+		s := exprPrec(e.X, prec) + " " + e.Op + " " + exprPrec(e.Y, prec+1)
+		if prec < min {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.UnaryExpr:
+		inner := exprPrec(e.X, 7)
+		if strings.HasPrefix(inner, e.Op) {
+			inner = "(" + inner + ")" // avoid -- / !! token gluing
+		}
+		s := e.Op + inner
+		if min > 7 {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = expr(a)
+		}
+		return e.Fn.Name + "(" + strings.Join(args, ", ") + ")"
+	case *ast.IndexExpr:
+		return exprPrec(e.X, 8) + "[" + expr(e.Index) + "]"
+	case *ast.FieldExpr:
+		return exprPrec(e.X, 8) + "->" + e.Name
+	case *ast.NewExpr:
+		if e.Len != nil {
+			return "new [" + expr(e.Len) + "]" + e.Type.String()
+		}
+		return "new " + e.Type.String()
+	}
+	return "/*?*/"
+}

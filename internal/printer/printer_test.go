@@ -1,0 +1,153 @@
+package printer_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dca/internal/interp"
+	"dca/internal/irbuild"
+	"dca/internal/parser"
+	"dca/internal/printer"
+)
+
+// roundtrip parses, prints, reparses and reprints: the two printed forms
+// must be identical (print∘parse is idempotent on printed output).
+func roundtrip(t *testing.T, src string) string {
+	t.Helper()
+	p1, err := parser.Parse("a.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out1 := printer.Print(p1)
+	p2, err := parser.Parse("b.mc", out1)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, out1)
+	}
+	out2 := printer.Print(p2)
+	if out1 != out2 {
+		t.Fatalf("printer not idempotent:\n--- first:\n%s\n--- second:\n%s", out1, out2)
+	}
+	return out1
+}
+
+func TestRoundtripBasics(t *testing.T) {
+	roundtrip(t, `
+struct Node { val int; next *Node; data []float; }
+func f(a int, b *Node) int {
+	var x int = a * 2 + 1;
+	if (x > 3) { return x; } else if (x == 0) { return 1; } else { x--; }
+	while (x > 0) { x -= 2; continue; }
+	for (var i int = 0; i < 10; i++) { if (i == 5) { break; } }
+	for (; ;) { break; }
+	return -x;
+}
+func main() {
+	var n *Node = new Node;
+	var a []int = new [4]int;
+	a[0] = n->val;
+	a[1] += len(a);
+	print("hi", 1.5, true, nil == n);
+	f(3, n);
+}
+`)
+}
+
+func TestPrecedencePreserved(t *testing.T) {
+	cases := []string{
+		`func main() { print((1 + 2) * 3); }`,
+		`func main() { print(1 + 2 * 3); }`,
+		`func main() { print(-(1 + 2)); }`,
+		`func main() { print(-(-3)); }`,
+		`func main() { print(!(true && false) || true); }`,
+		`func main() { print((1 < 2) == (3 < 4)); }`,
+		`func main() { print(2 * (3 % 2) << 1); }`,
+		`func main() { var a []int = new [4]int; print(a[(1 + 2) % 4]); }`,
+	}
+	for _, src := range cases {
+		out := roundtrip(t, src)
+		// Semantic check: both versions must print the same values.
+		ref, err := irbuild.Compile("ref.mc", src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		re, err := irbuild.Compile("re.mc", out)
+		if err != nil {
+			t.Fatalf("reprinted does not compile: %v\n%s", err, out)
+		}
+		var o1, o2 strings.Builder
+		if _, err := interp.Run(ref, interp.Config{Out: &o1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := interp.Run(re, interp.Config{Out: &o2}); err != nil {
+			t.Fatal(err)
+		}
+		if o1.String() != o2.String() {
+			t.Errorf("semantics changed by printing:\nsrc: %s\nout: %s\n%q vs %q", src, out, o1.String(), o2.String())
+		}
+	}
+}
+
+// TestCorpusRoundtripSemantics: every corpus program survives a
+// print→reparse→execute cycle with identical output.
+func TestCorpusRoundtripSemantics(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("..", "interp", "testdata", "*.mc"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	for _, src := range srcs {
+		text, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := roundtrip(t, string(text))
+		ref, err := irbuild.Compile(src, string(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := irbuild.Compile(src+".printed", printed)
+		if err != nil {
+			t.Fatalf("%s: reprinted does not compile: %v", src, err)
+		}
+		var o1, o2 strings.Builder
+		if _, err := interp.Run(ref, interp.Config{Out: &o1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := interp.Run(re, interp.Config{Out: &o2}); err != nil {
+			t.Fatalf("%s: reprinted program fails: %v", src, err)
+		}
+		if o1.String() != o2.String() {
+			t.Errorf("%s: output changed through the printer", src)
+		}
+	}
+}
+
+// TestWorkloadRoundtrip: worklist-style PLDS code also survives printing.
+func TestWorkloadRoundtrip(t *testing.T) {
+	roundtrip(t, pldsBFS)
+}
+
+// pldsBFS is a captured fragment exercising the printer over worklist code.
+const pldsBFS = `
+struct GNode { vert int; adj *GEdge; }
+struct GEdge { to *GNode; next *GEdge; }
+func bfs_round(nodes []*GNode, infront []int, nextfront []int, dist []int, n int, level int) int {
+	var added int = 0;
+	for (var v int = 0; v < n; v++) {
+		if (infront[v] == 1) {
+			var e *GEdge = nodes[v]->adj;
+			while (e != nil) {
+				var u int = e->to->vert;
+				if (dist[u] > level + 1) {
+					dist[u] = level + 1;
+					if (nextfront[u] == 0) { nextfront[u] = 1; added++; }
+				}
+				e = e->next;
+			}
+		}
+	}
+	return added;
+}
+func main() { print(0); }
+`

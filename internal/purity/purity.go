@@ -1,0 +1,92 @@
+// Package purity computes simple whole-program effect facts shared by DCA
+// and the baseline detectors: which functions may perform I/O, and which
+// are pure (no I/O and no heap writes).
+package purity
+
+import (
+	"dca/internal/ir"
+)
+
+// Info holds per-program purity facts.
+type Info struct {
+	// MayIO marks functions that may execute a print, transitively.
+	MayIO map[string]bool
+	// WritesHeap marks functions that may store to the heap, transitively.
+	WritesHeap map[string]bool
+	// Allocates marks functions that may allocate, transitively.
+	Allocates map[string]bool
+}
+
+// Analyze computes purity facts for the program.
+func Analyze(prog *ir.Program) *Info {
+	info := &Info{
+		MayIO:      map[string]bool{},
+		WritesHeap: map[string]bool{},
+		Allocates:  map[string]bool{},
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, fn := range prog.Funcs {
+			for _, b := range fn.Blocks {
+				for _, in := range b.Instrs {
+					switch i := in.(type) {
+					case *ir.Print:
+						changed = set(info.MayIO, fn.Name) || changed
+					case *ir.Store:
+						changed = set(info.WritesHeap, fn.Name) || changed
+					case *ir.Alloc:
+						changed = set(info.Allocates, fn.Name) || changed
+					case *ir.Call:
+						if i.Builtin {
+							continue
+						}
+						if info.MayIO[i.Callee] {
+							changed = set(info.MayIO, fn.Name) || changed
+						}
+						if info.WritesHeap[i.Callee] {
+							changed = set(info.WritesHeap, fn.Name) || changed
+						}
+						if info.Allocates[i.Callee] {
+							changed = set(info.Allocates, fn.Name) || changed
+						}
+					}
+				}
+			}
+		}
+	}
+	return info
+}
+
+func set(m map[string]bool, k string) bool {
+	if m[k] {
+		return false
+	}
+	m[k] = true
+	return true
+}
+
+// Pure reports whether calling the named function has no observable side
+// effects (it may still read the heap and allocate private objects that do
+// not escape; for the static baselines we use the stricter no-alloc rule).
+func (in *Info) Pure(name string) bool {
+	return !in.MayIO[name] && !in.WritesHeap[name]
+}
+
+// LoopDoesIO reports whether any instruction of the given blocks performs
+// I/O directly or through a callee.
+func (in *Info) LoopDoesIO(blocks map[*ir.Block]bool) bool {
+	for b := range blocks {
+		for _, instr := range b.Instrs {
+			switch i := instr.(type) {
+			case *ir.Print:
+				return true
+			case *ir.Call:
+				if !i.Builtin && in.MayIO[i.Callee] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

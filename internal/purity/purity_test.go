@@ -1,0 +1,87 @@
+package purity_test
+
+import (
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+	"dca/internal/purity"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *purity.Info) {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, purity.Analyze(prog)
+}
+
+func TestDirectEffects(t *testing.T) {
+	_, info := analyze(t, `
+func pureFn(x int) int { return x * 2; }
+func printer() { print(1); }
+func storer(a []int) { a[0] = 1; }
+func allocer() []int { return new [4]int; }
+func main() { print(pureFn(1)); printer(); var a []int = allocer(); storer(a); }
+`)
+	if info.MayIO["pureFn"] || info.WritesHeap["pureFn"] || !info.Pure("pureFn") {
+		t.Error("pureFn must be pure")
+	}
+	if !info.MayIO["printer"] {
+		t.Error("printer does I/O")
+	}
+	if !info.WritesHeap["storer"] || info.Pure("storer") {
+		t.Error("storer writes the heap")
+	}
+	if !info.Allocates["allocer"] {
+		t.Error("allocer allocates")
+	}
+}
+
+func TestTransitiveEffects(t *testing.T) {
+	_, info := analyze(t, `
+func leaf() { print(1); }
+func mid() { leaf(); }
+func top() { mid(); }
+func cleanMid(x int) int { return x; }
+func main() { top(); print(cleanMid(1)); }
+`)
+	for _, fn := range []string{"leaf", "mid", "top", "main"} {
+		if !info.MayIO[fn] {
+			t.Errorf("%s must transitively do I/O", fn)
+		}
+	}
+	if info.MayIO["cleanMid"] {
+		t.Error("cleanMid is clean")
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	_, info := analyze(t, `
+func even(n int) int { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n int) int { if (n == 0) { print(n); return 0; } return even(n - 1); }
+func main() { print(even(4)); }
+`)
+	if !info.MayIO["even"] || !info.MayIO["odd"] {
+		t.Error("mutual recursion must propagate the I/O effect")
+	}
+}
+
+func TestLoopDoesIO(t *testing.T) {
+	prog, info := analyze(t, `
+func emit(x int) { print(x); }
+func main() {
+	for (var i int = 0; i < 3; i++) { emit(i); }
+	for (var j int = 0; j < 3; j++) { var x int = j * 2; x++; }
+}
+`)
+	_, loops := cfg.LoopsOf(prog.Func("main"))
+	if !info.LoopDoesIO(loops[0].Blocks) {
+		t.Error("loop calling emit does I/O")
+	}
+	if info.LoopDoesIO(loops[1].Blocks) {
+		t.Error("pure loop flagged for I/O")
+	}
+}

@@ -1,0 +1,150 @@
+package scalar_test
+
+import (
+	"testing"
+
+	"dca/internal/irbuild"
+	"dca/internal/scalar"
+)
+
+// classify compiles the program and classifies the first loop of fn.
+func classify(t *testing.T, src, fn string) map[string]scalar.Carried {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	env := scalar.NewEnv(prog.Func(fn))
+	loops := env.G.FindLoops()
+	if len(loops) == 0 {
+		t.Fatal("no loops")
+	}
+	out := map[string]scalar.Carried{}
+	for _, c := range scalar.Classify(env, loops[0]) {
+		out[c.Local.Name] = c
+	}
+	return out
+}
+
+func TestInductionConstStep(t *testing.T) {
+	m := classify(t, `func main() { for (var i int = 0; i < 10; i++) { } }`, "main")
+	c, ok := m["i"]
+	if !ok || c.Class != scalar.Induction || c.Step != 1 {
+		t.Errorf("i = %+v", c)
+	}
+}
+
+func TestInductionNegativeAndStride(t *testing.T) {
+	m := classify(t, `func main() { for (var i int = 20; i > 0; i -= 3) { } }`, "main")
+	if c := m["i"]; c.Class != scalar.Induction || c.Step != -3 {
+		t.Errorf("i = %+v", c)
+	}
+}
+
+func TestSumReduction(t *testing.T) {
+	m := classify(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 10; i++) { s += i * 2; }
+	print(s);
+}`, "main")
+	if c := m["s"]; c.Class != scalar.Reduction {
+		t.Errorf("s = %+v", c)
+	}
+}
+
+func TestProductReduction(t *testing.T) {
+	m := classify(t, `
+func main() {
+	var p int = 1;
+	for (var i int = 1; i < 10; i++) { p *= i; }
+	print(p);
+}`, "main")
+	if c := m["p"]; c.Class != scalar.Reduction {
+		t.Errorf("p = %+v", c)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	m := classify(t, `
+func main() {
+	var mx int = 0;
+	for (var i int = 0; i < 10; i++) {
+		var v int = (i * 7) % 5;
+		if (v > mx) { mx = v; }
+	}
+	print(mx);
+}`, "main")
+	if c := m["mx"]; c.Class != scalar.MinMax {
+		t.Errorf("mx = %+v", c)
+	}
+}
+
+func TestPointerChaseFatal(t *testing.T) {
+	m := classify(t, `
+struct N { next *N; }
+func main() {
+	var p *N = nil;
+	while (p != nil) { p = p->next; }
+	print(0);
+}`, "main")
+	if c := m["p"]; c.Class != scalar.Fatal {
+		t.Errorf("p = %+v, want fatal", c)
+	}
+}
+
+func TestReductionUsedElsewhereIsFatal(t *testing.T) {
+	m := classify(t, `
+func main() {
+	var a []int = new [16]int;
+	var s int = 0;
+	for (var i int = 0; i < 10; i++) {
+		s += i;
+		a[s % 16] = i;
+	}
+	print(s, a[0]);
+}`, "main")
+	if c := m["s"]; c.Class != scalar.Fatal {
+		t.Errorf("s used beyond the recurrence must be fatal, got %+v", c)
+	}
+}
+
+func TestLastWriterWinsFatal(t *testing.T) {
+	m := classify(t, `
+func main() {
+	var last int = 0;
+	for (var i int = 0; i < 10; i++) { last = i; }
+	print(last);
+}`, "main")
+	if c := m["last"]; c.Class != scalar.Fatal {
+		t.Errorf("last = %+v", c)
+	}
+}
+
+func TestInvariantNotCarried(t *testing.T) {
+	m := classify(t, `
+func main() {
+	var k int = 5;
+	var s int = 0;
+	for (var i int = 0; i < 10; i++) { s += k; }
+	print(s);
+}`, "main")
+	if _, ok := m["k"]; ok {
+		t.Error("loop-invariant k must not appear among carried scalars")
+	}
+}
+
+func TestSymbolicStepInduction(t *testing.T) {
+	m := classify(t, `
+func f(step int) int {
+	var i int = 0;
+	var n int = 0;
+	while (i < 100) { i += step; n++; }
+	return n;
+}
+func main() { print(f(7)); }`, "f")
+	c := m["i"]
+	if c.Class != scalar.Induction || c.Step != 0 {
+		t.Errorf("symbolic-step induction = %+v", c)
+	}
+}

@@ -1,0 +1,97 @@
+// Package skeleton classifies commutative loops into parallel algorithmic
+// skeletons — the paper's stated future-work direction (§VII: "support the
+// detection of parallel algorithmic skeletons in legacy code", building on
+// von Koch et al. CC'18). Classification is purely structural, derived from
+// the iterator/payload separation and the scalar recurrence classes:
+//
+//	Map        — the payload writes heap state but carries no scalar
+//	             accumulator across iterations (array[i]++ or p->val++).
+//	Reduce     — the payload's only shared writes are associative scalar
+//	             accumulators (s += f(i), min/max updates).
+//	MapReduce  — both heap writes and scalar accumulators.
+//	Expand     — the payload allocates and links fresh objects (building
+//	             output structures, e.g. per-row result lists).
+//
+// The classification feeds parallel code generation: Map/Expand payloads
+// need no combining, Reduce payloads privatize their accumulators.
+package skeleton
+
+import (
+	"dca/internal/instrument"
+	"dca/internal/scalar"
+)
+
+// Kind is the detected skeleton.
+type Kind int
+
+// Skeleton kinds.
+const (
+	// Unknown: the loop is commutative but matches no modelled skeleton
+	// (for example an ordered-commit shared scalar).
+	Unknown Kind = iota
+	// Map: pure elementwise heap update.
+	Map
+	// Reduce: associative scalar accumulation only.
+	Reduce
+	// MapReduce: heap updates plus scalar accumulation.
+	MapReduce
+	// Expand: the payload grows the heap (allocates and links new state).
+	Expand
+)
+
+var kindNames = [...]string{"unknown", "map", "reduce", "map-reduce", "expand"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Info is the classification result.
+type Info struct {
+	Kind Kind
+	// Accumulators lists the reduction-class env locals (privatized by the
+	// parallel code generator).
+	Accumulators []string
+	// HeapWrites counts payload stores (direct + via callees).
+	HeapWrites int
+	// Allocates reports whether the payload allocates.
+	Allocates bool
+}
+
+// Classify inspects an instrumented (hence separable) loop.
+func Classify(inst *instrument.Instrumented) *Info {
+	sep := inst.Sep
+	info := &Info{
+		HeapWrites: sep.PayloadStores + sep.PayloadCallStores,
+		Allocates:  sep.PayloadAllocs > 0,
+	}
+	classOf := map[string]scalar.Class{}
+	for _, c := range inst.Carried {
+		classOf[c.Local.Name] = c.Class
+	}
+	accumulators, ordered := 0, 0
+	for _, l := range sep.EnvLocals {
+		if !sep.PayloadDefSet[l] {
+			continue // read-only env field
+		}
+		switch classOf[l.Name] {
+		case scalar.Reduction, scalar.MinMax:
+			accumulators++
+			info.Accumulators = append(info.Accumulators, l.Name)
+		default:
+			ordered++
+		}
+	}
+	switch {
+	case ordered > 0:
+		info.Kind = Unknown
+	case info.Allocates && accumulators == 0:
+		info.Kind = Expand
+	case accumulators > 0 && info.HeapWrites > 0:
+		info.Kind = MapReduce
+	case accumulators > 0:
+		info.Kind = Reduce
+	case info.HeapWrites > 0:
+		info.Kind = Map
+	default:
+		info.Kind = Unknown
+	}
+	return info
+}

@@ -1,0 +1,125 @@
+package skeleton_test
+
+import (
+	"testing"
+
+	"dca/internal/instrument"
+	"dca/internal/irbuild"
+	"dca/internal/skeleton"
+)
+
+func classify(t *testing.T, src, fn string, idx int) *skeleton.Info {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inst, err := instrument.Loop(prog, fn, idx)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	return skeleton.Classify(inst)
+}
+
+func TestMapSkeleton(t *testing.T) {
+	info := classify(t, `
+func main() {
+	var a []int = new [16]int;
+	for (var i int = 0; i < 16; i++) { a[i] = i * 2; }
+	print(a[0]);
+}`, "main", 0)
+	if info.Kind != skeleton.Map {
+		t.Errorf("kind = %s (%+v), want map", info.Kind, info)
+	}
+}
+
+func TestPLDSMapSkeleton(t *testing.T) {
+	info := classify(t, `
+struct N { v int; next *N; }
+func main() {
+	var head *N = new N;
+	var p *N = head;
+	while (p != nil) { p->v++; p = p->next; }
+	print(head->v);
+}`, "main", 0)
+	if info.Kind != skeleton.Map || info.HeapWrites == 0 {
+		t.Errorf("PLDS map = %s (%+v)", info.Kind, info)
+	}
+}
+
+func TestReduceSkeleton(t *testing.T) {
+	info := classify(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 16; i++) { s += i * i; }
+	print(s);
+}`, "main", 0)
+	if info.Kind != skeleton.Reduce {
+		t.Errorf("kind = %s (%+v), want reduce", info.Kind, info)
+	}
+	if len(info.Accumulators) != 1 || info.Accumulators[0] != "s" {
+		t.Errorf("accumulators = %v", info.Accumulators)
+	}
+}
+
+func TestMapReduceSkeleton(t *testing.T) {
+	info := classify(t, `
+func main() {
+	var a []int = new [16]int;
+	var s int = 0;
+	for (var i int = 0; i < 16; i++) { a[i] = i; s += i; }
+	print(s, a[3]);
+}`, "main", 0)
+	if info.Kind != skeleton.MapReduce {
+		t.Errorf("kind = %s (%+v), want map-reduce", info.Kind, info)
+	}
+}
+
+func TestExpandSkeleton(t *testing.T) {
+	info := classify(t, `
+struct Row { out *Cell; }
+struct Cell { v int; next *Cell; }
+func fill(rows []*Row, n int) {
+	for (var i int = 0; i < n; i++) {
+		var c *Cell = new Cell;
+		c->v = i;
+		rows[i]->out = c;
+	}
+}
+func main() {
+	var rows []*Row = new [8]*Row;
+	for (var i int = 0; i < 8; i++) { rows[i] = new Row; }
+	fill(rows, 8);
+	print(rows[0]->out->v);
+}`, "fill", 0)
+	if info.Kind != skeleton.Expand || !info.Allocates {
+		t.Errorf("kind = %s (%+v), want expand", info.Kind, info)
+	}
+}
+
+func TestOrderedScalarUnknown(t *testing.T) {
+	info := classify(t, `
+func main() {
+	var last int = 0;
+	for (var i int = 0; i < 8; i++) { last = i; }
+	print(last);
+}`, "main", 0)
+	if info.Kind != skeleton.Unknown {
+		t.Errorf("ordered scalar = %s, want unknown", info.Kind)
+	}
+}
+
+func TestMinMaxCountsAsReduce(t *testing.T) {
+	info := classify(t, `
+func main() {
+	var m int = 0;
+	for (var i int = 0; i < 16; i++) {
+		var v int = (i * 13) % 37;
+		if (v > m) { m = v; }
+	}
+	print(m);
+}`, "main", 0)
+	if info.Kind != skeleton.Reduce {
+		t.Errorf("minmax = %s (%+v), want reduce", info.Kind, info)
+	}
+}

@@ -1,0 +1,145 @@
+// Package source provides positions, spans and diagnostics for the MiniC
+// frontend. Every token and AST node carries a Pos so that analyses and the
+// DCA report can point back at the loop in the original program text.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position in a source file, expressed as line and column
+// (both 1-based) plus a byte offset (0-based).
+type Pos struct {
+	Line   int
+	Col    int
+	Offset int
+}
+
+// NoPos is the zero position, used for synthesized nodes.
+var NoPos = Pos{}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p occurs strictly before q in the file.
+func (p Pos) Before(q Pos) bool { return p.Offset < q.Offset }
+
+// Span is a half-open region [Start, End) of a file.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+func (s Span) String() string {
+	return fmt.Sprintf("%s-%s", s.Start, s.End)
+}
+
+// File associates a name with source text and precomputes line offsets so
+// byte offsets can be mapped back to line/column pairs.
+type File struct {
+	Name  string
+	Text  string
+	lines []int // byte offset of the start of each line
+}
+
+// NewFile builds a File for the given name and contents.
+func NewFile(name, text string) *File {
+	f := &File{Name: name, Text: text}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// PosFor converts a byte offset into a full Pos.
+func (f *File) PosFor(offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(f.Text) {
+		offset = len(f.Text)
+	}
+	line := sort.Search(len(f.lines), func(i int) bool { return f.lines[i] > offset }) - 1
+	return Pos{Line: line + 1, Col: offset - f.lines[line] + 1, Offset: offset}
+}
+
+// LineText returns the text of the given 1-based line, without the newline.
+func (f *File) LineText(line int) string {
+	if line < 1 || line > len(f.lines) {
+		return ""
+	}
+	start := f.lines[line-1]
+	end := len(f.Text)
+	if line < len(f.lines) {
+		end = f.lines[line] - 1
+	}
+	return f.Text[start:end]
+}
+
+// NumLines returns the number of lines in the file.
+func (f *File) NumLines() int { return len(f.lines) }
+
+// Diagnostic is a single error or warning tied to a source position.
+type Diagnostic struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (d Diagnostic) Error() string {
+	if d.File == "" {
+		return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s", d.File, d.Pos, d.Msg)
+}
+
+// DiagList collects diagnostics; it implements error when non-empty.
+type DiagList struct {
+	Diags []Diagnostic
+}
+
+// Add appends a diagnostic.
+func (l *DiagList) Add(file string, pos Pos, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Empty reports whether no diagnostics have been recorded.
+func (l *DiagList) Empty() bool { return len(l.Diags) == 0 }
+
+// Err returns the list as an error, or nil when empty.
+func (l *DiagList) Err() error {
+	if l.Empty() {
+		return nil
+	}
+	return l
+}
+
+func (l *DiagList) Error() string {
+	var b strings.Builder
+	for i, d := range l.Diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.Error())
+	}
+	return b.String()
+}
+
+// Sort orders diagnostics by position.
+func (l *DiagList) Sort() {
+	sort.SliceStable(l.Diags, func(i, j int) bool {
+		return l.Diags[i].Pos.Offset < l.Diags[j].Pos.Offset
+	})
+}

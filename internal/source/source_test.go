@@ -1,0 +1,104 @@
+package source_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dca/internal/source"
+)
+
+func TestPosForMapping(t *testing.T) {
+	f := source.NewFile("t.mc", "ab\ncde\n\nf")
+	cases := []struct {
+		off, line, col int
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, // 'a' 'b' '\n'
+		{3, 2, 1}, {5, 2, 3}, // 'c' 'e'
+		{7, 3, 1}, // empty line
+		{8, 4, 1}, // 'f'
+	}
+	for _, c := range cases {
+		p := f.PosFor(c.off)
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("PosFor(%d) = %d:%d, want %d:%d", c.off, p.Line, p.Col, c.line, c.col)
+		}
+	}
+	// Clamping.
+	if p := f.PosFor(-5); p.Offset != 0 {
+		t.Errorf("negative offset: %+v", p)
+	}
+	if p := f.PosFor(1000); p.Offset != len(f.Text) {
+		t.Errorf("overflow offset: %+v", p)
+	}
+}
+
+func TestLineText(t *testing.T) {
+	f := source.NewFile("t.mc", "first\nsecond\nthird")
+	if f.NumLines() != 3 {
+		t.Errorf("NumLines = %d", f.NumLines())
+	}
+	if got := f.LineText(2); got != "second" {
+		t.Errorf("LineText(2) = %q", got)
+	}
+	if got := f.LineText(3); got != "third" {
+		t.Errorf("LineText(3) = %q", got)
+	}
+	if got := f.LineText(99); got != "" {
+		t.Errorf("LineText(99) = %q", got)
+	}
+}
+
+func TestDiagList(t *testing.T) {
+	l := &source.DiagList{}
+	if !l.Empty() || l.Err() != nil {
+		t.Error("fresh list must be empty")
+	}
+	l.Add("a.mc", source.Pos{Line: 3, Col: 1, Offset: 10}, "bad %s", "thing")
+	l.Add("a.mc", source.Pos{Line: 1, Col: 1, Offset: 0}, "first")
+	if l.Empty() || l.Err() == nil {
+		t.Error("list with diags must be non-empty")
+	}
+	l.Sort()
+	if l.Diags[0].Msg != "first" {
+		t.Errorf("sort order: %v", l.Diags)
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "a.mc:3:1: bad thing") {
+		t.Errorf("Error() = %q", msg)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if source.NoPos.IsValid() {
+		t.Error("NoPos must be invalid")
+	}
+	if source.NoPos.String() != "-" {
+		t.Errorf("NoPos string = %q", source.NoPos)
+	}
+	p := source.Pos{Line: 2, Col: 7, Offset: 9}
+	if p.String() != "2:7" || !p.IsValid() {
+		t.Errorf("pos = %q", p)
+	}
+	q := source.Pos{Line: 2, Col: 8, Offset: 10}
+	if !p.Before(q) || q.Before(p) {
+		t.Error("Before ordering broken")
+	}
+	if s := (source.Span{Start: p, End: q}).String(); s != "2:7-2:8" {
+		t.Errorf("span = %q", s)
+	}
+}
+
+// Property: PosFor is consistent — the computed line's start offset never
+// exceeds the queried offset.
+func TestPosForConsistent(t *testing.T) {
+	f := func(text string, off uint16) bool {
+		file := source.NewFile("q.mc", text)
+		o := int(off)
+		p := file.PosFor(o)
+		return p.Line >= 1 && p.Col >= 1 && p.Offset >= 0 && p.Offset <= len(text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

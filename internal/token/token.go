@@ -1,0 +1,155 @@
+// Package token defines the lexical tokens of the MiniC language, the small
+// C-like imperative language used as the compilation substrate for DCA.
+package token
+
+import "dca/internal/source"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123
+	FLOAT  // 1.5
+	STRING // "abc"
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	ASSIGN     // =
+	PLUSEQ     // +=
+	MINUSEQ    // -=
+	STAREQ     // *=
+	SLASHEQ    // /=
+	PERCENTEQ  // %=
+	PLUSPLUS   // ++
+	MINUSMINUS // --
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	GT  // >
+	LEQ // <=
+	GEQ // >=
+
+	ANDAND // &&
+	OROR   // ||
+	NOT    // !
+
+	AMP   // &
+	PIPE  // |
+	CARET // ^
+	SHL   // <<
+	SHR   // >>
+
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	DOT       // .
+	ARROW     // ->
+	COLON     // :
+
+	// Keywords.
+	KwFunc
+	KwStruct
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwNew
+	KwNil
+	KwTrue
+	KwFalse
+	KwPrint
+	KwInt
+	KwFloat
+	KwBool
+	KwString
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", STRING: "STRING",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	ASSIGN: "=", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	PERCENTEQ: "%=", PLUSPLUS: "++", MINUSMINUS: "--",
+	EQ: "==", NEQ: "!=", LT: "<", GT: ">", LEQ: "<=", GEQ: ">=",
+	ANDAND: "&&", OROR: "||", NOT: "!",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMICOLON: ";",
+	DOT: ".", ARROW: "->", COLON: ":",
+	KwFunc: "func", KwStruct: "struct", KwVar: "var", KwIf: "if",
+	KwElse: "else", KwWhile: "while", KwFor: "for", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwNew: "new", KwNil: "nil",
+	KwTrue: "true", KwFalse: "false", KwPrint: "print",
+	KwInt: "int", KwFloat: "float", KwBool: "bool", KwString: "string",
+}
+
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "UNKNOWN"
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"func": KwFunc, "struct": KwStruct, "var": KwVar, "if": KwIf,
+	"else": KwElse, "while": KwWhile, "for": KwFor, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "new": KwNew, "nil": KwNil,
+	"true": KwTrue, "false": KwFalse, "print": KwPrint,
+	"int": KwInt, "float": KwFloat, "bool": KwBool, "string": KwString,
+}
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  source.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, STRING:
+		return t.Kind.String() + "(" + t.Text + ")"
+	}
+	return t.Kind.String()
+}
+
+// IsAssignOp reports whether the kind is one of the compound or plain
+// assignment operators.
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ, PERCENTEQ:
+		return true
+	}
+	return false
+}
+
+// IsTypeKeyword reports whether the kind names a builtin scalar type.
+func (k Kind) IsTypeKeyword() bool {
+	switch k {
+	case KwInt, KwFloat, KwBool, KwString:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package token_test
+
+import (
+	"testing"
+
+	"dca/internal/token"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[token.Kind]string{
+		token.PLUS: "+", token.ARROW: "->", token.SHL: "<<",
+		token.KwFunc: "func", token.KwWhile: "while", token.EOF: "EOF",
+		token.IDENT: "IDENT", token.Kind(9999): "UNKNOWN",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	for spelling, kind := range token.Keywords {
+		if kind.String() != spelling {
+			t.Errorf("keyword %q maps to kind printing %q", spelling, kind.String())
+		}
+	}
+	if len(token.Keywords) != 19 {
+		t.Errorf("keyword count = %d", len(token.Keywords))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	for _, k := range []token.Kind{token.ASSIGN, token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ, token.PERCENTEQ} {
+		if !k.IsAssignOp() {
+			t.Errorf("%s should be an assign op", k)
+		}
+	}
+	if token.EQ.IsAssignOp() || token.PLUS.IsAssignOp() {
+		t.Error("comparison/plus misclassified as assignment")
+	}
+	for _, k := range []token.Kind{token.KwInt, token.KwFloat, token.KwBool, token.KwString} {
+		if !k.IsTypeKeyword() {
+			t.Errorf("%s should be a type keyword", k)
+		}
+	}
+	if token.KwFunc.IsTypeKeyword() {
+		t.Error("func is not a type keyword")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := token.Token{Kind: token.IDENT, Text: "foo"}
+	if tok.String() != "IDENT(foo)" {
+		t.Errorf("token string = %q", tok.String())
+	}
+	op := token.Token{Kind: token.PLUS, Text: "+"}
+	if op.String() != "+" {
+		t.Errorf("op string = %q", op.String())
+	}
+}

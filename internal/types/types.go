@@ -1,0 +1,613 @@
+// Package types implements MiniC's semantic type representation and its
+// static type checker. The checker records the type of every expression;
+// the IR builder consumes those results.
+package types
+
+import (
+	"dca/internal/ast"
+	"dca/internal/source"
+)
+
+// Kind classifies a semantic type.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	Int
+	Float
+	Bool
+	String
+	Pointer // pointer to a struct
+	Array   // heap array of Elem
+	Void    // function with no result
+	UntypedNil
+)
+
+// Type is a semantic MiniC type. Types are canonicalized per checker run,
+// but comparison should use Equal rather than pointer identity.
+type Type struct {
+	Kind   Kind
+	Elem   *Type       // for Array
+	Struct *StructInfo // for Pointer
+}
+
+// Predeclared scalar types.
+var (
+	IntType     = &Type{Kind: Int}
+	FloatType   = &Type{Kind: Float}
+	BoolType    = &Type{Kind: Bool}
+	StringType  = &Type{Kind: String}
+	VoidType    = &Type{Kind: Void}
+	NilType     = &Type{Kind: UntypedNil}
+	InvalidType = &Type{Kind: Invalid}
+)
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case String:
+		return "string"
+	case Pointer:
+		return "*" + t.Struct.Name
+	case Array:
+		return "[]" + t.Elem.String()
+	case Void:
+		return "void"
+	case UntypedNil:
+		return "nil"
+	}
+	return "invalid"
+}
+
+// Equal reports whether two types are identical (nil is assignable to any
+// pointer but not Equal to it).
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case Array:
+		return t.Elem.Equal(u.Elem)
+	case Pointer:
+		return t.Struct == u.Struct
+	}
+	return true
+}
+
+// AssignableTo reports whether a value of type t can be assigned to a
+// location of type u.
+func (t *Type) AssignableTo(u *Type) bool {
+	if t.Equal(u) {
+		return true
+	}
+	return t.Kind == UntypedNil && (u.Kind == Pointer || u.Kind == Array)
+}
+
+// IsRef reports whether the type is heap-referencing (pointer or array).
+func (t *Type) IsRef() bool { return t.Kind == Pointer || t.Kind == Array }
+
+// IsNumeric reports whether the type supports arithmetic.
+func (t *Type) IsNumeric() bool { return t.Kind == Int || t.Kind == Float }
+
+// StructInfo describes a declared struct.
+type StructInfo struct {
+	Name   string
+	Fields []FieldInfo
+	index  map[string]int
+}
+
+// FieldInfo is one struct field.
+type FieldInfo struct {
+	Name string
+	Type *Type
+}
+
+// NewStructInfo builds a struct type from a field list; the compiler uses
+// it to synthesize environment structs during payload outlining.
+func NewStructInfo(name string, fields []FieldInfo) *StructInfo {
+	si := &StructInfo{Name: name, Fields: fields, index: map[string]int{}}
+	for i, f := range fields {
+		si.index[f.Name] = i
+	}
+	return si
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructInfo) FieldIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// FuncSig describes a function signature.
+type FuncSig struct {
+	Name    string
+	Params  []*Type
+	Result  *Type // VoidType when absent
+	Builtin bool
+}
+
+// Builtin functions available to all programs. All of them are pure.
+var Builtins = map[string]*FuncSig{
+	"len":   {Name: "len", Params: []*Type{nil}, Result: IntType, Builtin: true}, // len(array)
+	"float": {Name: "float", Params: []*Type{IntType}, Result: FloatType, Builtin: true},
+	"int":   {Name: "int", Params: []*Type{FloatType}, Result: IntType, Builtin: true},
+	"sqrt":  {Name: "sqrt", Params: []*Type{FloatType}, Result: FloatType, Builtin: true},
+	"abs":   {Name: "abs", Params: []*Type{IntType}, Result: IntType, Builtin: true},
+	"fabs":  {Name: "fabs", Params: []*Type{FloatType}, Result: FloatType, Builtin: true},
+	"log":   {Name: "log", Params: []*Type{FloatType}, Result: FloatType, Builtin: true},
+	"pow":   {Name: "pow", Params: []*Type{FloatType, FloatType}, Result: FloatType, Builtin: true},
+}
+
+// Info holds the results of type checking a program.
+type Info struct {
+	Program   *ast.Program
+	Structs   map[string]*StructInfo
+	Funcs     map[string]*FuncSig
+	ExprTypes map[ast.Expr]*Type
+	VarTypes  map[*ast.VarDecl]*Type
+}
+
+// TypeOf returns the checked type of an expression.
+func (in *Info) TypeOf(e ast.Expr) *Type {
+	if t, ok := in.ExprTypes[e]; ok {
+		return t
+	}
+	return InvalidType
+}
+
+// Check type-checks the program, returning the collected Info. The error is
+// a source.DiagList when problems were found.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Program:   prog,
+			Structs:   map[string]*StructInfo{},
+			Funcs:     map[string]*FuncSig{},
+			ExprTypes: map[ast.Expr]*Type{},
+			VarTypes:  map[*ast.VarDecl]*Type{},
+		},
+		diags: &source.DiagList{},
+		file:  prog.File.Name,
+	}
+	c.collect(prog)
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	c.diags.Sort()
+	return c.info, c.diags.Err()
+}
+
+// MustCheck checks and panics on error; for compiled-in workloads.
+func MustCheck(prog *ast.Program) *Info {
+	info, err := Check(prog)
+	if err != nil {
+		panic("types.MustCheck: " + err.Error())
+	}
+	return info
+}
+
+type checker struct {
+	info   *Info
+	diags  *source.DiagList
+	file   string
+	scopes []map[string]*Type
+	cur    *FuncSig
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.diags.Add(c.file, pos, format, args...)
+}
+
+func (c *checker) collect(prog *ast.Program) {
+	// First pass: struct names (so fields can be mutually recursive).
+	for _, s := range prog.Structs {
+		if _, dup := c.info.Structs[s.Name]; dup {
+			c.errorf(s.Pos(), "duplicate struct %q", s.Name)
+			continue
+		}
+		c.info.Structs[s.Name] = &StructInfo{Name: s.Name, index: map[string]int{}}
+	}
+	// Second pass: struct fields.
+	for _, s := range prog.Structs {
+		si := c.info.Structs[s.Name]
+		for _, f := range s.Fields {
+			if _, dup := si.index[f.Name]; dup {
+				c.errorf(f.NamePos, "duplicate field %q in struct %q", f.Name, s.Name)
+				continue
+			}
+			si.index[f.Name] = len(si.Fields)
+			si.Fields = append(si.Fields, FieldInfo{Name: f.Name, Type: c.resolve(f.Type)})
+		}
+	}
+	// Function signatures.
+	for _, f := range prog.Funcs {
+		if _, dup := c.info.Funcs[f.Name]; dup {
+			c.errorf(f.Pos(), "duplicate function %q", f.Name)
+			continue
+		}
+		if _, isBuiltin := Builtins[f.Name]; isBuiltin {
+			c.errorf(f.Pos(), "function %q shadows a builtin", f.Name)
+		}
+		sig := &FuncSig{Name: f.Name, Result: VoidType}
+		for _, p := range f.Params {
+			sig.Params = append(sig.Params, c.resolve(p.Type))
+		}
+		if f.Ret != nil {
+			sig.Result = c.resolve(f.Ret)
+		}
+		c.info.Funcs[f.Name] = sig
+	}
+}
+
+func (c *checker) resolve(t ast.Type) *Type {
+	switch t := t.(type) {
+	case *ast.NamedType:
+		switch t.Name {
+		case "int":
+			return IntType
+		case "float":
+			return FloatType
+		case "bool":
+			return BoolType
+		case "string":
+			return StringType
+		}
+		if si, ok := c.info.Structs[t.Name]; ok {
+			// A bare struct name in type position means pointer-to-struct;
+			// MiniC has no struct values.
+			return &Type{Kind: Pointer, Struct: si}
+		}
+		c.errorf(t.Pos(), "unknown type %q", t.Name)
+		return InvalidType
+	case *ast.PointerType:
+		elem := t.Elem
+		nt, ok := elem.(*ast.NamedType)
+		if !ok {
+			c.errorf(t.Pos(), "pointer element must be a struct name")
+			return InvalidType
+		}
+		if si, ok := c.info.Structs[nt.Name]; ok {
+			return &Type{Kind: Pointer, Struct: si}
+		}
+		c.errorf(nt.Pos(), "unknown struct %q", nt.Name)
+		return InvalidType
+	case *ast.ArrayType:
+		return &Type{Kind: Array, Elem: c.resolve(t.Elem)}
+	}
+	return InvalidType
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*Type{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos source.Pos, name string, t *Type) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "redeclaration of %q", name)
+	}
+	top[name] = t
+}
+
+func (c *checker) lookup(name string) (*Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) checkFunc(f *ast.FuncDecl) {
+	c.cur = c.info.Funcs[f.Name]
+	c.pushScope()
+	for i, p := range f.Params {
+		c.declare(p.NamePos, p.Name, c.cur.Params[i])
+	}
+	c.checkBlock(f.Body)
+	c.popScope()
+	c.cur = nil
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(s)
+	case *ast.VarDecl:
+		t := c.resolve(s.Type)
+		c.info.VarTypes[s] = t
+		if s.Init != nil {
+			it := c.checkExpr(s.Init)
+			if !it.AssignableTo(t) && it.Kind != Invalid {
+				c.errorf(s.Pos(), "cannot initialize %s variable %q with %s", t, s.Name, it)
+			}
+		}
+		c.declare(s.Pos(), s.Name, t)
+	case *ast.AssignStmt:
+		lt := c.checkLValue(s.LHS)
+		rt := c.checkExpr(s.RHS)
+		if s.Op == "=" {
+			if !rt.AssignableTo(lt) && lt.Kind != Invalid && rt.Kind != Invalid {
+				c.errorf(s.Pos(), "cannot assign %s to %s", rt, lt)
+			}
+			return
+		}
+		// Compound assignment requires numeric operands of the same type
+		// (%= is int-only).
+		if !lt.IsNumeric() || !rt.Equal(lt) {
+			if lt.Kind != Invalid && rt.Kind != Invalid {
+				c.errorf(s.Pos(), "invalid operands for %s: %s and %s", s.Op, lt, rt)
+			}
+		}
+		if s.Op == "%=" && lt.Kind != Int {
+			c.errorf(s.Pos(), "%%= requires int operands")
+		}
+	case *ast.IncDecStmt:
+		lt := c.checkLValue(s.LHS)
+		if lt.Kind != Int && lt.Kind != Float && lt.Kind != Invalid {
+			c.errorf(s.Pos(), "++/-- requires a numeric lvalue, got %s", lt)
+		}
+	case *ast.IfStmt:
+		ct := c.checkExpr(s.Cond)
+		if ct.Kind != Bool && ct.Kind != Invalid {
+			c.errorf(s.Cond.Pos(), "if condition must be bool, got %s", ct)
+		}
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		ct := c.checkExpr(s.Cond)
+		if ct.Kind != Bool && ct.Kind != Invalid {
+			c.errorf(s.Cond.Pos(), "while condition must be bool, got %s", ct)
+		}
+		c.checkBlock(s.Body)
+	case *ast.ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			ct := c.checkExpr(s.Cond)
+			if ct.Kind != Bool && ct.Kind != Invalid {
+				c.errorf(s.Cond.Pos(), "for condition must be bool, got %s", ct)
+			}
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.checkBlock(s.Body)
+		c.popScope()
+	case *ast.ReturnStmt:
+		want := c.cur.Result
+		if s.Val == nil {
+			if want.Kind != Void {
+				c.errorf(s.Pos(), "missing return value (want %s)", want)
+			}
+			return
+		}
+		got := c.checkExpr(s.Val)
+		if want.Kind == Void {
+			c.errorf(s.Pos(), "unexpected return value in void function")
+		} else if !got.AssignableTo(want) && got.Kind != Invalid {
+			c.errorf(s.Pos(), "cannot return %s (want %s)", got, want)
+		}
+	case *ast.BreakStmt, *ast.ContinueStmt:
+		// Loop-nesting validity is enforced syntactically by usage; the IR
+		// builder reports stray break/continue.
+	case *ast.ExprStmt:
+		if _, ok := s.X.(*ast.CallExpr); !ok {
+			c.errorf(s.Pos(), "expression statement must be a call")
+			return
+		}
+		c.checkExpr(s.X)
+	case *ast.PrintStmt:
+		for _, a := range s.Args {
+			c.checkExpr(a)
+		}
+	default:
+		c.errorf(s.Pos(), "unhandled statement %T", s)
+	}
+}
+
+// checkLValue checks an expression in assignment-target position.
+func (c *checker) checkLValue(e ast.Expr) *Type {
+	switch e.(type) {
+	case *ast.Ident, *ast.IndexExpr, *ast.FieldExpr:
+		return c.checkExpr(e)
+	}
+	c.errorf(e.Pos(), "not an assignable location")
+	c.checkExpr(e)
+	return InvalidType
+}
+
+func (c *checker) set(e ast.Expr, t *Type) *Type {
+	c.info.ExprTypes[e] = t
+	return t
+}
+
+func (c *checker) checkExpr(e ast.Expr) *Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return c.set(e, IntType)
+	case *ast.FloatLit:
+		return c.set(e, FloatType)
+	case *ast.BoolLit:
+		return c.set(e, BoolType)
+	case *ast.StringLit:
+		return c.set(e, StringType)
+	case *ast.NilLit:
+		return c.set(e, NilType)
+	case *ast.Ident:
+		if t, ok := c.lookup(e.Name); ok {
+			return c.set(e, t)
+		}
+		c.errorf(e.Pos(), "undefined variable %q", e.Name)
+		return c.set(e, InvalidType)
+	case *ast.UnaryExpr:
+		xt := c.checkExpr(e.X)
+		switch e.Op {
+		case "-":
+			if !xt.IsNumeric() && xt.Kind != Invalid {
+				c.errorf(e.Pos(), "operator - requires numeric operand, got %s", xt)
+			}
+			return c.set(e, xt)
+		case "!":
+			if xt.Kind != Bool && xt.Kind != Invalid {
+				c.errorf(e.Pos(), "operator ! requires bool operand, got %s", xt)
+			}
+			return c.set(e, BoolType)
+		}
+		return c.set(e, InvalidType)
+	case *ast.BinaryExpr:
+		return c.set(e, c.checkBinary(e))
+	case *ast.CallExpr:
+		return c.set(e, c.checkCall(e))
+	case *ast.IndexExpr:
+		xt := c.checkExpr(e.X)
+		it := c.checkExpr(e.Index)
+		if it.Kind != Int && it.Kind != Invalid {
+			c.errorf(e.Index.Pos(), "array index must be int, got %s", it)
+		}
+		if xt.Kind == Array {
+			return c.set(e, xt.Elem)
+		}
+		if xt.Kind != Invalid {
+			c.errorf(e.Pos(), "cannot index %s", xt)
+		}
+		return c.set(e, InvalidType)
+	case *ast.FieldExpr:
+		xt := c.checkExpr(e.X)
+		if xt.Kind != Pointer {
+			if xt.Kind != Invalid {
+				c.errorf(e.Pos(), "field access requires a struct pointer, got %s", xt)
+			}
+			return c.set(e, InvalidType)
+		}
+		idx := xt.Struct.FieldIndex(e.Name)
+		if idx < 0 {
+			c.errorf(e.Pos(), "struct %q has no field %q", xt.Struct.Name, e.Name)
+			return c.set(e, InvalidType)
+		}
+		return c.set(e, xt.Struct.Fields[idx].Type)
+	case *ast.NewExpr:
+		t := c.resolve(e.Type)
+		if e.Len != nil {
+			lt := c.checkExpr(e.Len)
+			if lt.Kind != Int && lt.Kind != Invalid {
+				c.errorf(e.Len.Pos(), "array length must be int, got %s", lt)
+			}
+			return c.set(e, &Type{Kind: Array, Elem: t})
+		}
+		if t.Kind != Pointer {
+			c.errorf(e.Pos(), "new requires a struct type, got %s", t)
+			return c.set(e, InvalidType)
+		}
+		return c.set(e, t)
+	}
+	c.errorf(e.Pos(), "unhandled expression %T", e)
+	return InvalidType
+}
+
+func (c *checker) checkBinary(e *ast.BinaryExpr) *Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	if xt.Kind == Invalid || yt.Kind == Invalid {
+		return InvalidType
+	}
+	switch e.Op {
+	case "+", "-", "*", "/":
+		if xt.IsNumeric() && xt.Equal(yt) {
+			return xt
+		}
+		if e.Op == "+" && xt.Kind == String && yt.Kind == String {
+			return StringType
+		}
+	case "%", "<<", ">>", "&", "|", "^":
+		if xt.Kind == Int && yt.Kind == Int {
+			return IntType
+		}
+	case "==", "!=":
+		if xt.Equal(yt) || xt.AssignableTo(yt) || yt.AssignableTo(xt) {
+			return BoolType
+		}
+	case "<", "<=", ">", ">=":
+		if (xt.IsNumeric() || xt.Kind == String) && xt.Equal(yt) {
+			return BoolType
+		}
+	case "&&", "||":
+		if xt.Kind == Bool && yt.Kind == Bool {
+			return BoolType
+		}
+	}
+	c.errorf(e.Pos(), "invalid operands for %s: %s and %s", e.Op, xt, yt)
+	return InvalidType
+}
+
+func (c *checker) checkCall(e *ast.CallExpr) *Type {
+	name := e.Fn.Name
+	if sig, ok := Builtins[name]; ok {
+		return c.checkBuiltin(e, sig)
+	}
+	sig, ok := c.info.Funcs[name]
+	if !ok {
+		c.errorf(e.Pos(), "undefined function %q", name)
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		return InvalidType
+	}
+	if len(e.Args) != len(sig.Params) {
+		c.errorf(e.Pos(), "call to %q has %d args, want %d", name, len(e.Args), len(sig.Params))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if i < len(sig.Params) && !at.AssignableTo(sig.Params[i]) && at.Kind != Invalid {
+			c.errorf(a.Pos(), "arg %d of %q: cannot use %s as %s", i+1, name, at, sig.Params[i])
+		}
+	}
+	return sig.Result
+}
+
+func (c *checker) checkBuiltin(e *ast.CallExpr, sig *FuncSig) *Type {
+	name := sig.Name
+	if len(e.Args) != len(sig.Params) {
+		c.errorf(e.Pos(), "builtin %q takes %d args, got %d", name, len(sig.Params), len(e.Args))
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		return sig.Result
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		want := sig.Params[i]
+		if want == nil { // len: any array
+			if at.Kind != Array && at.Kind != Invalid {
+				c.errorf(a.Pos(), "len requires an array, got %s", at)
+			}
+			continue
+		}
+		if !at.AssignableTo(want) && at.Kind != Invalid {
+			c.errorf(a.Pos(), "arg %d of builtin %q: cannot use %s as %s", i+1, name, at, want)
+		}
+	}
+	return sig.Result
+}

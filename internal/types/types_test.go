@@ -1,0 +1,147 @@
+package types_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/parser"
+	"dca/internal/types"
+)
+
+func check(t *testing.T, src string) (*types.Info, error) {
+	t.Helper()
+	prog, err := parser.Parse("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return types.Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *types.Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func TestBasicProgram(t *testing.T) {
+	info := mustCheck(t, `
+struct Node { val int; next *Node; }
+func sum(head *Node) int {
+	var s int = 0;
+	var p *Node = head;
+	while (p != nil) { s += p->val; p = p->next; }
+	return s;
+}
+func main() {
+	var n *Node = new Node;
+	n->val = 3;
+	print(sum(n));
+}
+`)
+	if info.Funcs["sum"].Result.Kind != types.Int {
+		t.Errorf("sum result = %s", info.Funcs["sum"].Result)
+	}
+	if info.Structs["Node"].FieldIndex("next") != 1 {
+		t.Errorf("next index = %d", info.Structs["Node"].FieldIndex("next"))
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"undefined var", `func main() { x = 1; }`, "undefined variable"},
+		{"undefined func", `func main() { f(); }`, "undefined function"},
+		{"bad assign", `func main() { var x int = 0; x = true; }`, "cannot assign"},
+		{"bad init", `func main() { var x int = 1.5; }`, "cannot initialize"},
+		{"bad cond", `func main() { if (1) { } }`, "must be bool"},
+		{"while cond", `func main() { while (2) { } }`, "must be bool"},
+		{"bad binop", `func main() { var x int = 1 + true; }`, "invalid operands"},
+		{"bad index", `func main() { var x int = 3; print(x[0]); }`, "cannot index"},
+		{"float index", `func main() { var a []int = new [4]int; print(a[1.5]); }`, "index must be int"},
+		{"no field", `struct S { a int; } func main() { var s *S = new S; print(s->b); }`, "no field"},
+		{"field on scalar", `func main() { var x int = 0; print(x->y); }`, "struct pointer"},
+		{"arity", `func f(a int) { } func main() { f(1, 2); }`, "2 args, want 1"},
+		{"arg type", `func f(a int) { } func main() { f(true); }`, "cannot use bool"},
+		{"missing return", `func f() int { return; }`, "missing return value"},
+		{"void return", `func f() { return 3; }`, "unexpected return value"},
+		{"return type", `func f() int { return true; }`, "cannot return bool"},
+		{"dup struct", `struct S { } struct S { }`, "duplicate struct"},
+		{"dup func", `func f() { } func f() { }`, "duplicate function"},
+		{"dup field", `struct S { a int; a int; }`, "duplicate field"},
+		{"redecl", `func main() { var x int = 0; var x int = 1; }`, "redeclaration"},
+		{"unknown type", `func main() { var x Foo = nil; }`, "unknown type"},
+		{"new scalar", `func main() { var x int = 0; x = new int; }`, "new requires a struct type"},
+		{"mod float", `func main() { var x float = 1.0; x %= 2.0; }`, "%="},
+		{"shadow builtin", `func len(x int) int { return x; }`, "shadows a builtin"},
+		{"stmt not call", `func main() { 1 + 2; }`, "must be a call"},
+		{"len scalar", `func main() { print(len(3)); }`, "requires an array"},
+		{"string cmp mix", `func main() { var b bool = "a" < 1; }`, "invalid operands"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := check(t, c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidPrograms(t *testing.T) {
+	cases := []string{
+		`func main() { var s string = "a" + "b"; print(s, s < "c"); }`,
+		`func main() { var a []int = new [8]int; print(len(a)); }`,
+		`struct P { x float; } func main() { var p *P = nil; if (p == nil) { } }`,
+		`func main() { var a [][]int = new [3][]int; a[0] = new [2]int; a[0][1] = 5; print(a[0][1]); }`,
+		`func f() *Q { return nil; } struct Q { } func main() { print(f() == nil); }`,
+		`func main() { var x float = float(3) + 1.5; var y int = int(x); print(y); }`,
+		`func main() { var b bool = true && false || !true; print(b); }`,
+		`func main() { for (var i int = 0; i < 3; i++) { continue; } }`,
+	}
+	for i, src := range cases {
+		if _, err := check(t, src); err != nil {
+			t.Errorf("case %d: unexpected error: %v\n%s", i, err, src)
+		}
+	}
+}
+
+func TestTypeEquality(t *testing.T) {
+	si := types.NewStructInfo("S", []types.FieldInfo{{Name: "x", Type: types.IntType}})
+	p1 := &types.Type{Kind: types.Pointer, Struct: si}
+	p2 := &types.Type{Kind: types.Pointer, Struct: si}
+	if !p1.Equal(p2) {
+		t.Error("same struct pointers must be equal")
+	}
+	a1 := &types.Type{Kind: types.Array, Elem: types.IntType}
+	a2 := &types.Type{Kind: types.Array, Elem: types.FloatType}
+	if a1.Equal(a2) {
+		t.Error("different array elems must differ")
+	}
+	if !types.NilType.AssignableTo(p1) || !types.NilType.AssignableTo(a1) {
+		t.Error("nil assignable to refs")
+	}
+	if types.NilType.AssignableTo(types.IntType) {
+		t.Error("nil not assignable to int")
+	}
+	if a1.String() != "[]int" || p1.String() != "*S" {
+		t.Errorf("strings: %s, %s", a1, p1)
+	}
+}
+
+func TestExprTypesRecorded(t *testing.T) {
+	info := mustCheck(t, `func main() { var x int = 1 + 2; print(x); }`)
+	found := false
+	for _, typ := range info.ExprTypes {
+		if typ.Kind == types.Int {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no int expression types recorded")
+	}
+}

@@ -1,0 +1,319 @@
+// Package archetype is the loop-archetype library behind the NPB proxy
+// suite. Each archetype is a self-contained MiniC loop with known ground
+// truth and a characteristic detection signature across the six analyzers
+// (Dependence Profiling, DiscoPoP, Idioms, Polly, ICC, DCA). The per-
+// benchmark archetype mixes in workloads/npb are chosen so that running the
+// real detectors over the generated programs reproduces the paper's
+// Tables I and III row by row; the verdicts themselves always come from the
+// analyzers, never from this table.
+package archetype
+
+import "fmt"
+
+// Kind enumerates the loop archetypes.
+type Kind int
+
+// Archetypes. The comment gives the expected detection signature in the
+// order (DepProf, DiscoPoP, Idioms, Polly, ICC, DCA).
+const (
+	// DoallConst: a[i] = f(i) with affine everything. (1,1,0,1,1,1)
+	DoallConst Kind = iota
+	// DoallCall: a[i] = pure(i); Polly rejects calls, ICC inlines.
+	// (1,1,0,0,1,1)
+	DoallCall
+	// DoallCallRW: upd(a, i) writes a[i] through an impure callee; only the
+	// dynamic dependence profile and DCA see the writes are disjoint;
+	// DiscoPoP's CU construction keeps the inter-unit dependence.
+	// (1,0,0,0,0,1)
+	DoallCallRW
+	// DoallDown: downward-counting doall; polyhedral analysis is direction
+	// agnostic, the ICC model's dependence tests only handle canonical
+	// upward loops. (1,1,0,1,0,1)
+	DoallDown
+	// SumReduction: s += f(i). Polly (as configured for detection) has no
+	// reduction support. (1,1,1,0,1,1)
+	SumReduction
+	// MinMaxReduction: if (v > m) m = v. DiscoPoP's pattern matcher lacks
+	// conditional reductions. (1,0,1,0,1,1)
+	MinMaxReduction
+	// Histogram: h[key(i)] += 1 with a non-affine key; only the idiom
+	// matcher handles it statically. (1,1,1,0,0,1)
+	Histogram
+	// ScatterPerm: dst[perm(i)] = f(i) where perm is an injective
+	// non-affine map; dynamically dependence-free, statically opaque.
+	// (1,1,0,0,0,1)
+	ScatterPerm
+	// Recurrence: a[i] = a[i-1] + f(i); truly serial. (0,0,0,0,0,0)
+	Recurrence
+	// IOLoop: prints inside the loop; excluded/serial everywhere.
+	// (0,0,0,0,0,0)
+	IOLoop
+	// UnexercisedPolly: an affine doall behind a workload-false guard;
+	// static tools still detect it, dynamic tools see nothing.
+	// (0,0,0,1,1,0)
+	UnexercisedPolly
+	// UnexercisedICC: same, with a pure call so only ICC detects it.
+	// (0,0,0,0,1,0)
+	UnexercisedICC
+	// PLDSMap: linked-list traversal map loop; only DCA. (0,0,0,0,0,1)
+	PLDSMap
+	// FloatSum: floating-point accumulation with rounding; the dependence
+	// tools treat it as a reduction, DCA observes the permuted rounding.
+	// (1,1,1,0,1,0)
+	FloatSum
+	numKinds
+)
+
+var kindNames = [...]string{
+	"doall_const", "doall_call", "doall_callrw", "doall_down",
+	"sum_reduction", "minmax_reduction", "histogram", "scatter_perm",
+	"recurrence", "io_loop", "unexercised_polly", "unexercised_icc",
+	"plds_map", "float_sum",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Kinds lists every archetype.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Truth is the ground truth of an archetype loop, established analytically
+// (this is the "expert algorithmic knowledge" column behind Table IV).
+type Truth int
+
+// Ground-truth classes.
+const (
+	// TruthParallel: the loop's iterations may run in any order.
+	TruthParallel Truth = iota
+	// TruthSerial: reordering changes the result.
+	TruthSerial
+	// TruthNotExercised: parallel, but the workload never runs it.
+	TruthNotExercised
+	// TruthIO: excluded from parallelization for side effects.
+	TruthIO
+)
+
+// Truth returns the archetype's ground truth.
+func (k Kind) Truth() Truth {
+	switch k {
+	case Recurrence, FloatSum:
+		return TruthSerial
+	case IOLoop:
+		return TruthIO
+	case UnexercisedPolly, UnexercisedICC:
+		return TruthNotExercised
+	}
+	return TruthParallel
+}
+
+// Instance is one concrete archetype loop in a generated program.
+type Instance struct {
+	Kind Kind
+	Seq  int // program-unique sequence number
+	Trip int // iteration count (drives the coverage profile)
+}
+
+// Piece is the MiniC fragments of one instance: loop parameters and body
+// (assembled into a function by the program builder, possibly sharing a
+// function with a paired instance), plus main-side setup/call/consume code.
+type Piece struct {
+	// Params are "name type" parameter declarations for the loop function.
+	Params []string
+	// Body is the loop (and any per-call locals) inside the function.
+	Body string
+	// Ret is the function result type ("" for void) and RetExpr the value.
+	Ret     string
+	RetExpr string
+	// Setup runs in main before the call (allocations).
+	Setup string
+	// Args are the call arguments supplied by main.
+	Args []string
+	// Consume is a main-side expression folded into the program checksum
+	// ("" when the function's return value is the checksum contribution).
+	Consume string
+}
+
+// Build renders an instance.
+func Build(inst Instance) Piece {
+	n := inst.Trip
+	s := inst.Seq
+	arr := fmt.Sprintf("arr%d", s)
+	switch inst.Kind {
+	case DoallConst:
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    "\tfor (var i int = 0; i < n; i++) { a[i] = i * 3 + 7; }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [%d]int;\n", arr, n),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[0] + %s[%d]", arr, arr, n-1),
+		}
+	case DoallCall:
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    "\tfor (var i int = 0; i < n; i++) { a[i] = pure3(i); }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [%d]int;\n", arr, n),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[0] + %s[%d]", arr, arr, n-1),
+		}
+	case DoallCallRW:
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    "\tfor (var i int = 0; i < n; i++) { upd(a, i); }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [%d]int;\n", arr, n),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[0] + %s[%d]", arr, arr, n-1),
+		}
+	case DoallDown:
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    "\tfor (var i int = n - 1; i >= 0; i--) { a[i] = i * 5 + 1; }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [%d]int;\n", arr, n),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[0] + %s[%d]", arr, arr, n-1),
+		}
+	case SumReduction:
+		return Piece{
+			Params:  []string{"n int"},
+			Body:    fmt.Sprintf("\tvar s%d int = 0;\n\tfor (var i int = 0; i < n; i++) { s%d += (i * 7 + 3) %% 13; }\n", s, s),
+			Ret:     "int",
+			RetExpr: fmt.Sprintf("s%d", s),
+			Args:    []string{fmt.Sprint(n)},
+		}
+	case MinMaxReduction:
+		return Piece{
+			Params: []string{"n int"},
+			Body: fmt.Sprintf("\tvar m%d int = 0;\n\tfor (var i int = 0; i < n; i++) {\n"+
+				"\t\tvar v int = (i * 17 + 5) %% 97;\n\t\tif (v > m%d) { m%d = v; }\n\t}\n", s, s, s),
+			Ret:     "int",
+			RetExpr: fmt.Sprintf("m%d", s),
+			Args:    []string{fmt.Sprint(n)},
+		}
+	case Histogram:
+		return Piece{
+			Params:  []string{"h []int", "n int"},
+			Body:    "\tfor (var i int = 0; i < n; i++) { h[(i * 7 + 3) % 8] += 1; }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [8]int;\n", arr),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[0] + %s[7] * 3", arr, arr),
+		}
+	case ScatterPerm:
+		// stride coprime with n gives an injective index map.
+		stride := coprimeStride(n)
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    fmt.Sprintf("\tfor (var i int = 0; i < n; i++) { a[(i * %d) %% n] = i * 5 + 2; }\n", stride),
+			Setup:   fmt.Sprintf("\tvar %s []int = new [%d]int;\n", arr, n),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[0] + %s[%d]", arr, arr, n-1),
+		}
+	case Recurrence:
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    "\tfor (var i int = 1; i < n; i++) { a[i] = a[i-1] + i % 9; }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [%d]int;\n", arr, n),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[%d]", arr, n-1),
+		}
+	case IOLoop:
+		return Piece{
+			Params: []string{"a []int", "n int"},
+			Body: "\tfor (var i int = 0; i < n; i++) {\n" +
+				"\t\ta[i] = i * 2 + 1;\n\t\tif (i % 32 == 0) { print(i); }\n\t}\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [%d]int;\n", arr, n),
+			Args:    []string{arr, fmt.Sprint(n)},
+			Consume: fmt.Sprintf("%s[0] + %s[%d]", arr, arr, n-1),
+		}
+	case UnexercisedPolly:
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    "\tfor (var i int = 0; i < n; i++) { a[i] = i * 11 + 4; }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [4]int;\n", arr),
+			Args:    []string{arr, "0"}, // never exercised by the workload
+			Consume: fmt.Sprintf("%s[0]", arr),
+		}
+	case UnexercisedICC:
+		return Piece{
+			Params:  []string{"a []int", "n int"},
+			Body:    "\tfor (var i int = 0; i < n; i++) { a[i] = pure3(i); }\n",
+			Setup:   fmt.Sprintf("\tvar %s []int = new [4]int;\n", arr),
+			Args:    []string{arr, "0"},
+			Consume: fmt.Sprintf("%s[0]", arr),
+		}
+	case PLDSMap:
+		// Build the list serially (that loop is part of the instance and is
+		// itself a carried-dependence loop), then map over it.
+		return Piece{
+			Params: []string{"n int"},
+			Body: fmt.Sprintf("\tvar head%d *DNode = nil;\n"+
+				"\tfor (var i int = 0; i < n; i++) {\n"+
+				"\t\tvar nd *DNode = new DNode;\n\t\tnd->val = i;\n\t\tnd->next = head%d;\n\t\thead%d = nd;\n\t}\n"+
+				"\tvar p%d *DNode = head%d;\n"+
+				"\twhile (p%d != nil) {\n\t\tp%d->val = p%d->val * 2 + 1;\n\t\tp%d = p%d->next;\n\t}\n"+
+				"\tvar s%d int = 0;\n\tp%d = head%d;\n"+
+				"\twhile (p%d != nil) { s%d += p%d->val; p%d = p%d->next; }\n",
+				s, s, s, s, s, s, s, s, s, s, s, s, s, s, s, s, s, s),
+			Ret:     "int",
+			RetExpr: fmt.Sprintf("s%d", s),
+			Args:    []string{fmt.Sprint(n)},
+		}
+	case FloatSum:
+		// Mixed-magnitude partial sums: reordering the additions changes the
+		// rounding, which DCA observes and the dependence tools do not.
+		return Piece{
+			Params: []string{"n int"},
+			Body: fmt.Sprintf("\tvar f%d float = 0.0;\n"+
+				"\tfor (var i int = 0; i < n; i++) { f%d += 1.0 / float((i %% 17) * (i %% 17) + 1); }\n", s, s),
+			Ret:     "int",
+			RetExpr: fmt.Sprintf("int(f%d * 100000000.0)", s),
+			Args:    []string{fmt.Sprint(n)},
+		}
+	}
+	panic(fmt.Sprintf("archetype: unknown kind %d", inst.Kind))
+}
+
+// LoopsPerInstance returns how many loops an instance contributes (almost
+// always 1; PLDSMap contributes 3: build, map and sum; FloatSum's carry
+// chain is 1).
+func (k Kind) LoopsPerInstance() int {
+	if k == PLDSMap {
+		return 3
+	}
+	return 1
+}
+
+// SharedDecls returns the helper functions and structs archetype bodies
+// reference; emit once per program.
+func SharedDecls(needPure, needUpd, needPLDS bool) string {
+	out := ""
+	if needPLDS {
+		out += "struct DNode { val int; next *DNode; }\n"
+	}
+	if needPure {
+		out += "func pure3(x int) int { return x * 2 + 1; }\n"
+	}
+	if needUpd {
+		out += "func upd(a []int, i int) { a[i] = i * 2 + 1; }\n"
+	}
+	return out
+}
+
+// coprimeStride returns a stride > 1 coprime with n.
+func coprimeStride(n int) int {
+	for s := 5; ; s += 2 {
+		if gcd(s, n) == 1 {
+			return s
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,223 @@
+package archetype_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/dcart"
+	"dca/internal/depprof"
+	"dca/internal/discopop"
+	"dca/internal/icc"
+	"dca/internal/idioms"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+	"dca/internal/polly"
+	"dca/internal/workloads/archetype"
+)
+
+// Signature is a detection vector over the six analyzers.
+type Signature struct {
+	DepProf, DiscoPoP, Idioms, Polly, ICC, DCA bool
+}
+
+// want maps every archetype to its documented signature; the test asserts
+// that the real detectors reproduce it. If this table drifts, the NPB mix
+// algebra in workloads/npb no longer reproduces the paper's tables.
+var want = map[archetype.Kind]Signature{
+	archetype.DoallConst:       {true, true, false, true, true, true},
+	archetype.DoallCall:        {true, true, false, false, true, true},
+	archetype.DoallCallRW:      {true, false, false, false, false, true},
+	archetype.DoallDown:        {true, true, false, true, false, true},
+	archetype.SumReduction:     {true, true, true, false, true, true},
+	archetype.MinMaxReduction:  {true, false, true, false, true, true},
+	archetype.Histogram:        {true, true, true, false, false, true},
+	archetype.ScatterPerm:      {true, true, false, false, false, true},
+	archetype.Recurrence:       {false, false, false, false, false, false},
+	archetype.IOLoop:           {false, false, false, false, false, false},
+	archetype.UnexercisedPolly: {false, false, false, true, true, false},
+	archetype.UnexercisedICC:   {false, false, false, false, true, false},
+	archetype.FloatSum:         {true, true, true, false, true, false},
+}
+
+// measure runs every detector over a program and returns the signature of
+// the given loop.
+func measure(t *testing.T, prog *ir.Program, fn string, idx int) Signature {
+	t.Helper()
+	var sig Signature
+	dp, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 0)
+	if err != nil {
+		t.Fatalf("depprof: %v", err)
+	}
+	if v := dp.Verdict(fn, idx); v != nil {
+		sig.DepProf = v.Parallel
+	}
+	dpp, err := discopop.Analyze(prog, 0)
+	if err != nil {
+		t.Fatalf("discopop: %v", err)
+	}
+	if v := dpp.Verdict(fn, idx); v != nil {
+		sig.DiscoPoP = v.Parallel
+	}
+	if v := idioms.Analyze(prog).Verdict(fn, idx); v != nil {
+		sig.Idioms = v.Parallel
+	}
+	if v := polly.Analyze(prog).Verdict(fn, idx); v != nil {
+		sig.Polly = v.Parallel
+	}
+	if v := icc.Analyze(prog).Verdict(fn, idx); v != nil {
+		sig.ICC = v.Parallel
+	}
+	res, err := core.AnalyzeLoop(prog, fn, idx, core.Options{
+		Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}},
+	})
+	if err != nil {
+		t.Fatalf("dca: %v", err)
+	}
+	sig.DCA = res.Verdict.IsParallelizable()
+	return sig
+}
+
+// TestSignatures is the calibration gate: every archetype must exhibit its
+// documented detection signature under the real analyzers.
+func TestSignatures(t *testing.T) {
+	for kind, expect := range want {
+		kind, expect := kind, expect
+		t.Run(kind.String(), func(t *testing.T) {
+			src := archetype.Source([]archetype.Group{
+				{archetype.Instance{Kind: kind, Seq: 0, Trip: 40}},
+			})
+			prog, err := irbuild.Compile(kind.String()+".mc", src)
+			if err != nil {
+				t.Fatalf("compile: %v\nsource:\n%s", err, src)
+			}
+			got := measure(t, prog, "work0", 0)
+			if got != expect {
+				t.Errorf("signature = %+v, want %+v\nsource:\n%s", got, expect, src)
+			}
+		})
+	}
+}
+
+// TestPLDSMapSignature checks the map loop of the PLDS archetype (its build
+// and sum loops are separate).
+func TestPLDSMapSignature(t *testing.T) {
+	src := archetype.Source([]archetype.Group{
+		{archetype.Instance{Kind: archetype.PLDSMap, Seq: 0, Trip: 24}},
+	})
+	prog, err := irbuild.Compile("plds.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	// Loop 0 builds the list (serial), loop 1 is the map (DCA-only), loop 2
+	// sums (DCA-only; the pointer chase defeats the dependence tools).
+	got := measure(t, prog, "work0", 1)
+	expect := Signature{DCA: true}
+	if got != expect {
+		t.Errorf("map loop signature = %+v, want %+v", got, expect)
+	}
+	if sum := measure(t, prog, "work0", 2); !sum.DCA || sum.DepProf {
+		t.Errorf("sum loop signature = %+v, want DCA-only", sum)
+	}
+}
+
+// TestTaskPairSection: pairing two independent doall-call loops in one
+// function yields exactly one extra DiscoPoP region.
+func TestTaskPairSection(t *testing.T) {
+	src := archetype.Source([]archetype.Group{
+		{
+			archetype.Instance{Kind: archetype.DoallCall, Seq: 0, Trip: 32},
+			archetype.Instance{Kind: archetype.DoallCall, Seq: 1, Trip: 32},
+		},
+	})
+	prog, err := irbuild.Compile("pair.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	rep, err := discopop.Analyze(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TaskSections) != 1 {
+		t.Errorf("task sections = %d, want 1\n%s", len(rep.TaskSections), rep)
+	}
+	if rep.ParallelRegions() != rep.ParallelLoops()+1 {
+		t.Errorf("regions %d != loops %d + 1", rep.ParallelRegions(), rep.ParallelLoops())
+	}
+}
+
+// TestProgramRuns: an assembled multi-archetype program compiles, runs and
+// produces deterministic output.
+func TestProgramRuns(t *testing.T) {
+	var groups []archetype.Group
+	seq := 0
+	for _, k := range archetype.Kinds() {
+		groups = append(groups, archetype.Group{archetype.Instance{Kind: k, Seq: seq, Trip: 24}})
+		seq++
+	}
+	src := archetype.Source(groups)
+	prog, err := irbuild.Compile("all.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	if _, err := depprof.Trace(prog, 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRandomMixesNoFalsePositives is a randomized property check of Table
+// IV's headline claim: across arbitrary archetype mixes, DCA never reports
+// a ground-truth-serial loop as commutative and never misses an exercised
+// ground-truth-parallel one.
+func TestRandomMixesNoFalsePositives(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	kinds := archetype.Kinds()
+	for trial := 0; trial < 4; trial++ {
+		var groups []archetype.Group
+		var truths []archetype.Truth
+		seq := 0
+		for len(groups) < 10 {
+			k := kinds[rnd.Intn(len(kinds))]
+			if k == archetype.PLDSMap {
+				continue // 3 loops/instance: tracked separately below
+			}
+			trip := 16 + rnd.Intn(48)
+			groups = append(groups, archetype.Group{archetype.Instance{Kind: k, Seq: seq, Trip: trip}})
+			truths = append(truths, k.Truth())
+			seq++
+		}
+		src := archetype.Source(groups)
+		prog, err := irbuild.Compile("rand.mc", src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		rep, err := core.Analyze(prog, core.Options{
+			Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: int64(trial + 1)}},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: analyze: %v", trial, err)
+		}
+		for gi, truth := range truths {
+			res := rep.Result(fmt.Sprintf("work%d", gi), 0)
+			if res == nil {
+				t.Fatalf("trial %d: missing verdict for group %d", trial, gi)
+			}
+			detected := res.Verdict.IsParallelizable()
+			switch truth {
+			case archetype.TruthSerial, archetype.TruthIO:
+				if detected {
+					t.Errorf("trial %d: FALSE POSITIVE on %s group %d (%s)", trial, groups[gi][0].Kind, gi, res.Verdict)
+				}
+			case archetype.TruthParallel:
+				if !detected {
+					t.Errorf("trial %d: FALSE NEGATIVE on %s group %d (%s: %s)", trial, groups[gi][0].Kind, gi, res.Verdict, res.Reason)
+				}
+			case archetype.TruthNotExercised:
+				if res.Verdict != core.NotExecuted {
+					t.Errorf("trial %d: unexercised %s group %d reported %s", trial, groups[gi][0].Kind, gi, res.Verdict)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package archetype
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group is a set of instances emitted into one function. Groups of two
+// independent instances form the task-parallel sections DiscoPoP detects;
+// most groups hold a single instance.
+type Group []Instance
+
+// Source assembles a complete MiniC program from instance groups. Each
+// group becomes one function; main allocates the data, invokes every group
+// in order and prints a checksum so all results are live.
+func Source(groups []Group) string {
+	var decls, setups, calls strings.Builder
+	needPure, needUpd, needPLDS := false, false, false
+	var consumes []string
+	for _, g := range groups {
+		for _, inst := range g {
+			switch inst.Kind {
+			case DoallCall, UnexercisedICC:
+				needPure = true
+			case DoallCallRW:
+				needUpd = true
+			case PLDSMap:
+				needPLDS = true
+			}
+		}
+	}
+	for gi, g := range groups {
+		fname := fmt.Sprintf("work%d", gi)
+		var params, body, retExprs []string
+		var args []string
+		for pi, inst := range g {
+			piece := Build(inst)
+			// Parameter names are shared inside a group function; suffix
+			// them per position to keep them unique.
+			rename := map[string]string{}
+			for _, p := range piece.Params {
+				parts := strings.SplitN(p, " ", 2)
+				fresh := fmt.Sprintf("%s_%d", parts[0], pi)
+				rename[parts[0]] = fresh
+				params = append(params, fresh+" "+parts[1])
+			}
+			b := piece.Body
+			for old, fresh := range rename {
+				b = renameIdent(b, old, fresh)
+			}
+			body = append(body, b)
+			if piece.RetExpr != "" {
+				retExprs = append(retExprs, piece.RetExpr)
+			}
+			setups.WriteString(piece.Setup)
+			args = append(args, piece.Args...)
+			if piece.Consume != "" {
+				consumes = append(consumes, piece.Consume)
+			}
+		}
+		ret := ""
+		retStmt := ""
+		if len(retExprs) > 0 {
+			ret = " int"
+			retStmt = "\treturn " + strings.Join(retExprs, " + 31 * (") + strings.Repeat(")", len(retExprs)-1) + ";\n"
+		}
+		fmt.Fprintf(&decls, "func %s(%s)%s {\n%s%s}\n", fname, strings.Join(params, ", "), ret, strings.Join(body, ""), retStmt)
+		if len(retExprs) > 0 {
+			fmt.Fprintf(&calls, "\tcheck += %s(%s);\n", fname, strings.Join(args, ", "))
+		} else {
+			fmt.Fprintf(&calls, "\t%s(%s);\n", fname, strings.Join(args, ", "))
+		}
+	}
+	var b strings.Builder
+	b.WriteString(SharedDecls(needPure, needUpd, needPLDS))
+	b.WriteString(decls.String())
+	b.WriteString("func main() {\n")
+	b.WriteString(setups.String())
+	b.WriteString("\tvar check int = 0;\n")
+	b.WriteString(calls.String())
+	for _, c := range consumes {
+		fmt.Fprintf(&b, "\tcheck += %s;\n", c)
+	}
+	b.WriteString("\tprint(check);\n}\n")
+	return b.String()
+}
+
+// renameIdent renames whole-word occurrences of an identifier in a MiniC
+// fragment.
+func renameIdent(src, old, fresh string) string {
+	isWord := func(c byte) bool {
+		return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+	}
+	var out strings.Builder
+	for i := 0; i < len(src); {
+		j := strings.Index(src[i:], old)
+		if j < 0 {
+			out.WriteString(src[i:])
+			break
+		}
+		j += i
+		before := j == 0 || !isWord(src[j-1])
+		after := j+len(old) >= len(src) || !isWord(src[j+len(old)])
+		out.WriteString(src[i:j])
+		if before && after {
+			out.WriteString(fresh)
+		} else {
+			out.WriteString(old)
+		}
+		i = j + len(old)
+	}
+	return out.String()
+}

@@ -1,0 +1,81 @@
+package npb_test
+
+import (
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/interp"
+	"dca/internal/workloads/npb"
+)
+
+// TestSpecInvariants checks the structural bookkeeping of every benchmark
+// spec: the archetype counts must sum to the paper's loop count, the
+// generated program must compile, actually contain that many loops, and
+// run deterministically. (The detection-count assertions live in
+// internal/bench's TestNPBFull.)
+func TestSpecInvariants(t *testing.T) {
+	names := map[string]bool{}
+	for _, spec := range npb.Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if names[spec.Name] {
+				t.Fatalf("duplicate benchmark %q", spec.Name)
+			}
+			names[spec.Name] = true
+			if got := spec.ExpectedLoops(); got != spec.Paper.Loops {
+				t.Fatalf("archetype mix yields %d loops, paper says %d", got, spec.Paper.Loops)
+			}
+			if spec.TripStatic <= 0 || spec.TripDyn <= 0 || spec.TripSerial <= 0 || spec.TripIO <= 0 {
+				t.Fatalf("non-positive trips: %+v", spec)
+			}
+			if spec.BandwidthCap <= 0 || spec.BandwidthCap > 72 {
+				t.Fatalf("bandwidth cap out of range: %v", spec.BandwidthCap)
+			}
+			if spec.ExpertFullCov <= 0 || spec.ExpertFullCov > 1 || spec.ExpertFullCap <= 0 {
+				t.Fatalf("expert parameters out of range: %+v", spec)
+			}
+			prog, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, spec.Source())
+			}
+			loops := 0
+			for _, fn := range prog.Funcs {
+				_, ls := cfg.LoopsOf(fn)
+				loops += len(ls)
+			}
+			if loops != spec.Paper.Loops {
+				t.Fatalf("generated program has %d loops, want %d", loops, spec.Paper.Loops)
+			}
+		})
+	}
+	if len(names) != 10 {
+		t.Fatalf("benchmarks = %d, want 10", len(names))
+	}
+}
+
+// TestGeneratedProgramsRun executes the two smallest proxies end to end.
+func TestGeneratedProgramsRun(t *testing.T) {
+	for _, name := range []string{"EP", "IS"} {
+		spec := npb.SpecByName(name)
+		if spec == nil {
+			t.Fatalf("missing spec %q", name)
+		}
+		prog, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := interp.Run(prog, interp.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Steps == 0 {
+			t.Errorf("%s: no work executed", name)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if npb.SpecByName("BT") == nil || npb.SpecByName("zz") != nil {
+		t.Error("SpecByName lookup broken")
+	}
+}

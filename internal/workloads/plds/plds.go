@@ -1,0 +1,539 @@
+// Package plds provides the fourteen pointer-linked-data-structure
+// workloads of the paper's Table II. Each program is a MiniC rendition of
+// the loop idiom the cited study parallelized by hand — linked-list maps,
+// doubly-nested list traversals, threaded tree walks, worklist BFS, hash
+// chains, sparse matrix products, cell-list n-body phases — built so that
+// the key loop's iterator is a pointer chase (or its payload defeats the
+// dependence tests in the idiom's characteristic way), DCA detects it as
+// commutative, and all five baseline techniques fail.
+//
+// The paper used the original SPEC/PtrDist/Olden/Lonestar/SPARK00/SPLASH3
+// sources; those are not redistributable here, so each program reproduces
+// the loop-containing function the paper names, with synthetic data sized
+// so that the key loop's share of sequential execution approximates the
+// "Sequential Coverage" column of Table II.
+package plds
+
+import (
+	"fmt"
+
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+)
+
+// Program is one PLDS workload plus its Table II metadata.
+type Program struct {
+	Name     string
+	Origin   string
+	Function string // the loop-containing function from the paper
+	// CoveragePct is Table II's sequential-coverage column.
+	CoveragePct int
+	// PotentialLoop/PotentialOverall reproduce the "Potential Speedup"
+	// columns (loop-only vs whole program, "-" when unreported).
+	PotentialLoop    string
+	PotentialOverall string
+	// Technique is the expert manual technique column.
+	Technique string
+	// Source is the MiniC program; KeyFn/KeyLoop identify the loop DCA
+	// must detect.
+	Source  string
+	KeyFn   string
+	KeyLoop int
+	// Fig5 marks the programs in Figure 5, with the paper's speedup and
+	// the machine-model bandwidth ceiling used to reproduce it.
+	Fig5       bool
+	Fig5Target float64
+	Cap        float64
+}
+
+// Compile builds the program's IR.
+func (p *Program) Compile() (*ir.Program, error) {
+	prog, err := irbuild.Compile("plds-"+p.Name+".mc", p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("plds %s: %w", p.Name, err)
+	}
+	return prog, nil
+}
+
+// Programs returns all fourteen Table II workloads (mcf in its default
+// configuration, where the latent dependence is not exercised).
+func Programs() []*Program {
+	return []*Program{
+		MCF(false),
+		twolf(),
+		ks(),
+		otter(),
+		em3d(),
+		mst(),
+		bh(),
+		perimeter(),
+		treeadd(),
+		hash(),
+		bfs(),
+		ising(),
+		spmatmat(),
+		water(),
+	}
+}
+
+// ByName returns the named program, or nil.
+func ByName(name string) *Program {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// MCF models 429.mcf's refresh_potential: a tree walk over threaded nodes
+// where each node's potential normally derives from loop-invariant data,
+// but a rarely-taken path reads the parent's freshly-written potential — a
+// cross-iteration dependence. The test/ref workloads never set the flag
+// (withLatentDep=false), so DCA reports the loop commutative, exactly as
+// the paper discusses; an adversarial input (withLatentDep=true) exercises
+// the dependence and DCA detects the violation.
+func MCF(withLatentDep bool) *Program {
+	flagEvery := 0 // no node takes the dependent path
+	if withLatentDep {
+		flagEvery = 7
+	}
+	src := fmt.Sprintf(`
+struct MNode { cost int; base int; flag int; potential int; pred *MNode; thread *MNode; }
+func build(n int) *MNode {
+	var head *MNode = nil;
+	var prev *MNode = nil;
+	for (var i int = 0; i < n; i++) {
+		var nd *MNode = new MNode;
+		nd->cost = (i * 13 + 5) %% 37;
+		nd->base = (i * 7 + 11) %% 53;
+		nd->flag = 0;
+		if (%d > 0) {
+			if (i %% %d == 3) { nd->flag = 1; }
+		}
+		nd->pred = prev;
+		if (prev != nil) { prev->thread = nd; }
+		if (head == nil) { head = nd; }
+		prev = nd;
+	}
+	return head;
+}
+func checksum(head *MNode) int {
+	var s int = 0;
+	var p *MNode = head;
+	while (p != nil) { s += p->potential; p = p->thread; }
+	return s;
+}
+func refresh_potential(head *MNode) {
+	var node *MNode = head;
+	while (node != nil) {
+		if (node->flag == 1) {
+			node->potential = node->pred->potential + node->cost;
+		} else {
+			node->potential = node->base + node->cost;
+		}
+		node = node->thread;
+	}
+}
+func serialwork(head *MNode) int {
+	var acc int = 0;
+	var p *MNode = head;
+	while (p != nil) {
+		var q *MNode = p->pred;
+		var depth int = 0;
+		while (q != nil && depth < 8) { acc += q->cost; q = q->pred; depth++; }
+		p = p->thread;
+	}
+	return acc;
+}
+func main() {
+	var head *MNode = build(120);
+	for (var t int = 0; t < 5; t++) { refresh_potential(head); }
+	var other int = serialwork(head);
+	print(checksum(head), other);
+}
+`, flagEvery, max(flagEvery, 1))
+	return &Program{
+		Name: "429.mcf", Origin: "SPEC CPU2006", Function: "refresh_potential",
+		CoveragePct: 30, PotentialLoop: "2.2", PotentialOverall: "-",
+		Technique: "DSWP variant 1",
+		Source:    src, KeyFn: "refresh_potential", KeyLoop: 0,
+	}
+}
+
+func twolf() *Program {
+	return &Program{
+		Name: "300.twolf", Origin: "SPEC CPU2000", Function: "new_dbox_a",
+		CoveragePct: 30, PotentialLoop: "1.5", PotentialOverall: "-",
+		Technique: "DSWP variant 2",
+		KeyFn:     "new_dbox_a", KeyLoop: 0,
+		Source: `
+struct Term { x int; y int; cost int; next *Term; }
+struct Net { terms *Term; next *Net; }
+func build(nets int, terms int) *Net {
+	var head *Net = nil;
+	for (var i int = 0; i < nets; i++) {
+		var nt *Net = new Net;
+		var th *Term = nil;
+		for (var j int = 0; j < terms; j++) {
+			var t *Term = new Term;
+			t->x = (i * 17 + j * 5) % 101;
+			t->y = (i * 7 + j * 13) % 97;
+			t->next = th;
+			th = t;
+		}
+		nt->terms = th;
+		nt->next = head;
+		head = nt;
+	}
+	return head;
+}
+// new_dbox_a: doubly-nested linked-list traversal, accumulating the
+// bounding-box cost of each net into the net's terminals.
+func new_dbox_a(nets *Net) {
+	var n *Net = nets;
+	while (n != nil) {
+		var lo int = 1000000;
+		var hi int = 0;
+		var t *Term = n->terms;
+		while (t != nil) {
+			if (t->x < lo) { lo = t->x; }
+			if (t->x > hi) { hi = t->x; }
+			t = t->next;
+		}
+		t = n->terms;
+		while (t != nil) { t->cost = hi - lo + t->y; t = t->next; }
+		n = n->next;
+	}
+}
+func checksum(nets *Net) int {
+	var s int = 0;
+	var n *Net = nets;
+	while (n != nil) {
+		var t *Term = n->terms;
+		while (t != nil) { s += t->cost; t = t->next; }
+		n = n->next;
+	}
+	return s;
+}
+func serialwork(nets *Net) int {
+	var acc int = 0;
+	for (var r int = 0; r < 5; r++) { acc += checksum(nets); }
+	return acc;
+}
+func main() {
+	var nets *Net = build(24, 10);
+	new_dbox_a(nets);
+	new_dbox_a(nets);
+	print(checksum(nets), serialwork(nets));
+}
+`,
+	}
+}
+
+func ks() *Program {
+	return &Program{
+		Name: "ks", Origin: "PtrDist", Function: "FindMaxGpAndSwap",
+		CoveragePct: 99, PotentialLoop: "1.5", PotentialOverall: "-",
+		Technique: "DSWP variant 1",
+		KeyFn:     "FindMaxGpAndSwap", KeyLoop: 0,
+		Fig5: true, Fig5Target: 1.5, Cap: 1.6,
+		Source: `
+struct KNode { id int; gain int; partner int; next *KNode; }
+func build(n int) *KNode {
+	var head *KNode = nil;
+	for (var i int = 0; i < n; i++) {
+		var nd *KNode = new KNode;
+		nd->id = i;
+		nd->gain = (i * 37 + 11) % 1009;
+		nd->next = head;
+		head = nd;
+	}
+	return head;
+}
+// FindMaxGpAndSwap: scan every node pair's gain product and record the
+// best swap candidate per node (gains are distinct, so the extremum is
+// order-insensitive).
+func FindMaxGpAndSwap(list *KNode) {
+	var a *KNode = list;
+	while (a != nil) {
+		var best int = -1;
+		var bestid int = -1;
+		var b *KNode = a->next;
+		while (b != nil) {
+			var gp int = a->gain + b->gain - 2 * ((a->gain * b->gain) % 7);
+			if (gp > best) { best = gp; bestid = b->id; }
+			b = b->next;
+		}
+		a->partner = bestid;
+		a = a->next;
+	}
+}
+func checksum(list *KNode) int {
+	var s int = 0;
+	var p *KNode = list;
+	while (p != nil) { s += p->partner + p->gain; p = p->next; }
+	return s;
+}
+func main() {
+	var list *KNode = build(56);
+	FindMaxGpAndSwap(list);
+	print(checksum(list));
+}
+`,
+	}
+}
+
+func otter() *Program {
+	return &Program{
+		Name: "otter", Origin: "FOSS", Function: "find_lightest_geo_child",
+		CoveragePct: 15, PotentialLoop: "2.5", PotentialOverall: "-",
+		Technique: "DSWP variant 2",
+		KeyFn:     "find_lightest_geo_child", KeyLoop: 0,
+		Source: `
+struct Clause { weight int; mark int; kids *Clause; next *Clause; }
+func build(parents int, kids int) *Clause {
+	var head *Clause = nil;
+	for (var i int = 0; i < parents; i++) {
+		var c *Clause = new Clause;
+		c->weight = (i * 29 + 3) % 211;
+		var kh *Clause = nil;
+		for (var j int = 0; j < kids; j++) {
+			var k *Clause = new Clause;
+			k->weight = (i * 31 + j * 17 + 7) % 509;
+			k->next = kh;
+			kh = k;
+		}
+		c->kids = kh;
+		c->next = head;
+		head = c;
+	}
+	return head;
+}
+// find_lightest_geo_child: for every parent clause, mark the lightest
+// child (weights are distinct per child list).
+func find_lightest_geo_child(cs *Clause) {
+	var c *Clause = cs;
+	while (c != nil) {
+		var bestw int = 1000000;
+		var k *Clause = c->kids;
+		while (k != nil) {
+			if (k->weight < bestw) { bestw = k->weight; }
+			k = k->next;
+		}
+		c->mark = bestw;
+		c = c->next;
+	}
+}
+func checksum(cs *Clause) int {
+	var s int = 0;
+	var c *Clause = cs;
+	while (c != nil) { s += c->mark; c = c->next; }
+	return s;
+}
+func serialwork(cs *Clause) int {
+	var acc int = 0;
+	for (var r int = 0; r < 34; r++) { acc += checksum(cs); }
+	return acc;
+}
+func main() {
+	var cs *Clause = build(20, 6);
+	find_lightest_geo_child(cs);
+	print(checksum(cs), serialwork(cs));
+}
+`,
+	}
+}
+
+func em3d() *Program {
+	return &Program{
+		Name: "em3d", Origin: "Olden", Function: "compute_nodes",
+		CoveragePct: 100, PotentialLoop: "2", PotentialOverall: "-",
+		Technique: "DSWP variant 1",
+		KeyFn:     "compute_nodes", KeyLoop: 0,
+		Source: `
+struct ENode { val int; newval int; deg int; from []*ENode; next *ENode; }
+func build(n int, deg int) *ENode {
+	var nodes []*ENode = new [n]*ENode;
+	var head *ENode = nil;
+	for (var i int = 0; i < n; i++) {
+		var nd *ENode = new ENode;
+		nd->val = (i * 23 + 7) % 127;
+		nd->deg = deg;
+		nd->from = new [deg]*ENode;
+		nd->next = head;
+		head = nd;
+		nodes[i] = nd;
+	}
+	for (var i int = 0; i < n; i++) {
+		for (var j int = 0; j < deg; j++) {
+			nodes[i]->from[j] = nodes[(i * 7 + j * 13 + 1) % n];
+		}
+	}
+	return head;
+}
+// compute_nodes: each node gathers its in-neighbors' values (two-phase
+// update: reads val, writes newval).
+func compute_nodes(head *ENode) {
+	var n *ENode = head;
+	while (n != nil) {
+		var v int = 0;
+		for (var j int = 0; j < n->deg; j++) {
+			v += n->from[j]->val * (j + 1);
+		}
+		n->newval = v;
+		n = n->next;
+	}
+}
+func checksum(head *ENode) int {
+	var s int = 0;
+	var n *ENode = head;
+	while (n != nil) { s += n->newval; n = n->next; }
+	return s;
+}
+func main() {
+	var head *ENode = build(64, 6);
+	for (var t int = 0; t < 14; t++) { compute_nodes(head); }
+	print(checksum(head));
+}
+`,
+	}
+}
+
+func mst() *Program {
+	return &Program{
+		Name: "mst", Origin: "Olden", Function: "BlueRule",
+		CoveragePct: 100, PotentialLoop: "1.5", PotentialOverall: "-",
+		Technique: "DSWP variant 1",
+		KeyFn:     "BlueRule", KeyLoop: 0,
+		Source: `
+struct Vert { id int; mindist int; inTree int; edges *Edge; next *Vert; }
+struct Edge { weight int; to int; next *Edge; }
+func build(n int, deg int) *Vert {
+	var head *Vert = nil;
+	for (var i int = 0; i < n; i++) {
+		var v *Vert = new Vert;
+		v->id = i;
+		v->inTree = 0;
+		if (i == 0) { v->inTree = 1; }
+		var eh *Edge = nil;
+		for (var j int = 0; j < deg; j++) {
+			var e *Edge = new Edge;
+			e->weight = (i * 41 + j * 23 + 5) % 997;
+			e->to = (i + j + 1) % n;
+			e->next = eh;
+			eh = e;
+		}
+		v->edges = eh;
+		v->next = head;
+		head = v;
+	}
+	return head;
+}
+// BlueRule: for every vertex outside the tree, find its cheapest edge into
+// the tree fringe (distinct weights keep the extremum order-insensitive).
+func BlueRule(vs *Vert) {
+	var v *Vert = vs;
+	while (v != nil) {
+		if (v->inTree == 0) {
+			var best int = 1000000;
+			var e *Edge = v->edges;
+			while (e != nil) {
+				if (e->to % 3 == 0 && e->weight < best) { best = e->weight; }
+				e = e->next;
+			}
+			v->mindist = best;
+		}
+		v = v->next;
+	}
+}
+func checksum(vs *Vert) int {
+	var s int = 0;
+	var v *Vert = vs;
+	while (v != nil) { s += v->mindist % 1000; v = v->next; }
+	return s;
+}
+func main() {
+	var vs *Vert = build(48, 8);
+	for (var t int = 0; t < 16; t++) { BlueRule(vs); }
+	print(checksum(vs));
+}
+`,
+	}
+}
+
+func bh() *Program {
+	return &Program{
+		Name: "bh", Origin: "Olden", Function: "walksub",
+		CoveragePct: 100, PotentialLoop: "2.75", PotentialOverall: "-",
+		Technique: "DSWP variant 1",
+		KeyFn:     "walksub", KeyLoop: 0,
+		Source: `
+struct Body { x int; y int; fx int; fy int; next *Body; }
+struct Cell { cx int; cy int; mass int; next *Cell; }
+func buildBodies(n int) *Body {
+	var head *Body = nil;
+	for (var i int = 0; i < n; i++) {
+		var b *Body = new Body;
+		b->x = (i * 37 + 11) % 211;
+		b->y = (i * 53 + 29) % 223;
+		b->next = head;
+		head = b;
+	}
+	return head;
+}
+func buildCells(n int) *Cell {
+	var head *Cell = nil;
+	for (var i int = 0; i < n; i++) {
+		var c *Cell = new Cell;
+		c->cx = (i * 19 + 3) % 211;
+		c->cy = (i * 43 + 17) % 223;
+		c->mass = (i * 7 + 1) % 29 + 1;
+		c->next = head;
+		head = c;
+	}
+	return head;
+}
+// walksub: each body walks the interaction list and accumulates forces
+// into its own fields.
+func walksub(bodies *Body, cells *Cell) {
+	var b *Body = bodies;
+	while (b != nil) {
+		var fx int = 0;
+		var fy int = 0;
+		var c *Cell = cells;
+		while (c != nil) {
+			var dx int = c->cx - b->x;
+			var dy int = c->cy - b->y;
+			var d2 int = dx * dx + dy * dy + 1;
+			fx += c->mass * dx / d2;
+			fy += c->mass * dy / d2;
+			c = c->next;
+		}
+		b->fx = fx;
+		b->fy = fy;
+		b = b->next;
+	}
+}
+func checksum(bodies *Body) int {
+	var s int = 0;
+	var b *Body = bodies;
+	while (b != nil) { s += b->fx + 3 * b->fy; b = b->next; }
+	return s;
+}
+func main() {
+	var bodies *Body = buildBodies(40);
+	var cells *Cell = buildCells(24);
+	walksub(bodies, cells);
+	print(checksum(bodies));
+}
+`,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,465 @@
+package plds
+
+func perimeter() *Program {
+	return &Program{
+		Name: "perimeter", Origin: "Olden", Function: "perimeter",
+		CoveragePct: 100, PotentialLoop: "2.25", PotentialOverall: "-",
+		Technique: "DSWP variant 1",
+		KeyFn:     "perimeter", KeyLoop: 0,
+		Fig5: true, Fig5Target: 2.3, Cap: 2.45,
+		Source: `
+// Olden's quadtree perimeter, rewritten in imperative form (as in the
+// paper's methodology): leaves are threaded into a list and each leaf
+// inspects its four neighbours to add its exposed edges.
+struct QLeaf { size int; color int; nN *QLeaf; nS *QLeaf; nE *QLeaf; nW *QLeaf; perim int; thread *QLeaf; }
+func build(n int) *QLeaf {
+	var leaves []*QLeaf = new [n]*QLeaf;
+	var head *QLeaf = nil;
+	for (var i int = 0; i < n; i++) {
+		var l *QLeaf = new QLeaf;
+		l->size = (i % 4) + 1;
+		l->color = (i * 7 + 2) % 2;
+		l->thread = head;
+		head = l;
+		leaves[i] = l;
+	}
+	for (var i int = 0; i < n; i++) {
+		leaves[i]->nN = leaves[(i + 1) % n];
+		leaves[i]->nS = leaves[(i + n - 1) % n];
+		leaves[i]->nE = leaves[(i * 3 + 1) % n];
+		leaves[i]->nW = leaves[(i * 5 + 2) % n];
+	}
+	return head;
+}
+func perimeter(head *QLeaf) {
+	var l *QLeaf = head;
+	while (l != nil) {
+		var p int = 0;
+		if (l->color == 1) {
+			if (l->nN->color == 0) { p += l->size; }
+			if (l->nS->color == 0) { p += l->size; }
+			if (l->nE->color == 0) { p += l->size; }
+			if (l->nW->color == 0) { p += l->size; }
+		}
+		l->perim = p;
+		l = l->thread;
+	}
+}
+func checksum(head *QLeaf) int {
+	var s int = 0;
+	var l *QLeaf = head;
+	while (l != nil) { s += l->perim; l = l->thread; }
+	return s;
+}
+func main() {
+	var head *QLeaf = build(96);
+	for (var t int = 0; t < 16; t++) { perimeter(head); }
+	print(checksum(head));
+}
+`,
+	}
+}
+
+func treeadd() *Program {
+	return &Program{
+		Name: "treeadd", Origin: "Olden", Function: "TreeAdd",
+		CoveragePct: 100, PotentialLoop: "-", PotentialOverall: "7",
+		Technique: "Partitioning",
+		KeyFn:     "TreeAdd", KeyLoop: 0,
+		Fig5: true, Fig5Target: 7.0, Cap: 10.5,
+		Source: `
+// Olden's treeadd, with the recursive sum rewritten over an in-order
+// thread of the tree (the imperative form of the paper's methodology).
+struct TNode { val int; left *TNode; right *TNode; thread *TNode; }
+func build(depth int) *TNode {
+	// Build a complete binary tree level by level, threading all nodes.
+	var count int = 1;
+	for (var d int = 0; d < depth; d++) { count = count * 2; }
+	count = count - 1;
+	var nodes []*TNode = new [count]*TNode;
+	var head *TNode = nil;
+	for (var i int = count - 1; i >= 0; i--) {
+		var t *TNode = new TNode;
+		t->val = (i * 11 + 3) % 101;
+		if (2 * i + 1 < count) { t->left = nodes[2*i+1]; }
+		if (2 * i + 2 < count) { t->right = nodes[2*i+2]; }
+		t->thread = head;
+		head = t;
+		nodes[i] = t;
+	}
+	return head;
+}
+func TreeAdd(head *TNode) int {
+	var total int = 0;
+	var t *TNode = head;
+	while (t != nil) {
+		var v int = t->val;
+		if (t->left != nil) { v += t->left->val % 7; }
+		if (t->right != nil) { v += t->right->val % 5; }
+		total += v;
+		t = t->thread;
+	}
+	return total;
+}
+func main() {
+	var head *TNode = build(9);
+	var total int = 0;
+	for (var t int = 0; t < 24; t++) { total += TreeAdd(head); }
+	print(total);
+}
+`,
+	}
+}
+
+func hash() *Program {
+	return &Program{
+		Name: "hash", Origin: "Shootout", Function: "ht_find",
+		CoveragePct: 50, PotentialLoop: "-", PotentialOverall: "4",
+		Technique: "Partitioning",
+		KeyFn:     "ht_find", KeyLoop: 0,
+		Source: `
+struct HEntry { key int; val int; next *HEntry; }
+struct Query { key int; answer int; next *Query; }
+func buildTable(buckets []*HEntry, n int) {
+	for (var i int = 0; i < n; i++) {
+		var e *HEntry = new HEntry;
+		e->key = i * 3 + 1;
+		e->val = (i * 17 + 5) % 211;
+		var b int = (i * 3 + 1) % len(buckets);
+		e->next = buckets[b];
+		buckets[b] = e;
+	}
+}
+func buildQueries(n int) *Query {
+	var head *Query = nil;
+	for (var i int = 0; i < n; i++) {
+		var q *Query = new Query;
+		q->key = (i * 7 + 1) % 300;
+		q->next = head;
+		head = q;
+	}
+	return head;
+}
+// ht_find: answer every query by walking its hash chain.
+func ht_find(buckets []*HEntry, qs *Query) {
+	var q *Query = qs;
+	while (q != nil) {
+		var found int = -1;
+		var e *HEntry = buckets[q->key % len(buckets)];
+		while (e != nil) {
+			if (e->key == q->key) { found = e->val; }
+			e = e->next;
+		}
+		q->answer = found;
+		q = q->next;
+	}
+}
+func checksum(qs *Query) int {
+	var s int = 0;
+	var q *Query = qs;
+	while (q != nil) { s += q->answer + 1; q = q->next; }
+	return s;
+}
+func serialwork(qs *Query) int {
+	var acc int = 0;
+	for (var r int = 0; r < 9; r++) { acc += checksum(qs); }
+	return acc;
+}
+func main() {
+	var buckets []*HEntry = new [16]*HEntry;
+	buildTable(buckets, 100);
+	var qs *Query = buildQueries(64);
+	ht_find(buckets, qs);
+	ht_find(buckets, qs);
+	print(checksum(qs), serialwork(qs));
+}
+`,
+	}
+}
+
+func bfs() *Program {
+	return &Program{
+		Name: "BFS", Origin: "Lonestar", Function: "BFS",
+		CoveragePct: 99, PotentialLoop: "-", PotentialOverall: "21",
+		Technique: "Galois",
+		KeyFn:     "bfs_round", KeyLoop: 0,
+		Fig5: true, Fig5Target: 36.9, Cap: 40,
+		Source: `
+// Lonestar BFS (the paper's Fig. 2): a frontier-driven traversal over a
+// pointer-linked graph. The frontier is a membership array so the worklist
+// is a set: processing order within one round cannot leak into the
+// live-outs, which is precisely the commutativity DCA establishes for the
+// top-down step.
+struct GNode { vert int; adj *GEdge; }
+struct GEdge { to *GNode; next *GEdge; }
+func build(nodes []*GNode, n int, deg int) {
+	for (var i int = 0; i < n; i++) {
+		var g *GNode = new GNode;
+		g->vert = i;
+		nodes[i] = g;
+	}
+	for (var i int = 0; i < n; i++) {
+		var eh *GEdge = nil;
+		for (var j int = 0; j < deg; j++) {
+			var e *GEdge = new GEdge;
+			e->to = nodes[(i + j * 3 + 1) % n];
+			e->next = eh;
+			eh = e;
+		}
+		nodes[i]->adj = eh;
+	}
+}
+// bfs_round: the top-down step. Every frontier vertex relaxes its
+// neighbours; all updates in one round write the same distance, so the
+// iteration order is commutative while the dist/next conflicts defeat
+// dependence profiling.
+func bfs_round(nodes []*GNode, infront []int, nextfront []int, dist []int, n int, level int) int {
+	var added int = 0;
+	for (var v int = 0; v < n; v++) {
+		if (infront[v] == 1) {
+			var e *GEdge = nodes[v]->adj;
+			while (e != nil) {
+				var u int = e->to->vert;
+				if (dist[u] > level + 1) {
+					dist[u] = level + 1;
+					if (nextfront[u] == 0) { nextfront[u] = 1; added++; }
+				}
+				e = e->next;
+			}
+		}
+	}
+	return added;
+}
+func search(nodes []*GNode, dist []int, infront []int, nextfront []int, n int, src int) int {
+	for (var i int = 0; i < n; i++) { dist[i] = 1000000; infront[i] = 0; nextfront[i] = 0; }
+	dist[src] = 0;
+	infront[src] = 1;
+	var level int = 0;
+	var remaining int = 1;
+	while (remaining > 0) {
+		remaining = bfs_round(nodes, infront, nextfront, dist, n, level);
+		for (var i int = 0; i < n; i++) { infront[i] = nextfront[i]; nextfront[i] = 0; }
+		level++;
+	}
+	var s int = 0;
+	for (var i int = 0; i < n; i++) { s += dist[i] % 4096; }
+	return s + level;
+}
+func main() {
+	var n int = 360;
+	var nodes []*GNode = new [n]*GNode;
+	build(nodes, n, 48);
+	var dist []int = new [n]int;
+	var infront []int = new [n]int;
+	var nextfront []int = new [n]int;
+	var s int = 0;
+	for (var q int = 0; q < 6; q++) {
+		s += search(nodes, dist, infront, nextfront, n, (q * 61) % n);
+	}
+	print(s);
+}
+`,
+	}
+}
+
+func ising() *Program {
+	return &Program{
+		Name: "ising", Origin: "community", Function: "main",
+		CoveragePct: 95, PotentialLoop: "-", PotentialOverall: "6",
+		Technique: "ASC",
+		KeyFn:     "sweep_even", KeyLoop: 0,
+		Fig5: true, Fig5Target: 6.0, Cap: 6.9,
+		Source: `
+// A checkerboard Ising sweep over a pointer-linked lattice: the even
+// sublattice is threaded into a list, each site reads its neighbours'
+// spins and writes its own — a two-phase update whose iterations commute.
+struct Site { spin int; newspin int; up *Site; down *Site; left *Site; right *Site; evennext *Site; }
+func build(n int) *Site {
+	var sites []*Site = new [n]*Site;
+	for (var i int = 0; i < n; i++) {
+		var st *Site = new Site;
+		st->spin = ((i * 13 + 5) % 2) * 2 - 1;
+		sites[i] = st;
+	}
+	var dim int = 16;
+	for (var i int = 0; i < n; i++) {
+		sites[i]->up = sites[(i + dim) % n];
+		sites[i]->down = sites[(i + n - dim) % n];
+		sites[i]->left = sites[(i + n - 1) % n];
+		sites[i]->right = sites[(i + 1) % n];
+	}
+	var head *Site = nil;
+	for (var i int = 0; i < n; i++) {
+		if (i % 2 == 0) { sites[i]->evennext = head; head = sites[i]; }
+	}
+	return head;
+}
+func sweep_even(head *Site) {
+	var s *Site = head;
+	while (s != nil) {
+		var field int = s->up->spin + s->down->spin + s->left->spin + s->right->spin;
+		if (field > 0) { s->newspin = 1; }
+		if (field < 0) { s->newspin = 0 - 1; }
+		if (field == 0) { s->newspin = s->spin; }
+		s = s->evennext;
+	}
+}
+func commit(head *Site) int {
+	var mag int = 0;
+	var s *Site = head;
+	while (s != nil) { s->spin = s->newspin; mag += s->spin; s = s->evennext; }
+	return mag;
+}
+func main() {
+	var head *Site = build(256);
+	var mag int = 0;
+	for (var sweep int = 0; sweep < 24; sweep++) {
+		sweep_even(head);
+		mag += commit(head);
+	}
+	print(mag);
+}
+`,
+	}
+}
+
+func spmatmat() *Program {
+	return &Program{
+		Name: "spmatmat", Origin: "SPARK00", Function: "main",
+		CoveragePct: 89, PotentialLoop: "-", PotentialOverall: "4",
+		Technique: "APOLLO",
+		KeyFn:     "spmv_rows", KeyLoop: 0,
+		Fig5: true, Fig5Target: 4.0, Cap: 5.0,
+		Source: `
+// SPARK00-style sparse matrix times dense matrix: rows are a linked list
+// of element chains; each row's products accumulate into its private slice
+// of the dense result.
+struct Row { id int; elems *Elem; next *Row; }
+struct Elem { col int; val int; next *Elem; }
+func build(nrows int, percol int) *Row {
+	var head *Row = nil;
+	for (var i int = nrows - 1; i >= 0; i--) {
+		var r *Row = new Row;
+		r->id = i;
+		var eh *Elem = nil;
+		for (var j int = 0; j < percol; j++) {
+			var e *Elem = new Elem;
+			e->col = (i * 3 + j * 7) % 24;
+			e->val = (i * 13 + j * 5 + 1) % 19;
+			e->next = eh;
+			eh = e;
+		}
+		r->elems = eh;
+		r->next = head;
+		head = r;
+	}
+	return head;
+}
+func spmv_rows(rows *Row, b []int, c []int, width int) {
+	var r *Row = rows;
+	while (r != nil) {
+		for (var k int = 0; k < width; k++) {
+			var acc int = 0;
+			var e *Elem = r->elems;
+			while (e != nil) {
+				acc += e->val * b[e->col * width + k];
+				e = e->next;
+			}
+			c[r->id * width + k] = acc;
+		}
+		r = r->next;
+	}
+}
+func main() {
+	var nrows int = 40;
+	var width int = 12;
+	var rows *Row = build(nrows, 10);
+	var b []int = new [288]int;
+	for (var i int = 0; i < 288; i++) { b[i] = (i * 7 + 3) % 23; }
+	var c []int = new [480]int;
+	spmv_rows(rows, b, c, width);
+	spmv_rows(rows, b, c, width);
+	var s int = 0;
+	for (var i int = 0; i < 480; i++) { s += c[i]; }
+	print(s);
+}
+`,
+	}
+}
+
+func water() *Program {
+	return &Program{
+		Name: "water-spatial", Origin: "SPLASH3", Function: "INTERF",
+		CoveragePct: 63, PotentialLoop: "-", PotentialOverall: "2",
+		Technique: "OPENMP",
+		KeyFn:     "INTERF", KeyLoop: 0,
+		Fig5: true, Fig5Target: 2.0, Cap: 2.15,
+		Source: `
+// SPLASH3 water-spatial INTERF phase: molecules live in cell lists; each
+// molecule accumulates pair forces from molecules in its neighbour cells.
+struct Mol { x int; y int; fsum int; next *Mol; }
+struct WCell { mols *Mol; nbr1 *WCell; nbr2 *WCell; allnext *Mol; thread *WCell; }
+func build(ncells int, percell int) *WCell {
+	var cells []*WCell = new [ncells]*WCell;
+	for (var i int = 0; i < ncells; i++) { cells[i] = new WCell; }
+	for (var i int = 0; i < ncells; i++) {
+		cells[i]->nbr1 = cells[(i + 1) % ncells];
+		cells[i]->nbr2 = cells[(i + ncells - 1) % ncells];
+		var mh *Mol = nil;
+		for (var j int = 0; j < percell; j++) {
+			var m *Mol = new Mol;
+			m->x = (i * 31 + j * 7 + 1) % 173;
+			m->y = (i * 17 + j * 13 + 5) % 181;
+			m->next = mh;
+			mh = m;
+		}
+		cells[i]->mols = mh;
+	}
+	var head *WCell = nil;
+	for (var i int = ncells - 1; i >= 0; i--) { cells[i]->thread = head; head = cells[i]; }
+	return head;
+}
+func pairforce(a *Mol, b *Mol) int {
+	var dx int = a->x - b->x;
+	var dy int = a->y - b->y;
+	return (dx * dx + dy * dy) % 97;
+}
+func INTERF(cells *WCell) {
+	var c *WCell = cells;
+	while (c != nil) {
+		var m *Mol = c->mols;
+		while (m != nil) {
+			var f int = 0;
+			var o *Mol = c->nbr1->mols;
+			while (o != nil) { f += pairforce(m, o); o = o->next; }
+			o = c->nbr2->mols;
+			while (o != nil) { f += pairforce(m, o); o = o->next; }
+			m->fsum = f;
+			m = m->next;
+		}
+		c = c->thread;
+	}
+}
+func checksum(cells *WCell) int {
+	var s int = 0;
+	var c *WCell = cells;
+	while (c != nil) {
+		var m *Mol = c->mols;
+		while (m != nil) { s += m->fsum; m = m->next; }
+		c = c->thread;
+	}
+	return s;
+}
+func serialwork(cells *WCell) int {
+	var acc int = 0;
+	for (var r int = 0; r < 11; r++) { acc += checksum(cells); }
+	return acc;
+}
+func main() {
+	var cells *WCell = build(12, 6);
+	INTERF(cells);
+	print(checksum(cells), serialwork(cells));
+}
+`,
+	}
+}

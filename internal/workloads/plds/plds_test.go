@@ -1,0 +1,123 @@
+package plds_test
+
+import (
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/dcart"
+	"dca/internal/depprof"
+	"dca/internal/discopop"
+	"dca/internal/icc"
+	"dca/internal/idioms"
+	"dca/internal/polly"
+	"dca/internal/workloads/plds"
+)
+
+// TestTableII verifies the paper's central PLDS claim for every workload:
+// DCA detects the key loop as commutative while all five baseline
+// techniques fail to report it parallelizable.
+func TestTableII(t *testing.T) {
+	for _, p := range plds.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := core.AnalyzeLoop(prog, p.KeyFn, p.KeyLoop, core.Options{
+				Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}, dcart.Random{Seed: 2}},
+			})
+			if err != nil {
+				t.Fatalf("dca: %v", err)
+			}
+			if !res.Verdict.IsParallelizable() {
+				t.Errorf("DCA verdict = %s (%s), want commutative", res.Verdict, res.Reason)
+			}
+
+			dp, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 0)
+			if err != nil {
+				t.Fatalf("depprof: %v", err)
+			}
+			if v := dp.Verdict(p.KeyFn, p.KeyLoop); v == nil || v.Parallel {
+				t.Errorf("dependence profiling must fail on %s/L%d, got %+v", p.KeyFn, p.KeyLoop, v)
+			}
+			dpp, err := discopop.Analyze(prog, 0)
+			if err != nil {
+				t.Fatalf("discopop: %v", err)
+			}
+			if v := dpp.Verdict(p.KeyFn, p.KeyLoop); v == nil || v.Parallel {
+				t.Errorf("DiscoPoP must fail, got %+v", v)
+			}
+			if v := idioms.Analyze(prog).Verdict(p.KeyFn, p.KeyLoop); v == nil || v.Parallel {
+				t.Errorf("Idioms must fail, got %+v", v)
+			}
+			if v := polly.Analyze(prog).Verdict(p.KeyFn, p.KeyLoop); v == nil || v.Parallel {
+				t.Errorf("Polly must fail, got %+v", v)
+			}
+			if v := icc.Analyze(prog).Verdict(p.KeyFn, p.KeyLoop); v == nil || v.Parallel {
+				t.Errorf("ICC must fail, got %+v", v)
+			}
+		})
+	}
+}
+
+// TestMCFLatentDependence reproduces the paper's §V-B2 discussion: the mcf
+// loop is commutative under the test/ref workloads because the
+// cross-iteration dependence is never exercised, and DCA detects the
+// violation as soon as an input exercises it.
+func TestMCFLatentDependence(t *testing.T) {
+	clean := plds.MCF(false)
+	prog, err := clean.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AnalyzeLoop(prog, clean.KeyFn, clean.KeyLoop, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict.IsParallelizable() {
+		t.Errorf("unexercised latent dependence: verdict = %s (%s), want commutative", res.Verdict, res.Reason)
+	}
+
+	dirty := plds.MCF(true)
+	prog2, err := dirty.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := core.AnalyzeLoop(prog2, dirty.KeyFn, dirty.KeyLoop, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != core.NonCommutative {
+		t.Errorf("exercised dependence: verdict = %s (%s), want non-commutative", res2.Verdict, res2.Reason)
+	}
+}
+
+// TestMetadataComplete checks Table II bookkeeping.
+func TestMetadataComplete(t *testing.T) {
+	ps := plds.Programs()
+	if len(ps) != 14 {
+		t.Fatalf("got %d programs, want 14 (Table II rows)", len(ps))
+	}
+	fig5 := 0
+	for _, p := range ps {
+		if p.Name == "" || p.Origin == "" || p.Function == "" || p.Technique == "" {
+			t.Errorf("%+v missing metadata", p.Name)
+		}
+		if p.CoveragePct <= 0 || p.CoveragePct > 100 {
+			t.Errorf("%s: bad coverage %d", p.Name, p.CoveragePct)
+		}
+		if p.Fig5 {
+			fig5++
+			if p.Fig5Target <= 0 || p.Cap <= 0 {
+				t.Errorf("%s: Fig5 program missing targets", p.Name)
+			}
+		}
+	}
+	if fig5 != 7 {
+		t.Errorf("Fig5 programs = %d, want 7", fig5)
+	}
+	if plds.ByName("BFS") == nil || plds.ByName("nope") != nil {
+		t.Error("ByName lookup broken")
+	}
+}
