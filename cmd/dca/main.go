@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,13 +33,53 @@ import (
 	"dca/internal/parser"
 	"dca/internal/polly"
 	"dca/internal/printer"
+	"dca/internal/sandbox"
 	"dca/internal/skeleton"
 )
+
+// Exit codes by failure category, so suite drivers can triage without
+// parsing stderr.
+const (
+	exitOK       = 0
+	exitErr      = 1 // generic error (compile failure, bad input, ...)
+	exitUsage    = 2
+	exitFault    = 3 // the program under test faulted
+	exitBudget   = 4 // a resource budget (steps/heap/output) ran out
+	exitTimeout  = 5 // wall-clock timeout or cancellation
+	exitInternal = 6 // internal panic in the analysis
+)
+
+// exitCodeFor maps an error to its failure-category exit code.
+func exitCodeFor(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var trap *sandbox.Trap
+	if errors.As(err, &trap) {
+		switch trap.Kind {
+		case sandbox.Budget:
+			return exitBudget
+		case sandbox.Timeout:
+			return exitTimeout
+		case sandbox.Panic:
+			return exitInternal
+		default:
+			return exitFault
+		}
+	}
+	switch {
+	case errors.Is(err, interp.ErrBudget):
+		return exitBudget
+	case errors.Is(err, interp.ErrCancelled):
+		return exitTimeout
+	}
+	return exitErr
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
@@ -61,11 +102,11 @@ func main() {
 		usage()
 	default:
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dca:", err)
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
 	}
 }
 
@@ -73,13 +114,19 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `dca — Dynamic Commutativity Analysis for MiniC programs
 
 commands:
-  analyze [-baselines] [-schedules n] file.mc   run DCA on every loop
-  run [-opt] file.mc                            execute the program
-  ir [-opt] file.mc                             print the IR
-  parallel -fn f -loop k [-workers n] file.mc   run one loop in parallel
-  skeletons file.mc                             classify commutative loops
-  contexts -fn f -loop k file.mc                per-calling-context verdicts
-  fmt file.mc                                   print canonical source`)
+  analyze [-baselines] [-schedules n] [-timeout d] [-max-steps n] [-retry n]
+          [-inject-kind k -inject-at-step n|-inject-at-intrinsic n
+           -inject-fn f -inject-loop k] file.mc  run DCA on every loop
+  run [-opt] [-timeout d] [-max-steps n] file.mc execute the program
+  ir [-opt] file.mc                              print the IR
+  parallel -fn f -loop k [-workers n] [-timeout d] [-max-steps n] file.mc
+                                                 run one loop in parallel
+  skeletons file.mc                              classify commutative loops
+  contexts -fn f -loop k file.mc                 per-calling-context verdicts
+  fmt file.mc                                    print canonical source
+
+exit codes: 0 ok, 1 error, 2 usage, 3 program fault, 4 budget exhausted,
+            5 timeout, 6 internal panic`)
 }
 
 func compile(path string) (*ir.Program, error) {
@@ -94,6 +141,14 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	baselines := fs.Bool("baselines", false, "also run the five baseline detectors")
 	schedules := fs.Int("schedules", 3, "number of random permutation schedules (plus reverse)")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit per execution (0 = none)")
+	maxSteps := fs.Int64("max-steps", 0, "instruction budget per execution (0 = default 200M)")
+	retry := fs.Int("retry", 1, "doubled-budget retries for budget/timeout traps (negative disables)")
+	injectKind := fs.String("inject-kind", "", "fault injection: trap kind to trip (fault|budget|panic)")
+	injectStep := fs.Int64("inject-at-step", 0, "fault injection: trip at the Nth instruction of a run")
+	injectIntr := fs.Int64("inject-at-intrinsic", 0, "fault injection: trip at the Nth rt_* intrinsic call of a run")
+	injectFn := fs.String("inject-fn", "", "fault injection: restrict to this function's loop (with -inject-loop)")
+	injectLoop := fs.Int("inject-loop", 0, "fault injection: loop index within -inject-fn")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,13 +163,37 @@ func cmdAnalyze(args []string) error {
 	for i := 0; i < *schedules; i++ {
 		scheds = append(scheds, dcart.Random{Seed: int64(i + 1)})
 	}
-	rep, err := core.Analyze(prog, core.Options{Schedules: scheds})
+	opts := core.Options{
+		Schedules:  scheds,
+		MaxSteps:   *maxSteps,
+		Timeout:    *timeout,
+		Retries:    *retry,
+		InjectFn:   *injectFn,
+		InjectLoop: *injectLoop,
+	}
+	if *injectKind != "" {
+		kind, err := parseInjectKind(*injectKind)
+		if err != nil {
+			return err
+		}
+		opts.Inject = sandbox.Inject{Kind: kind, AtStep: *injectStep, AtIntrinsic: *injectIntr}
+		if opts.Inject.AtStep == 0 && opts.Inject.AtIntrinsic == 0 {
+			return fmt.Errorf("analyze: -inject-kind needs -inject-at-step or -inject-at-intrinsic")
+		}
+	}
+	rep, err := core.Analyze(prog, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Println("== DCA ==")
 	fmt.Print(rep)
 	fmt.Printf("commutative: %d of %d loops\n", rep.Count(core.Commutative), len(rep.Loops))
+	if n := rep.Count(core.ResourceExhausted); n > 0 {
+		fmt.Printf("resource-exhausted: %d loops (raise -max-steps/-timeout or -retry)\n", n)
+	}
+	if n := rep.Count(core.Failed); n > 0 {
+		fmt.Printf("failed: %d loops\n", n)
+	}
 	if !*baselines {
 		return nil
 	}
@@ -171,9 +250,24 @@ func printStatic(prog *ir.Program, verdict func(fn string, idx int) (bool, []str
 	}
 }
 
+// parseInjectKind maps a -inject-kind flag value to a sandbox trap kind.
+func parseInjectKind(s string) (sandbox.Kind, error) {
+	switch s {
+	case "fault":
+		return sandbox.Fault, nil
+	case "budget":
+		return sandbox.Budget, nil
+	case "panic":
+		return sandbox.Panic, nil
+	}
+	return sandbox.None, fmt.Errorf("unknown inject kind %q (want fault|budget|panic)", s)
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	optimize := fs.Bool("opt", false, "optimize the IR before executing")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none)")
+	maxSteps := fs.Int64("max-steps", 0, "instruction budget (0 = interpreter default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -188,11 +282,12 @@ func cmdRun(args []string) error {
 		stats := opt.Program(prog)
 		fmt.Fprintf(os.Stderr, "(opt: %d rewrites)\n", stats.Total())
 	}
-	res, err := interp.Run(prog, interp.Config{Out: os.Stdout})
-	if err != nil {
-		return err
+	oc := sandbox.Run(nil, prog, interp.Config{Out: os.Stdout},
+		sandbox.Limits{MaxSteps: *maxSteps, Timeout: *timeout}, nil)
+	if !oc.OK() {
+		return oc.Trap
 	}
-	fmt.Fprintf(os.Stderr, "(%d steps)\n", res.Steps)
+	fmt.Fprintf(os.Stderr, "(%d steps)\n", oc.Result.Steps)
 	return nil
 }
 
@@ -286,6 +381,8 @@ func cmdParallel(args []string) error {
 	fn := fs.String("fn", "main", "function containing the loop")
 	loop := fs.Int("loop", 0, "loop index within the function")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none)")
+	maxSteps := fs.Int64("max-steps", 0, "instruction budget per worker (0 = interpreter default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -300,7 +397,7 @@ func cmdParallel(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := parallel.RunLoop(inst, parallel.Options{Workers: *workers, Out: os.Stdout})
+	res, err := parallel.RunLoop(inst, parallel.Options{Workers: *workers, Out: os.Stdout, Timeout: *timeout, MaxSteps: *maxSteps})
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"dca/internal/instrument"
 	"dca/internal/interp"
 	"dca/internal/ir"
+	"dca/internal/sandbox"
 )
 
 // ContextResult is the verdict for one calling context of a loop. The
@@ -88,20 +89,33 @@ func AnalyzeLoopContexts(prog *ir.Program, fnName string, loopIndex int, opt Opt
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	run := func(s dcart.Schedule, only string) (*dcart.Runtime, string, error) {
-		rt := dcart.NewRuntime(s)
-		rt.TrackContexts = true
-		rt.OnlyContext = only
-		var out strings.Builder
-		if _, err := interp.Run(inst.Prog, interp.Config{Out: &out, Runtime: rt, MaxSteps: opt.MaxSteps}); err != nil {
-			return nil, "", err
+	// run executes one sandboxed replay, retrying Budget/Timeout traps at
+	// doubled limits like the context-insensitive dynamic stage does.
+	run := func(s dcart.Schedule, only string) (*dcart.Runtime, string, *sandbox.Trap) {
+		lim := opt.limits()
+		retries := 0
+		for {
+			rt := dcart.NewRuntime(s)
+			rt.TrackContexts = true
+			rt.OnlyContext = only
+			var out strings.Builder
+			oc := sandbox.Run(nil, inst.Prog, interp.Config{Out: &out, Runtime: rt}, lim, nil)
+			if oc.OK() {
+				return rt, out.String(), nil
+			}
+			k := oc.Trap.Kind
+			if (k == sandbox.Budget || k == sandbox.Timeout) && retries < opt.Retries {
+				retries++
+				lim = lim.Doubled()
+				continue
+			}
+			return rt, out.String(), oc.Trap
 		}
-		return rt, out.String(), nil
 	}
 
-	golden, goldenOut, err := run(dcart.Identity{}, "")
-	if err != nil {
-		return nil, fmt.Errorf("core: golden run failed: %w", err)
+	golden, goldenOut, trap := run(dcart.Identity{}, "")
+	if trap != nil {
+		return nil, fmt.Errorf("core: golden run failed (%s): %w", trap.Kind, trap)
 	}
 	counts := map[string]int{}
 	for _, ctx := range golden.Contexts {
@@ -117,10 +131,21 @@ func AnalyzeLoopContexts(prog *ir.Program, fnName string, loopIndex int, opt Opt
 		res := &ContextResult{Context: ctx, Verdict: Commutative, Invocations: counts[ctx]}
 		rep.Contexts = append(rep.Contexts, res)
 		for _, sched := range opt.Schedules {
-			rt, out, err := run(sched, ctx)
-			if err != nil {
-				res.Verdict = NonCommutative
-				res.Reason = fmt.Sprintf("schedule %s faulted: %v", sched.Name(), err)
+			rt, out, trap := run(sched, ctx)
+			if trap != nil {
+				switch trap.Kind {
+				case sandbox.Fault:
+					// Golden completed; a fault under this context's
+					// permutation is divergent observable behaviour.
+					res.Verdict = NonCommutative
+					res.Reason = fmt.Sprintf("schedule %s faulted where the golden run did not: %v", sched.Name(), trap.Err)
+				case sandbox.Budget, sandbox.Timeout:
+					res.Verdict = ResourceExhausted
+					res.Reason = fmt.Sprintf("schedule %s hit its %s limit: %v", sched.Name(), trap.Kind, trap.Err)
+				default: // Panic
+					res.Verdict = Failed
+					res.Reason = fmt.Sprintf("internal panic during schedule %s: %v", sched.Name(), trap.Err)
+				}
 				break
 			}
 			if why := compareContextRun(golden, goldenOut, rt, out, sched); why != "" {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dca/internal/cfg"
 	"dca/internal/dcart"
@@ -16,6 +17,7 @@ import (
 	"dca/internal/interp"
 	"dca/internal/ir"
 	"dca/internal/purity"
+	"dca/internal/sandbox"
 	"dca/internal/source"
 )
 
@@ -39,11 +41,17 @@ const (
 	// stage has no evidence.
 	NotExecuted
 	// Failed: the instrumented golden run diverged from the original
-	// program or errored; the loop is reported untestable.
+	// program, faulted, or the analysis itself panicked; the loop is
+	// reported untestable while the rest of the suite continues.
 	Failed
+	// ResourceExhausted: a dynamic-stage execution ran out of its step,
+	// heap, output, or wall-clock budget even after the bounded
+	// doubled-budget retry. Unlike a fault this says nothing about the
+	// program: the analysis simply could not afford the evidence.
+	ResourceExhausted
 )
 
-var verdictNames = [...]string{"commutative", "non-commutative", "excluded-io", "not-separable", "not-executed", "failed"}
+var verdictNames = [...]string{"commutative", "non-commutative", "excluded-io", "not-separable", "not-executed", "failed", "resource-exhausted"}
 
 func (v Verdict) String() string { return verdictNames[v] }
 
@@ -65,6 +73,11 @@ type LoopResult struct {
 	Iterations  int64
 	// SchedulesTested counts permutation schedules that completed.
 	SchedulesTested int
+	// Retries counts doubled-budget retries spent during the dynamic stage.
+	Retries int
+	// TrapKind is the sandbox classification ("fault", "budget", "timeout",
+	// "panic") behind a trap-derived verdict; "" when no trap fired.
+	TrapKind string
 }
 
 // Report is the whole-program analysis result.
@@ -124,6 +137,23 @@ type Options struct {
 	Schedules []dcart.Schedule
 	// MaxSteps bounds each program execution (default 200M).
 	MaxSteps int64
+	// Timeout bounds each program execution's wall-clock time (0 = none).
+	Timeout time.Duration
+	// MaxHeapObjects / MaxOutput bound each execution's heap allocations
+	// and program output bytes (0 = none).
+	MaxHeapObjects int64
+	MaxOutput      int64
+	// Retries is how many times a budget- or timeout-trapped execution is
+	// retried at a doubled budget before the loop degrades to
+	// ResourceExhausted. Default 1; negative disables retries.
+	Retries int
+	// Inject deterministically trips a trap inside the instrumented
+	// executions — the test harness for the degradation paths themselves.
+	// InjectFn/InjectLoop restrict it to one loop; InjectFn == "" applies
+	// it to every loop. The uninstrumented reference run is never injected.
+	Inject     sandbox.Inject
+	InjectFn   string
+	InjectLoop int
 }
 
 func (o *Options) normalize() {
@@ -133,6 +163,33 @@ func (o *Options) normalize() {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 200_000_000
 	}
+	switch {
+	case o.Retries == 0:
+		o.Retries = 1
+	case o.Retries < 0:
+		o.Retries = 0
+	}
+}
+
+func (o *Options) limits() sandbox.Limits {
+	return sandbox.Limits{
+		MaxSteps:       o.MaxSteps,
+		MaxHeapObjects: o.MaxHeapObjects,
+		MaxOutput:      o.MaxOutput,
+		Timeout:        o.Timeout,
+	}
+}
+
+// injectorFor arms the configured injection for one loop's dynamic stage,
+// or returns nil when injection is off or aimed at a different loop.
+func (o *Options) injectorFor(fn string, loop int) *sandbox.Injector {
+	if o.Inject.AtStep == 0 && o.Inject.AtIntrinsic == 0 {
+		return nil
+	}
+	if o.InjectFn != "" && (o.InjectFn != fn || o.InjectLoop != loop) {
+		return nil
+	}
+	return sandbox.NewInjector(o.Inject)
 }
 
 // Analyze runs DCA over every loop of every function in the program.
@@ -140,10 +197,12 @@ func Analyze(prog *ir.Program, opt Options) (*Report, error) {
 	opt.normalize()
 	rep := &Report{Prog: prog}
 
-	// Reference output of the unmodified program.
+	// Reference output of the unmodified program. A trap here is fatal for
+	// the whole analysis: with no reference behaviour there is nothing to
+	// compare any loop's replays against.
 	var refOut strings.Builder
-	if _, err := interp.Run(prog, interp.Config{Out: &refOut, MaxSteps: opt.MaxSteps}); err != nil {
-		return nil, fmt.Errorf("core: reference execution failed: %w", err)
+	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.limits(), nil); !oc.OK() {
+		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
 
 	pur := purity.Analyze(prog)
@@ -184,15 +243,49 @@ func AnalyzeLoop(prog *ir.Program, fnName string, loopIndex int, opt Options) (*
 	}
 	loop := loops[loopIndex]
 	var refOut strings.Builder
-	if _, err := interp.Run(prog, interp.Config{Out: &refOut, MaxSteps: opt.MaxSteps}); err != nil {
-		return nil, fmt.Errorf("core: reference execution failed: %w", err)
+	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.limits(), nil); !oc.OK() {
+		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
 	res := &LoopResult{Fn: fnName, Index: loopIndex, ID: loop.ID(), Pos: loop.Header.Pos, Depth: loop.Depth}
 	analyzeLoop(prog, fn, g, loop, purity.Analyze(prog), opt, refOut.String(), res)
 	return res, nil
 }
 
+// runCell executes the instrumented program under a fresh runtime from
+// mkRT inside a sandbox cell, retrying Budget and Timeout traps at doubled
+// limits up to opt.Retries times. It returns the last attempt's runtime,
+// captured output, trap (nil on success), and the retries spent.
+func runCell(prog *ir.Program, mkRT func() *dcart.Runtime, opt Options, inj *sandbox.Injector) (*dcart.Runtime, string, *sandbox.Trap, int) {
+	lim := opt.limits()
+	retries := 0
+	for {
+		rt := mkRT()
+		var out strings.Builder
+		oc := sandbox.Run(nil, prog, interp.Config{Out: &out, Runtime: rt}, lim, inj)
+		if oc.OK() {
+			return rt, out.String(), nil, retries
+		}
+		k := oc.Trap.Kind
+		if (k == sandbox.Budget || k == sandbox.Timeout) && retries < opt.Retries {
+			retries++
+			lim = lim.Doubled()
+			continue
+		}
+		return rt, out.String(), oc.Trap, retries
+	}
+}
+
 func analyzeLoop(prog *ir.Program, fn *ir.Func, g *cfg.Graph, loop *cfg.Loop, pur *purity.Info, opt Options, refOut string, res *LoopResult) {
+	// A panic anywhere in this loop's static or dynamic stage (including
+	// instrumentation) marks the loop Failed; the suite run continues.
+	defer func() {
+		if r := recover(); r != nil {
+			res.Verdict = Failed
+			res.TrapKind = sandbox.Panic.String()
+			res.Reason = fmt.Sprintf("internal panic: %v", r)
+		}
+	}()
+
 	// --- Selection: exclude I/O loops (§IV-E). ---
 	if pur.LoopDoesIO(loop.Blocks) {
 		res.Verdict = ExcludedIO
@@ -208,15 +301,31 @@ func analyzeLoop(prog *ir.Program, fn *ir.Func, g *cfg.Graph, loop *cfg.Loop, pu
 		return
 	}
 
+	inj := opt.injectorFor(fn.Name, loop.Index)
+
 	// --- Dynamic stage: golden run. ---
-	golden := dcart.NewRuntime(dcart.Identity{})
-	var goldenOut strings.Builder
-	if _, err := interp.Run(inst.Prog, interp.Config{Out: &goldenOut, Runtime: golden, MaxSteps: opt.MaxSteps}); err != nil {
-		res.Verdict = Failed
-		res.Reason = "golden run failed: " + err.Error()
+	golden, goldenOut, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return dcart.NewRuntime(dcart.Identity{}) }, opt, inj)
+	res.Retries += retries
+	if trap != nil {
+		res.TrapKind = trap.Kind.String()
+		switch trap.Kind {
+		case sandbox.Budget, sandbox.Timeout:
+			// The analysis ran out of resources, not the program out of
+			// correctness: degrade without claiming a verdict.
+			res.Verdict = ResourceExhausted
+			res.Reason = fmt.Sprintf("golden run hit its %s limit after %d retries: %v", trap.Kind, retries, trap.Err)
+		case sandbox.Panic:
+			res.Verdict = Failed
+			res.Reason = fmt.Sprintf("internal panic during golden run: %v", trap.Err)
+		default: // Fault
+			// A fault in *original* order means the transformation itself
+			// broke the program; it is not commutativity evidence.
+			res.Verdict = Failed
+			res.Reason = "golden run faulted: " + trap.Err.Error()
+		}
 		return
 	}
-	if goldenOut.String() != refOut {
+	if goldenOut != refOut {
 		// The transformation changed observable behaviour even in original
 		// order: a separability assumption was violated dynamically.
 		res.Verdict = Failed
@@ -235,16 +344,27 @@ func analyzeLoop(prog *ir.Program, fn *ir.Func, g *cfg.Graph, loop *cfg.Loop, pu
 
 	// --- Dynamic stage: permuted runs + live-out verification. ---
 	for _, sched := range opt.Schedules {
-		rt := dcart.NewRuntime(sched)
-		var out strings.Builder
-		if _, err := interp.Run(inst.Prog, interp.Config{Out: &out, Runtime: rt, MaxSteps: opt.MaxSteps}); err != nil {
-			// Permuted execution faulted: reliably detected as a
-			// commutativity violation (§IV-E).
-			res.Verdict = NonCommutative
-			res.Reason = fmt.Sprintf("schedule %s faulted: %v", sched.Name(), err)
+		rt, out, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return dcart.NewRuntime(sched) }, opt, inj)
+		res.Retries += retries
+		if trap != nil {
+			res.TrapKind = trap.Kind.String()
+			switch trap.Kind {
+			case sandbox.Fault:
+				// The golden run completed but this permutation trapped:
+				// a divergent observable behaviour, reliably detected as a
+				// commutativity violation (§IV-E).
+				res.Verdict = NonCommutative
+				res.Reason = fmt.Sprintf("schedule %s faulted where the golden run did not: %v", sched.Name(), trap.Err)
+			case sandbox.Budget, sandbox.Timeout:
+				res.Verdict = ResourceExhausted
+				res.Reason = fmt.Sprintf("schedule %s hit its %s limit after %d retries: %v", sched.Name(), trap.Kind, retries, trap.Err)
+			default: // Panic
+				res.Verdict = Failed
+				res.Reason = fmt.Sprintf("internal panic during schedule %s: %v", sched.Name(), trap.Err)
+			}
 			return
 		}
-		if why := compareRuns(golden, rt, refOut, out.String(), sched); why != "" {
+		if why := compareRuns(golden, rt, refOut, out, sched); why != "" {
 			res.Verdict = NonCommutative
 			res.Reason = why
 			return

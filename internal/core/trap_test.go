@@ -1,0 +1,184 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/dcart"
+	"dca/internal/irbuild"
+	"dca/internal/sandbox"
+)
+
+// TestPermutedFaultIsNonCommutative: a loop whose body divides by zero only
+// under a permuted schedule must be reported NonCommutative — the fault is a
+// divergent observable behaviour (§IV live-out semantics), not an analysis
+// error. In original order the divisor i-prev-2 is always -1 (prev tracks
+// the previous i); under the reverse schedule the first replayed iteration
+// sees i=1, prev=-1, so the divisor is zero.
+func TestPermutedFaultIsNonCommutative(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var prev int = 0 - 1;
+	var s int = 0;
+	for (var i int = 0; i < 2; i++) {
+		s += 10 / (i - prev - 2);
+		prev = i;
+	}
+	print(s);
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := core.AnalyzeLoop(prog, "main", 0, core.Options{
+		Schedules: []dcart.Schedule{dcart.Reverse{}},
+	})
+	if err != nil {
+		t.Fatalf("AnalyzeLoop: %v", err)
+	}
+	if res.Verdict != core.NonCommutative {
+		t.Fatalf("verdict = %s (%s), want non-commutative", res.Verdict, res.Reason)
+	}
+	if res.TrapKind != sandbox.Fault.String() {
+		t.Errorf("TrapKind = %q, want fault", res.TrapKind)
+	}
+	if !strings.Contains(res.Reason, "faulted where the golden run did not") {
+		t.Errorf("reason = %q, want golden-vs-replay fault divergence", res.Reason)
+	}
+	if !strings.Contains(res.Reason, "division by zero") {
+		t.Errorf("reason = %q, want underlying fault preserved", res.Reason)
+	}
+}
+
+// TestBudgetDegradesToResourceExhausted: a loop whose dynamic stage keeps
+// exhausting its budget is reported resource-exhausted after exactly one
+// doubled-budget retry — not as a fault and not as non-commutative.
+func TestBudgetDegradesToResourceExhausted(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 20; i++) { s += i; }
+	print(s);
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := core.AnalyzeLoop(prog, "main", 0, core.Options{
+		Schedules: []dcart.Schedule{dcart.Reverse{}},
+		Inject:    sandbox.Inject{AtIntrinsic: 1, Kind: sandbox.Budget},
+	})
+	if err != nil {
+		t.Fatalf("AnalyzeLoop: %v", err)
+	}
+	if res.Verdict != core.ResourceExhausted {
+		t.Fatalf("verdict = %s (%s), want resource-exhausted", res.Verdict, res.Reason)
+	}
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want exactly one doubled-budget retry", res.Retries)
+	}
+	if res.TrapKind != sandbox.Budget.String() {
+		t.Errorf("TrapKind = %q, want budget", res.TrapKind)
+	}
+}
+
+// TestRetryRecoversTransientBudget: when the budget trap fires only once,
+// the single doubled-budget retry completes the run and the loop still
+// earns a real verdict.
+func TestRetryRecoversTransientBudget(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 20; i++) { s += i; }
+	print(s);
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := core.AnalyzeLoop(prog, "main", 0, core.Options{
+		Schedules: []dcart.Schedule{dcart.Reverse{}},
+		Inject:    sandbox.Inject{AtIntrinsic: 1, Kind: sandbox.Budget, MaxTrips: 1},
+	})
+	if err != nil {
+		t.Fatalf("AnalyzeLoop: %v", err)
+	}
+	if res.Verdict != core.Commutative {
+		t.Fatalf("verdict = %s (%s), want commutative after retry", res.Verdict, res.Reason)
+	}
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want 1", res.Retries)
+	}
+}
+
+// TestPanicIsolatedPerLoop: an injected panic in one loop's instrumented
+// execution marks that loop failed but leaves every other loop's verdict
+// intact in the same Analyze call.
+func TestPanicIsolatedPerLoop(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var a []int = new [50]int;
+	for (var i int = 0; i < 50; i++) { a[i] = i * 2; }
+	var s int = 0;
+	for (var i int = 0; i < 50; i++) { s += a[i]; }
+	print(s);
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := core.Analyze(prog, core.Options{
+		Schedules:  []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}},
+		Inject:     sandbox.Inject{AtIntrinsic: 1, Kind: sandbox.Panic},
+		InjectFn:   "main",
+		InjectLoop: 0,
+	})
+	if err != nil {
+		t.Fatalf("Analyze aborted instead of degrading: %v", err)
+	}
+	if len(rep.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(rep.Loops))
+	}
+	poisoned := rep.Result("main", 0)
+	if poisoned.Verdict != core.Failed {
+		t.Errorf("poisoned loop verdict = %s (%s), want failed", poisoned.Verdict, poisoned.Reason)
+	}
+	if poisoned.TrapKind != sandbox.Panic.String() {
+		t.Errorf("poisoned TrapKind = %q, want panic", poisoned.TrapKind)
+	}
+	if !strings.Contains(poisoned.Reason, "panic") {
+		t.Errorf("poisoned reason = %q, want panic mention", poisoned.Reason)
+	}
+	healthy := rep.Result("main", 1)
+	if healthy.Verdict != core.Commutative {
+		t.Errorf("healthy loop verdict = %s (%s), want commutative", healthy.Verdict, healthy.Reason)
+	}
+	if healthy.Retries != 0 || healthy.TrapKind != "" {
+		t.Errorf("healthy loop picked up trap state: %+v", healthy)
+	}
+}
+
+// TestNoRetryDegradesImmediately: with retries disabled (Retries < 0) a
+// budget trap degrades the loop to resource-exhausted without any retry.
+func TestNoRetryDegradesImmediately(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 200; i++) { s += i * i + (i % 7); }
+	print(s);
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := core.AnalyzeLoop(prog, "main", 0, core.Options{
+		Schedules: []dcart.Schedule{dcart.Reverse{}},
+		Inject:    sandbox.Inject{AtIntrinsic: 1, Kind: sandbox.Budget},
+		Retries:   -1, // disable retries: degrade immediately
+	})
+	if err != nil {
+		t.Fatalf("AnalyzeLoop: %v", err)
+	}
+	if res.Verdict != core.ResourceExhausted {
+		t.Fatalf("verdict = %s (%s), want resource-exhausted", res.Verdict, res.Reason)
+	}
+	if res.Retries != 0 {
+		t.Errorf("retries = %d, want 0 with retries disabled", res.Retries)
+	}
+}

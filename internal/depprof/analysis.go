@@ -57,6 +57,9 @@ type Report struct {
 	Prog     *ir.Program
 	Profile  *Profile
 	Verdicts map[LoopKey]*Verdict
+	// Truncated mirrors Profile.Truncated: the trace hit its step budget
+	// and verdicts cover only the executed prefix.
+	Truncated bool
 }
 
 // Parallelizable counts loops reported parallel.
@@ -99,6 +102,9 @@ func (r *Report) String() string {
 		}
 		b.WriteByte('\n')
 	}
+	if r.Truncated {
+		b.WriteString("(trace truncated: step budget exhausted before the program finished)\n")
+	}
 	return b.String()
 }
 
@@ -108,7 +114,7 @@ func Analyze(prog *ir.Program, pol Policy, maxSteps int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Prog: prog, Profile: prof, Verdicts: map[LoopKey]*Verdict{}}
+	rep := &Report{Prog: prog, Profile: prof, Verdicts: map[LoopKey]*Verdict{}, Truncated: prof.Truncated}
 	pur := purity.Analyze(prog)
 	for _, fn := range prog.Funcs {
 		env := scalar.NewEnv(fn)

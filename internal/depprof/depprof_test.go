@@ -1,9 +1,12 @@
 package depprof_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"dca/internal/depprof"
+	"dca/internal/interp"
 	"dca/internal/irbuild"
 )
 
@@ -255,6 +258,64 @@ func main() {
 	// profiling accepts it.
 	if !v.Parallel {
 		t.Errorf("callee reduction should be accepted, reasons: %v", v.Reasons)
+	}
+}
+
+// TestTraceTruncatedOnBudget: running out of the step budget is an
+// analysis-resource limit, not a program fault — Trace keeps the partial
+// profile and marks it truncated instead of returning an error.
+func TestTraceTruncatedOnBudget(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var a []int = new [1000]int;
+	for (var i int = 0; i < 1000; i++) { a[i] = i; }
+	print(a[999]);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := depprof.Trace(prog, 50)
+	if err != nil {
+		t.Fatalf("budget exhaustion must not be an error, got %v", err)
+	}
+	if !prof.Truncated {
+		t.Error("profile should be marked truncated")
+	}
+	if prof.Steps == 0 {
+		t.Error("truncated profile should still report steps executed")
+	}
+	rep, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 50)
+	if err != nil {
+		t.Fatalf("Analyze under budget: %v", err)
+	}
+	if !rep.Truncated {
+		t.Error("report should mirror Profile.Truncated")
+	}
+	if !strings.Contains(rep.String(), "truncated") {
+		t.Errorf("report text should mention truncation:\n%s", rep)
+	}
+}
+
+// TestTraceFaultClassified: a program fault during tracing is a real error,
+// clearly distinguished from a budget stop.
+func TestTraceFaultClassified(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var z int = 0;
+	print(10 / z);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = depprof.Trace(prog, 0)
+	if err == nil {
+		t.Fatal("faulting program must error")
+	}
+	if !strings.Contains(err.Error(), "faulted") {
+		t.Errorf("err = %v, want fault wording", err)
+	}
+	if errors.Is(err, interp.ErrBudget) {
+		t.Errorf("fault misclassified as budget: %v", err)
 	}
 }
 

@@ -13,6 +13,9 @@
 package depprof
 
 import (
+	"errors"
+	"fmt"
+
 	"dca/internal/affine"
 	"dca/internal/cfg"
 	"dca/internal/interp"
@@ -84,6 +87,10 @@ type Profile struct {
 	// invocation of b ran inside an invocation of a (possibly across
 	// calls). Loop selection uses it to parallelize outermost loops only.
 	Contains map[LoopKey]map[LoopKey]bool
+	// Truncated reports that the traced execution ran out of its step
+	// budget: the profile covers only the prefix that executed. Verdicts
+	// drawn from it are sound for what ran but may miss later behaviour.
+	Truncated bool
 }
 
 // tracer implements interp.Tracer.
@@ -144,11 +151,22 @@ func Trace(prog *ir.Program, maxSteps int64) (*Profile, error) {
 		}
 	}
 	res, err := interp.Run(prog, interp.Config{Tracer: tr, MaxSteps: maxSteps})
-	if err != nil {
-		return nil, err
+	switch {
+	case err == nil:
+		tr.prof.Steps = res.Steps
+	case errors.Is(err, interp.ErrBudget):
+		// Budget exhaustion is an analysis-resource limit, not a program
+		// fault: keep the partial profile and mark it truncated.
+		tr.prof.Truncated = true
+		var be *interp.BudgetError
+		if errors.As(err, &be) {
+			tr.prof.Steps = be.Steps
+		}
+	default:
+		return nil, fmt.Errorf("depprof: traced program faulted: %w", err)
 	}
-	tr.prof.Steps = res.Steps
-	// Close any invocations left open (program ended inside loops).
+	// Close any invocations left open (program ended inside loops, or the
+	// trace was cut short by the budget).
 	for len(tr.active) > 0 {
 		tr.closeInvocation(tr.active[len(tr.active)-1])
 		tr.active = tr.active[:len(tr.active)-1]

@@ -6,16 +6,61 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"dca/internal/ir"
 )
 
-// ErrBudget is returned when execution exceeds the step budget.
+// ErrBudget is the sentinel matched by errors.Is for every resource-budget
+// exhaustion (steps, heap objects, output bytes). The concrete error is a
+// *BudgetError carrying the exhaustion site.
 var ErrBudget = errors.New("interp: step budget exhausted")
+
+// ErrCancelled is the sentinel matched by errors.Is when execution stopped
+// because the configured context was cancelled or its deadline elapsed. The
+// concrete error is a *CancelError.
+var ErrCancelled = errors.New("interp: execution cancelled")
+
+// BudgetError reports which resource budget ran out and where execution
+// stood when it did.
+type BudgetError struct {
+	Resource string // "steps", "heap-objects", "output-bytes", or "injected"
+	Fn       string // function executing at exhaustion
+	Block    string // basic block executing at exhaustion
+	Steps    int64  // instructions retired at exhaustion
+	Limit    int64  // the budget that was exceeded
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("interp: %s budget (%d) exhausted in %s at block %s after %d steps",
+		e.Resource, e.Limit, e.Fn, e.Block, e.Steps)
+}
+
+// Is reports ErrBudget so callers can classify without knowing the resource.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudget }
+
+// CancelError reports where execution stood when the context was done.
+type CancelError struct {
+	Fn    string
+	Block string
+	Steps int64
+	Cause error // the context's error (context.Canceled or DeadlineExceeded)
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("interp: execution cancelled in %s at block %s after %d steps: %v",
+		e.Fn, e.Block, e.Steps, e.Cause)
+}
+
+// Is reports ErrCancelled; Unwrap exposes the context error.
+func (e *CancelError) Is(target error) bool { return target == ErrCancelled }
+
+func (e *CancelError) Unwrap() error { return e.Cause }
 
 // Frame is one activation record.
 type Frame struct {
@@ -52,6 +97,17 @@ type Config struct {
 	Tracer      Tracer    // event hooks; nil disables tracing
 	MaxSteps    int64     // instruction budget; 0 means 1e9
 	CountBlocks bool      // record per-block execution counts
+	// Ctx, when non-nil, cancels execution: the interpreter polls it every
+	// few hundred instructions and returns a *CancelError once it is done.
+	Ctx context.Context
+	// MaxHeapObjects bounds the number of heap allocations (0 = unlimited).
+	MaxHeapObjects int64
+	// MaxOutput bounds the bytes written through print (0 = unlimited).
+	MaxOutput int64
+	// StepHook, when non-nil, runs before every instruction; a returned
+	// error aborts execution with it. The sandbox fault injector uses it to
+	// trip deterministic traps at a chosen instruction count.
+	StepHook func(fr *Frame, in ir.Instr, steps int64) error
 }
 
 // Result reports what an execution did.
@@ -64,12 +120,13 @@ type Result struct {
 
 // Interp executes IR programs.
 type Interp struct {
-	prog    *ir.Program
-	cfg     Config
-	steps   int64
-	max     int64
-	nextID  int64
-	blockCt map[*ir.Block]int64
+	prog     *ir.Program
+	cfg      Config
+	steps    int64
+	max      int64
+	nextID   int64
+	outBytes int64
+	blockCt  map[*ir.Block]int64
 }
 
 // New creates an interpreter for prog.
@@ -157,8 +214,17 @@ func (it *Interp) operand(fr *Frame, o ir.Operand) ir.Value {
 	return o.Const
 }
 
+func (it *Interp) budgetErr(resource string, limit int64, fr *Frame, b *ir.Block) error {
+	return &BudgetError{Resource: resource, Fn: fr.Fn.Name, Block: b.Name, Steps: it.steps, Limit: limit}
+}
+
 func (it *Interp) exec(fr *Frame) (ir.Value, error) {
 	b := fr.Fn.Entry()
+	if it.cfg.Ctx != nil {
+		if err := it.cfg.Ctx.Err(); err != nil {
+			return ir.Value{}, &CancelError{Fn: fr.Fn.Name, Block: b.Name, Steps: it.steps, Cause: err}
+		}
+	}
 	for {
 		if it.cfg.Tracer != nil {
 			it.cfg.Tracer.OnBlock(fr, b)
@@ -169,15 +235,30 @@ func (it *Interp) exec(fr *Frame) (ir.Value, error) {
 		for _, in := range b.Instrs {
 			it.steps++
 			if it.steps > it.max {
-				return ir.Value{}, ErrBudget
+				return ir.Value{}, it.budgetErr("steps", it.max, fr, b)
 			}
-			if err := it.step(fr, in); err != nil {
+			if it.cfg.Ctx != nil && it.steps&255 == 0 {
+				if err := it.cfg.Ctx.Err(); err != nil {
+					return ir.Value{}, &CancelError{Fn: fr.Fn.Name, Block: b.Name, Steps: it.steps, Cause: err}
+				}
+			}
+			if it.cfg.StepHook != nil {
+				if err := it.cfg.StepHook(fr, in, it.steps); err != nil {
+					return ir.Value{}, fmt.Errorf("%s: %s: %w", fr.Fn.Name, in, err)
+				}
+			}
+			if err := it.step(fr, b, in); err != nil {
 				return ir.Value{}, fmt.Errorf("%s: %s: %w", fr.Fn.Name, in, err)
 			}
 		}
 		it.steps++
 		if it.steps > it.max {
-			return ir.Value{}, ErrBudget
+			return ir.Value{}, it.budgetErr("steps", it.max, fr, b)
+		}
+		if it.cfg.Ctx != nil && it.steps&255 == 0 {
+			if err := it.cfg.Ctx.Err(); err != nil {
+				return ir.Value{}, &CancelError{Fn: fr.Fn.Name, Block: b.Name, Steps: it.steps, Cause: err}
+			}
 		}
 		switch t := b.Term.(type) {
 		case *ir.Goto:
@@ -199,7 +280,7 @@ func (it *Interp) exec(fr *Frame) (ir.Value, error) {
 	}
 }
 
-func (it *Interp) step(fr *Frame, in ir.Instr) error {
+func (it *Interp) step(fr *Frame, b *ir.Block, in ir.Instr) error {
 	switch i := in.(type) {
 	case *ir.Mov:
 		fr.Locals[i.Dst.Index] = it.operand(fr, i.Src)
@@ -255,6 +336,9 @@ func (it *Interp) step(fr *Frame, in ir.Instr) error {
 		}
 		obj.Elems[idx] = it.operand(fr, i.Src)
 	case *ir.Alloc:
+		if it.cfg.MaxHeapObjects > 0 && it.nextID >= it.cfg.MaxHeapObjects {
+			return it.budgetErr("heap-objects", it.cfg.MaxHeapObjects, fr, b)
+		}
 		if i.Struct != nil {
 			fr.Locals[i.Dst.Index] = ir.RefVal(ir.NewStructObject(it.NewObjectID(), i.Struct))
 		} else {
@@ -295,18 +379,24 @@ func (it *Interp) step(fr *Frame, in ir.Instr) error {
 		}
 	case *ir.Print:
 		if it.cfg.Out != nil {
+			var line strings.Builder
 			for k, a := range i.Args {
 				if k > 0 {
-					fmt.Fprint(it.cfg.Out, " ")
+					line.WriteByte(' ')
 				}
 				v := it.operand(fr, a)
 				if v.Kind == ir.KindString {
-					fmt.Fprint(it.cfg.Out, v.S)
+					line.WriteString(v.S)
 				} else {
-					fmt.Fprint(it.cfg.Out, v.String())
+					line.WriteString(v.String())
 				}
 			}
-			fmt.Fprintln(it.cfg.Out)
+			line.WriteByte('\n')
+			it.outBytes += int64(line.Len())
+			if it.cfg.MaxOutput > 0 && it.outBytes > it.cfg.MaxOutput {
+				return it.budgetErr("output-bytes", it.cfg.MaxOutput, fr, b)
+			}
+			io.WriteString(it.cfg.Out, line.String())
 		}
 	case *ir.Intrinsic:
 		if it.cfg.Runtime == nil {

@@ -1,0 +1,118 @@
+package parallel_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dca/internal/instrument"
+	"dca/internal/interp"
+	"dca/internal/irbuild"
+	"dca/internal/parallel"
+	"dca/internal/sandbox"
+)
+
+const sumSrc = `
+func main() {
+	var a []int = new [2000]int;
+	for (var i int = 0; i < 2000; i++) { a[i] = i * 3 + 1; }
+	var s int = 0;
+	for (var i int = 0; i < 2000; i++) { s += a[i]; }
+	print(s);
+}`
+
+func instrumented(t *testing.T, src, fn string, loop int) *instrument.Instrumented {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inst, err := instrument.Loop(prog, fn, loop)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	return inst
+}
+
+// TestWorkerPanicJoinsCleanly: one worker panicking mid-iteration must
+// neither crash the process nor deadlock the pool — RunLoop returns a
+// structured error and every sibling worker joins. Run under -race.
+func TestWorkerPanicJoinsCleanly(t *testing.T) {
+	inst := instrumented(t, sumSrc, "main", 1)
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = parallel.RunLoop(inst, parallel.Options{
+			Workers: 8,
+			Inject:  sandbox.NewInjector(sandbox.Inject{AtStep: 40, Kind: sandbox.Panic, MaxTrips: 1}),
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool did not join after a worker panic")
+	}
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want worker panic error", err)
+	}
+}
+
+// TestWorkerFaultCancelsSiblings: a faulting worker reports a classified
+// fault error, not a generic one, and the pool still joins.
+func TestWorkerFaultCancelsSiblings(t *testing.T) {
+	inst := instrumented(t, sumSrc, "main", 1)
+	_, err := parallel.RunLoop(inst, parallel.Options{
+		Workers: 8,
+		Inject:  sandbox.NewInjector(sandbox.Inject{AtStep: 40, Kind: sandbox.Fault, MaxTrips: 1}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "faulted at iteration") {
+		t.Fatalf("err = %v, want classified worker fault", err)
+	}
+	if errors.Is(err, interp.ErrBudget) || errors.Is(err, interp.ErrCancelled) {
+		t.Errorf("fault misclassified: %v", err)
+	}
+}
+
+// TestWorkerBudgetDistinguishedFromFault: budget exhaustion in a worker is
+// reported as a budget error, matchable via interp.ErrBudget.
+func TestWorkerBudgetDistinguishedFromFault(t *testing.T) {
+	inst := instrumented(t, sumSrc, "main", 1)
+	_, err := parallel.RunLoop(inst, parallel.Options{
+		Workers: 4,
+		Inject:  sandbox.NewInjector(sandbox.Inject{AtStep: 40, Kind: sandbox.Budget, MaxTrips: 1}),
+	})
+	if err == nil || !errors.Is(err, interp.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget match", err)
+	}
+	if !strings.Contains(err.Error(), "exhausted its budget") {
+		t.Errorf("err = %v, want budget wording", err)
+	}
+}
+
+// TestParallelTimeout: the whole run is cancellable by wall clock; the
+// driver and workers stop and the error classifies as a timeout.
+func TestParallelTimeout(t *testing.T) {
+	// An effectively endless sequential prologue keeps the run going long
+	// enough for the deadline to land regardless of scheduling.
+	inst := instrumented(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 100000000; i++) { s += i; }
+	var p int = 0;
+	for (var i int = 0; i < 100; i++) { p += i; }
+	print(s + p);
+}`, "main", 1)
+	start := time.Now()
+	_, err := parallel.RunLoop(inst, parallel.Options{
+		Workers: 2,
+		Timeout: 50 * time.Millisecond,
+	})
+	if err == nil || !errors.Is(err, interp.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled match", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}

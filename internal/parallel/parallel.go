@@ -12,15 +12,18 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"dca/internal/instrument"
 	"dca/internal/interp"
 	"dca/internal/ir"
+	"dca/internal/sandbox"
 	"dca/internal/scalar"
 )
 
@@ -34,6 +37,14 @@ type Options struct {
 	MaxSteps int64
 	// Chunk is the scheduling chunk size (default: n/workers, static).
 	Chunk int
+	// Timeout bounds the whole execution's wall-clock time (0 = none). On
+	// expiry every worker and the driver are cancelled and RunLoop returns
+	// an error matching interp.ErrCancelled.
+	Timeout time.Duration
+	// Inject deterministically trips traps inside worker executions — used
+	// to test that a panicking or faulting worker cannot crash or deadlock
+	// the pool. The injector's trip counter is shared across workers.
+	Inject *sandbox.Injector
 }
 
 // Result reports a parallel execution.
@@ -53,11 +64,18 @@ func RunLoop(inst *instrument.Instrumented, opt Options) (*Result, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
+	ctx := context.Background()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	rt, err := newRuntime(inst, opt)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := interp.Run(inst.Prog, interp.Config{Out: opt.Out, Runtime: rt, MaxSteps: opt.MaxSteps}); err != nil {
+	rt.ctx = ctx
+	if _, err := interp.Run(inst.Prog, interp.Config{Out: opt.Out, Runtime: rt, MaxSteps: opt.MaxSteps, Ctx: ctx}); err != nil {
 		return nil, err
 	}
 	return &Result{Invocations: rt.invocations, Iterations: rt.iterations, Workers: opt.Workers}, nil
@@ -124,6 +142,7 @@ func combinerFor(op ir.BinKind, t ir.ValKind) (*combiner, bool) {
 type rtImpl struct {
 	inst *instrument.Instrumented
 	opt  Options
+	ctx  context.Context
 	// plan: per env field, nil = shared read-only, else reduction combiner.
 	fieldComb []*combiner
 
@@ -196,6 +215,25 @@ func (rt *rtImpl) Intrinsic(it *interp.Interp, _ *interp.Frame, name string, arg
 	return ir.Value{}, fmt.Errorf("parallel: unknown intrinsic %q", name)
 }
 
+// firstError picks the most informative worker error: a fault, panic, or
+// budget exhaustion over the secondary cancellations it caused in siblings.
+func firstError(errs []error) error {
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if sandbox.Classify(err) == sandbox.Timeout {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return err
+	}
+	return cancelled
+}
+
 // runParallel fans the recorded iterations out over the worker pool.
 func (rt *rtImpl) runParallel(parent *interp.Interp, env *ir.Object) error {
 	n := len(rt.records)
@@ -243,26 +281,57 @@ func (rt *rtImpl) runParallel(parent *interp.Interp, env *ir.Object) error {
 		bounds = append(bounds, [2]int{next, hi})
 		next = hi
 	}
+	// One faulting worker cancels its siblings so the pool joins promptly
+	// instead of letting them run their chunks to completion (or forever).
+	base := rt.ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
 	for w, bd := range bounds {
 		wg.Add(1)
 		go func(w int, lo, hi int) {
 			defer wg.Done()
-			wi := interp.New(rt.inst.Prog, interp.Config{Out: rt.opt.Out, MaxSteps: rt.opt.MaxSteps})
+			// A panicking worker must not take the process down or leave
+			// the pool waiting: convert the panic to a structured error and
+			// cancel the siblings.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("parallel: worker %d panicked: %v", w, r)
+					cancel()
+				}
+			}()
+			cfg := interp.Config{Out: rt.opt.Out, MaxSteps: rt.opt.MaxSteps, Ctx: ctx}
+			if rt.opt.Inject.Enabled() {
+				cfg.StepHook = rt.opt.Inject.StepHook()
+			}
+			wi := interp.New(rt.inst.Prog, cfg)
 			envArg := ir.RefVal(envs[w])
 			for k := lo; k < hi; k++ {
+				if ctx.Err() != nil {
+					errs[w] = &interp.CancelError{Fn: payload.Name, Steps: wi.Steps(), Cause: ctx.Err()}
+					return
+				}
 				args := append(append([]ir.Value(nil), rt.records[k]...), envArg)
 				if _, err := wi.Call(payload, args, nil); err != nil {
-					errs[w] = err
+					switch sandbox.Classify(err) {
+					case sandbox.Budget:
+						errs[w] = fmt.Errorf("parallel: worker %d exhausted its budget at iteration %d: %w", w, k, err)
+					case sandbox.Timeout:
+						errs[w] = err // cancelled by a sibling or the deadline
+					default:
+						errs[w] = fmt.Errorf("parallel: worker %d faulted at iteration %d: %w", w, k, err)
+					}
+					cancel()
 					return
 				}
 			}
 		}(w, bd[0], bd[1])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return fmt.Errorf("parallel worker: %w", err)
-		}
+	if err := firstError(errs); err != nil {
+		return err
 	}
 	// Combine.
 	for i, comb := range rt.fieldComb {
