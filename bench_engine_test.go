@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dca/internal/bench"
+)
+
+// AnalysisBench is the machine-readable record of the parallel-engine
+// benchmark, written to BENCH_analysis.json by BenchmarkSuiteAnalysis.
+type AnalysisBench struct {
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	WorkersParallel   int     `json:"workers_parallel"`
+	SuiteSecondsSeq   float64 `json:"suite_seconds_sequential"`
+	SuiteSecondsPar   float64 `json:"suite_seconds_parallel"`
+	Speedup           float64 `json:"speedup"`
+	AllocBytesSeq     uint64  `json:"alloc_bytes_sequential"`
+	AllocBytesPar     uint64  `json:"alloc_bytes_parallel"`
+	VerdictsIdentical bool    `json:"verdicts_identical"`
+}
+
+// timedSuite runs the full NPB suite at the given worker count, returning
+// the suite, wall-clock, and heap bytes allocated during the run.
+func timedSuite(b *testing.B, workers int) (*bench.Suite, time.Duration, uint64) {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	s, err := bench.RunSuiteWorkers(workers)
+	dur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, dur, after.TotalAlloc - before.TotalAlloc
+}
+
+// BenchmarkSuiteAnalysis measures the analysis engine's suite-level
+// speedup: the full NPB run at -j 1 versus -j GOMAXPROCS. It asserts the
+// two produce byte-identical Tables I/III/IV and records the measurement
+// in BENCH_analysis.json (run via `go test -run=^$ -bench=SuiteAnalysis
+// -benchtime=1x .`). The ≥3x speedup floor is asserted only on hosts with
+// at least 4 CPUs; on smaller hosts the file still records the ratio.
+func BenchmarkSuiteAnalysis(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		seq, seqDur, seqAlloc := timedSuite(b, 1)
+		par, parDur, parAlloc := timedSuite(b, procs)
+
+		identical := seq.TableI() == par.TableI() &&
+			seq.TableIII() == par.TableIII() &&
+			seq.TableIV() == par.TableIV()
+		if !identical {
+			b.Fatalf("parallel suite diverged from sequential:\nseq TableI:\n%s\npar TableI:\n%s",
+				seq.TableI(), par.TableI())
+		}
+		rec := AnalysisBench{
+			GOMAXPROCS:        procs,
+			WorkersParallel:   procs,
+			SuiteSecondsSeq:   seqDur.Seconds(),
+			SuiteSecondsPar:   parDur.Seconds(),
+			Speedup:           seqDur.Seconds() / parDur.Seconds(),
+			AllocBytesSeq:     seqAlloc,
+			AllocBytesPar:     parAlloc,
+			VerdictsIdentical: identical,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_analysis.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "suite: seq %.2fs, par(-j %d) %.2fs, speedup %.2fx\n",
+			rec.SuiteSecondsSeq, procs, rec.SuiteSecondsPar, rec.Speedup)
+		if procs >= 4 && rec.Speedup < 3 {
+			b.Fatalf("suite speedup %.2fx below the 3x floor at -j %d", rec.Speedup, procs)
+		}
+		b.ReportMetric(rec.Speedup, "speedup")
+	}
+}

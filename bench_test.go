@@ -230,10 +230,11 @@ func BenchmarkAblationSnapshot(b *testing.B) {
 	b.Run("deep", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rt := dcart.NewRuntime(dcart.Identity{})
+			rt.DebugSnapshots = true
 			if _, err := interp.Run(inst.Prog, interp.Config{Runtime: rt}); err != nil {
 				b.Fatal(err)
 			}
-			if len(rt.Snapshots) != 1 || len(rt.Snapshots[0]) < 200 {
+			if len(rt.Snapshots) != 1 || len(rt.SnapshotStrings[0]) < 200 {
 				b.Fatal("deep snapshot should serialize the array")
 			}
 		}

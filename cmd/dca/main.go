@@ -22,6 +22,7 @@ import (
 	"dca/internal/dcart"
 	"dca/internal/depprof"
 	"dca/internal/discopop"
+	"dca/internal/engine"
 	"dca/internal/icc"
 	"dca/internal/idioms"
 	"dca/internal/instrument"
@@ -114,7 +115,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `dca — Dynamic Commutativity Analysis for MiniC programs
 
 commands:
-  analyze [-baselines] [-schedules n] [-timeout d] [-max-steps n] [-retry n]
+  analyze [-j n] [-baselines] [-schedules n] [-timeout d] [-max-steps n]
+          [-retry n] [-no-prescreen] [-debug-snapshots]
           [-inject-kind k -inject-at-step n|-inject-at-intrinsic n
            -inject-fn f -inject-loop k] file.mc  run DCA on every loop
   run [-opt] [-timeout d] [-max-steps n] file.mc execute the program
@@ -140,7 +142,10 @@ func compile(path string) (*ir.Program, error) {
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	baselines := fs.Bool("baselines", false, "also run the five baseline detectors")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "concurrent analysis workers (1 = sequential)")
 	schedules := fs.Int("schedules", 3, "number of random permutation schedules (plus reverse)")
+	noPrescreen := fs.Bool("no-prescreen", false, "disable the coverage prescreen (run every loop's golden run)")
+	debugSnapshots := fs.Bool("debug-snapshots", false, "keep string snapshots alongside digests for mismatch diagnosis")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit per execution (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "instruction budget per execution (0 = default 200M)")
 	retry := fs.Int("retry", 1, "doubled-budget retries for budget/timeout traps (negative disables)")
@@ -164,12 +169,13 @@ func cmdAnalyze(args []string) error {
 		scheds = append(scheds, dcart.Random{Seed: int64(i + 1)})
 	}
 	opts := core.Options{
-		Schedules:  scheds,
-		MaxSteps:   *maxSteps,
-		Timeout:    *timeout,
-		Retries:    *retry,
-		InjectFn:   *injectFn,
-		InjectLoop: *injectLoop,
+		Schedules:      scheds,
+		MaxSteps:       *maxSteps,
+		Timeout:        *timeout,
+		Retries:        *retry,
+		InjectFn:       *injectFn,
+		InjectLoop:     *injectLoop,
+		DebugSnapshots: *debugSnapshots,
 	}
 	if *injectKind != "" {
 		kind, err := parseInjectKind(*injectKind)
@@ -181,7 +187,7 @@ func cmdAnalyze(args []string) error {
 			return fmt.Errorf("analyze: -inject-kind needs -inject-at-step or -inject-at-intrinsic")
 		}
 	}
-	rep, err := core.Analyze(prog, opts)
+	rep, err := engine.Analyze(prog, engine.Options{Core: opts, Workers: *jobs, NoPrescreen: *noPrescreen})
 	if err != nil {
 		return err
 	}
@@ -197,16 +203,15 @@ func cmdAnalyze(args []string) error {
 	if !*baselines {
 		return nil
 	}
-	dp, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 0)
+	// One traced execution serves both dependence profilers.
+	prof, err := depprof.Trace(prog, 0)
 	if err != nil {
 		return err
 	}
+	dp := depprof.AnalyzeProfile(prog, prof, depprof.DefaultPolicy())
 	fmt.Println("\n== Dependence Profiling ==")
 	fmt.Print(dp)
-	dpp, err := discopop.Analyze(prog, 0)
-	if err != nil {
-		return err
-	}
+	dpp := discopop.AnalyzeProfile(prog, prof)
 	fmt.Println("\n== DiscoPoP ==")
 	fmt.Print(dpp)
 	fmt.Println("\n== Idioms ==")

@@ -14,6 +14,7 @@ import (
 	"dca/internal/dcart"
 	"dca/internal/depprof"
 	"dca/internal/discopop"
+	"dca/internal/engine"
 	"dca/internal/icc"
 	"dca/internal/idioms"
 	"dca/internal/ir"
@@ -38,31 +39,59 @@ type NPBResult struct {
 
 	// Truth maps every loop to its archetype ground truth.
 	Truth map[depprof.LoopKey]archetype.Truth
+
+	// keys caches the program's loop enumeration: Counts, detectedKeys, and
+	// Accuracy are called once per table render, and rebuilding the CFG and
+	// loop forest for every call made rendering quadratic in the suite size.
+	keys []depprof.LoopKey
 }
 
-// RunNPB generates the benchmark and runs all six analyzers.
+// LoopKeys returns every loop of the program in deterministic order,
+// computed once per result.
+func (r *NPBResult) LoopKeys() []depprof.LoopKey {
+	if r.keys == nil {
+		r.keys = loopKeys(r.Prog)
+	}
+	return r.keys
+}
+
+// npbSchedules is the suite's DCA schedule set.
+func npbSchedules() []dcart.Schedule {
+	return []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}}
+}
+
+// RunNPB generates the benchmark and runs all six analyzers sequentially.
 func RunNPB(spec *npb.Spec) (*NPBResult, error) {
+	return RunNPBEngine(spec, nil)
+}
+
+// RunNPBEngine runs all six analyzers over the generated benchmark. The
+// dependence profilers (depprof, discopop) and the machine model share ONE
+// traced execution — the trace is policy-independent — instead of tracing
+// the program once per baseline. DCA runs on the concurrent engine, its
+// replays drawn from pool (nil = sequential).
+func RunNPBEngine(spec *npb.Spec, pool *engine.Pool) (*NPBResult, error) {
 	prog, err := spec.Compile()
 	if err != nil {
 		return nil, err
 	}
 	r := &NPBResult{Spec: spec, Prog: prog}
-	if r.DP, err = depprof.Analyze(prog, depprof.DefaultPolicy(), 0); err != nil {
-		return nil, fmt.Errorf("%s: depprof: %w", spec.Name, err)
+	prof, err := depprof.Trace(prog, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: trace: %w", spec.Name, err)
 	}
-	r.Prof = r.DP.Profile
-	if r.DiP, err = discopop.Analyze(prog, 0); err != nil {
-		return nil, fmt.Errorf("%s: discopop: %w", spec.Name, err)
-	}
+	r.Prof = prof
+	r.DP = depprof.AnalyzeProfile(prog, prof, depprof.DefaultPolicy())
+	r.DiP = discopop.AnalyzeProfile(prog, prof)
 	r.ID = idioms.Analyze(prog)
 	r.PO = polly.Analyze(prog)
 	r.IC = icc.Analyze(prog)
-	if r.DCA, err = core.Analyze(prog, core.Options{
-		Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}},
-	}); err != nil {
+	eopt := engine.Options{Core: core.Options{Schedules: npbSchedules()}, Workers: 1, Pool: pool}
+	if r.DCA, err = engine.Analyze(prog, eopt); err != nil {
 		return nil, fmt.Errorf("%s: dca: %w", spec.Name, err)
 	}
 	r.Truth = truthMap(spec, prog)
+	r.LoopKeys() // warm the cache before results are shared across goroutines
 	return r, nil
 }
 
@@ -97,7 +126,7 @@ type MeasuredRow struct {
 // Counts computes the measured counts across every loop of the program.
 func (r *NPBResult) Counts() MeasuredRow {
 	var row MeasuredRow
-	keys := loopKeys(r.Prog)
+	keys := r.LoopKeys()
 	row.Loops = len(keys)
 	for _, key := range keys {
 		idV := r.ID.Verdict(key.Fn, key.Index)
@@ -150,7 +179,7 @@ func loopKeys(prog *ir.Program) []depprof.LoopKey {
 // detectedKeys returns the loops a predicate accepts.
 func (r *NPBResult) detectedKeys(pred func(key depprof.LoopKey) bool) []depprof.LoopKey {
 	var out []depprof.LoopKey
-	for _, key := range loopKeys(r.Prog) {
+	for _, key := range r.LoopKeys() {
 		if pred(key) {
 			out = append(out, key)
 		}
@@ -179,7 +208,7 @@ func (r *NPBResult) CombinedStaticKeys() []depprof.LoopKey {
 // Accuracy reports DCA's false positives/negatives against ground truth
 // (Table IV's semi-manual analysis, here exact by construction).
 func (r *NPBResult) Accuracy() (found, falsePos, falseNeg int) {
-	for _, key := range loopKeys(r.Prog) {
+	for _, key := range r.LoopKeys() {
 		res := r.DCA.Result(key.Fn, key.Index)
 		if res == nil {
 			continue

@@ -2,12 +2,15 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"dca/internal/core"
 	"dca/internal/dcart"
 	"dca/internal/depprof"
 	"dca/internal/discopop"
+	"dca/internal/engine"
 	"dca/internal/icc"
 	"dca/internal/idioms"
 	"dca/internal/machine"
@@ -21,17 +24,46 @@ type Suite struct {
 	Results []*NPBResult
 }
 
-// RunSuite runs every analyzer over all ten NPB proxies.
+// RunSuite runs every analyzer over all ten NPB proxies, fanned out over
+// GOMAXPROCS workers.
 func RunSuite() (*Suite, error) {
-	s := &Suite{}
-	for _, spec := range npb.Specs() {
-		r, err := RunNPB(spec)
+	return RunSuiteWorkers(runtime.GOMAXPROCS(0))
+}
+
+// RunSuiteWorkers runs the suite with a bounded worker budget shared by
+// everything: benchmark-level fan-out, per-loop analyses, and per-schedule
+// replays all draw from one pool, so -j N bounds total concurrency rather
+// than multiplying across levels. Results keep spec order; the verdicts are
+// identical to the sequential path for any worker count.
+func RunSuiteWorkers(workers int) (*Suite, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	specs := npb.Specs()
+	pool := engine.NewPool(workers)
+	results := make([]*NPBResult, len(specs))
+	errs := make([]error, len(specs))
+	// The spec-level gate bounds how many benchmarks run their traced
+	// profiling and static analyses at once; the engine pool bounds the
+	// dynamic-stage replays within and across benchmarks.
+	gate := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec *npb.Spec) {
+			defer wg.Done()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			results[i], errs[i] = RunNPBEngine(spec, pool)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		s.Results = append(s.Results, r)
 	}
-	return s, nil
+	return &Suite{Results: results}, nil
 }
 
 func cell(paper int, measured int, reported bool) string {
@@ -227,17 +259,16 @@ func RunPLDS(p *plds.Program) (*PLDSResult, error) {
 	res.DCAFound = dcaRes.Verdict.IsParallelizable()
 	res.DCAWhy = dcaRes.Reason
 
-	dp, err := depprof.Analyze(prog, depprof.DefaultPolicy(), 0)
+	// One traced execution serves both dependence profilers.
+	prof, err := depprof.Trace(prog, 0)
 	if err != nil {
 		return nil, err
 	}
+	dp := depprof.AnalyzeProfile(prog, prof, depprof.DefaultPolicy())
 	if v := dp.Verdict(p.KeyFn, p.KeyLoop); v != nil && v.Parallel {
 		res.BaselinesDetecting = append(res.BaselinesDetecting, "DepProf")
 	}
-	dpp, err := discopop.Analyze(prog, 0)
-	if err != nil {
-		return nil, err
-	}
+	dpp := discopop.AnalyzeProfile(prog, prof)
 	if v := dpp.Verdict(p.KeyFn, p.KeyLoop); v != nil && v.Parallel {
 		res.BaselinesDetecting = append(res.BaselinesDetecting, "DiscoPoP")
 	}
@@ -257,9 +288,9 @@ func RunPLDS(p *plds.Program) (*PLDSResult, error) {
 		// DCA parallelization of the whole program: every commutative loop
 		// is a candidate, the profitability filter and outermost selection
 		// pick the parallel regions (as for the NPB suite).
-		full, err := core.Analyze(prog, core.Options{
+		full, err := engine.Analyze(prog, engine.Options{Core: core.Options{
 			Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}},
-		})
+		}})
 		if err != nil {
 			return nil, fmt.Errorf("%s: dca full: %w", p.Name, err)
 		}

@@ -92,25 +92,16 @@ func AnalyzeLoopContexts(prog *ir.Program, fnName string, loopIndex int, opt Opt
 	// run executes one sandboxed replay, retrying Budget/Timeout traps at
 	// doubled limits like the context-insensitive dynamic stage does.
 	run := func(s dcart.Schedule, only string) (*dcart.Runtime, string, *sandbox.Trap) {
-		lim := opt.limits()
-		retries := 0
-		for {
-			rt := dcart.NewRuntime(s)
+		var rt *dcart.Runtime
+		var out strings.Builder
+		oc, _ := sandbox.RunRetry(nil, inst.Prog, func() interp.Config {
+			rt = dcart.NewRuntime(s)
 			rt.TrackContexts = true
 			rt.OnlyContext = only
-			var out strings.Builder
-			oc := sandbox.Run(nil, inst.Prog, interp.Config{Out: &out, Runtime: rt}, lim, nil)
-			if oc.OK() {
-				return rt, out.String(), nil
-			}
-			k := oc.Trap.Kind
-			if (k == sandbox.Budget || k == sandbox.Timeout) && retries < opt.Retries {
-				retries++
-				lim = lim.Doubled()
-				continue
-			}
-			return rt, out.String(), oc.Trap
-		}
+			out.Reset()
+			return interp.Config{Out: &out, Runtime: rt}
+		}, opt.Limits(), nil, opt.Retries)
+		return rt, out.String(), oc.Trap
 	}
 
 	golden, goldenOut, trap := run(dcart.Identity{}, "")

@@ -154,6 +154,10 @@ type Options struct {
 	Inject     sandbox.Inject
 	InjectFn   string
 	InjectLoop int
+	// DebugSnapshots keeps the full string serialization of every live-out
+	// snapshot alongside its digest, so a live-out divergence reason carries
+	// the actual differing serializations. Costs O(heap) per invocation.
+	DebugSnapshots bool
 }
 
 func (o *Options) normalize() {
@@ -171,7 +175,15 @@ func (o *Options) normalize() {
 	}
 }
 
-func (o *Options) limits() sandbox.Limits {
+// Normalized returns the options with defaults filled in — the form the
+// analysis entry points (and the concurrent engine) operate on.
+func (o Options) Normalized() Options {
+	o.normalize()
+	return o
+}
+
+// Limits converts the per-execution budgets into sandbox limits.
+func (o *Options) Limits() sandbox.Limits {
 	return sandbox.Limits{
 		MaxSteps:       o.MaxSteps,
 		MaxHeapObjects: o.MaxHeapObjects,
@@ -180,9 +192,9 @@ func (o *Options) limits() sandbox.Limits {
 	}
 }
 
-// injectorFor arms the configured injection for one loop's dynamic stage,
+// InjectorFor arms the configured injection for one loop's dynamic stage,
 // or returns nil when injection is off or aimed at a different loop.
-func (o *Options) injectorFor(fn string, loop int) *sandbox.Injector {
+func (o *Options) InjectorFor(fn string, loop int) *sandbox.Injector {
 	if o.Inject.AtStep == 0 && o.Inject.AtIntrinsic == 0 {
 		return nil
 	}
@@ -190,6 +202,14 @@ func (o *Options) injectorFor(fn string, loop int) *sandbox.Injector {
 		return nil
 	}
 	return sandbox.NewInjector(o.Inject)
+}
+
+// InjectionEnabled reports whether any deterministic fault injection is
+// configured. The engine runs schedule replays inline (sequentially) in
+// that case so the injector's cross-run trip counter is consumed in the
+// same order as the sequential path.
+func (o *Options) InjectionEnabled() bool {
+	return o.Inject.AtStep != 0 || o.Inject.AtIntrinsic != 0
 }
 
 // Analyze runs DCA over every loop of every function in the program.
@@ -201,14 +221,14 @@ func Analyze(prog *ir.Program, opt Options) (*Report, error) {
 	// the whole analysis: with no reference behaviour there is nothing to
 	// compare any loop's replays against.
 	var refOut strings.Builder
-	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.limits(), nil); !oc.OK() {
+	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.Limits(), nil); !oc.OK() {
 		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
 
 	pur := purity.Analyze(prog)
 
 	for _, fn := range prog.Funcs {
-		g, loops := cfg.LoopsOf(fn)
+		_, loops := cfg.LoopsOf(fn)
 		for _, loop := range loops {
 			res := &LoopResult{
 				Fn:    fn.Name,
@@ -218,7 +238,7 @@ func Analyze(prog *ir.Program, opt Options) (*Report, error) {
 				Depth: loop.Depth,
 			}
 			rep.Loops = append(rep.Loops, res)
-			analyzeLoop(prog, fn, g, loop, pur, opt, refOut.String(), res)
+			AnalyzeLoopInto(prog, fn, loop, pur, opt, refOut.String(), res, false, nil)
 		}
 	}
 	sort.SliceStable(rep.Loops, func(i, j int) bool {
@@ -237,17 +257,17 @@ func AnalyzeLoop(prog *ir.Program, fnName string, loopIndex int, opt Options) (*
 	if fn == nil {
 		return nil, fmt.Errorf("core: no function %q", fnName)
 	}
-	g, loops := cfg.LoopsOf(fn)
+	_, loops := cfg.LoopsOf(fn)
 	if loopIndex < 0 || loopIndex >= len(loops) {
 		return nil, fmt.Errorf("core: %s has %d loops", fnName, len(loops))
 	}
 	loop := loops[loopIndex]
 	var refOut strings.Builder
-	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.limits(), nil); !oc.OK() {
+	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.Limits(), nil); !oc.OK() {
 		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
 	res := &LoopResult{Fn: fnName, Index: loopIndex, ID: loop.ID(), Pos: loop.Header.Pos, Depth: loop.Depth}
-	analyzeLoop(prog, fn, g, loop, purity.Analyze(prog), opt, refOut.String(), res)
+	AnalyzeLoopInto(prog, fn, loop, purity.Analyze(prog), opt, refOut.String(), res, false, nil)
 	return res, nil
 }
 
@@ -256,26 +276,64 @@ func AnalyzeLoop(prog *ir.Program, fnName string, loopIndex int, opt Options) (*
 // limits up to opt.Retries times. It returns the last attempt's runtime,
 // captured output, trap (nil on success), and the retries spent.
 func runCell(prog *ir.Program, mkRT func() *dcart.Runtime, opt Options, inj *sandbox.Injector) (*dcart.Runtime, string, *sandbox.Trap, int) {
-	lim := opt.limits()
-	retries := 0
-	for {
-		rt := mkRT()
-		var out strings.Builder
-		oc := sandbox.Run(nil, prog, interp.Config{Out: &out, Runtime: rt}, lim, inj)
-		if oc.OK() {
-			return rt, out.String(), nil, retries
-		}
-		k := oc.Trap.Kind
-		if (k == sandbox.Budget || k == sandbox.Timeout) && retries < opt.Retries {
-			retries++
-			lim = lim.Doubled()
-			continue
-		}
-		return rt, out.String(), oc.Trap, retries
-	}
+	var rt *dcart.Runtime
+	var out strings.Builder
+	oc, retries := sandbox.RunRetry(nil, prog, func() interp.Config {
+		rt = mkRT()
+		out.Reset()
+		return interp.Config{Out: &out, Runtime: rt}
+	}, opt.Limits(), inj, opt.Retries)
+	return rt, out.String(), oc.Trap, retries
 }
 
-func analyzeLoop(prog *ir.Program, fn *ir.Func, g *cfg.Graph, loop *cfg.Loop, pur *purity.Info, opt Options, refOut string, res *LoopResult) {
+// newRuntime builds a replay runtime for one schedule under the options'
+// snapshot mode.
+func newRuntime(s dcart.Schedule, opt *Options) *dcart.Runtime {
+	rt := dcart.NewRuntime(s)
+	rt.DebugSnapshots = opt.DebugSnapshots
+	return rt
+}
+
+// ScheduleOutcome is the raw result of one permuted replay: the runtime
+// (snapshots, counters), the captured program output, the trap if the run
+// ended abnormally, and the doubled-budget retries it consumed. Fields are
+// unexported — an executor only transports outcomes from runOne back to the
+// fold; interpretation stays in AnalyzeLoopInto.
+type ScheduleOutcome struct {
+	rt      *dcart.Runtime
+	out     string
+	trap    *sandbox.Trap
+	retries int
+}
+
+// ScheduleExecutor abstracts how a loop's n schedule replays are executed.
+// It receives runOne (execute schedule i, any order, safe to call
+// concurrently) and returns a getter the verdict fold calls for i = 0..n-1
+// IN ORDER, stopping at the first failure. The sequential executor runs
+// each schedule lazily inside get — never executing schedules past the
+// first failure, exactly like the pre-executor code; a parallel executor
+// may start all n eagerly and let get block on completion. Either way the
+// fold consumes outcomes in schedule order, so verdict, reason,
+// SchedulesTested, and Retries are identical across executors.
+type ScheduleExecutor func(n int, runOne func(i int) ScheduleOutcome) (get func(i int) ScheduleOutcome)
+
+// sequentialExecutor runs each schedule on demand, in fold order.
+func sequentialExecutor(_ int, runOne func(i int) ScheduleOutcome) func(i int) ScheduleOutcome {
+	return runOne
+}
+
+// AnalyzeLoopInto runs the static and dynamic stages for one loop and
+// writes the verdict into res. It is the shared kernel of the sequential
+// Analyze path and the concurrent engine:
+//
+//   - prescreened declares that a coverage prescreen proved the loop's
+//     header never executes in the reference run. The static stage (I/O
+//     exclusion, separation, instrumentation) still runs — a never-executed
+//     I/O loop must still report ExcludedIO and a non-separable one
+//     NotSeparable, same as sequentially — but the golden run and every
+//     replay are skipped and the loop short-circuits to NotExecuted.
+//   - exec chooses how schedule replays execute (nil = sequential).
+func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.Info, opt Options, refOut string, res *LoopResult, prescreened bool, exec ScheduleExecutor) {
 	// A panic anywhere in this loop's static or dynamic stage (including
 	// instrumentation) marks the loop Failed; the suite run continues.
 	defer func() {
@@ -301,10 +359,20 @@ func analyzeLoop(prog *ir.Program, fn *ir.Func, g *cfg.Graph, loop *cfg.Loop, pu
 		return
 	}
 
-	inj := opt.injectorFor(fn.Name, loop.Index)
+	// --- Coverage prescreen: the reference run proved the loop header never
+	// executes, so the golden run could only confirm zero iterations. Skip
+	// every replay. (Placed after the static stage on purpose: selection and
+	// separability verdicts must not depend on coverage.)
+	if prescreened {
+		res.Verdict = NotExecuted
+		res.Reason = "workload never executes this loop's payload"
+		return
+	}
+
+	inj := opt.InjectorFor(fn.Name, loop.Index)
 
 	// --- Dynamic stage: golden run. ---
-	golden, goldenOut, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return dcart.NewRuntime(dcart.Identity{}) }, opt, inj)
+	golden, goldenOut, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return newRuntime(dcart.Identity{}, &opt) }, opt, inj)
 	res.Retries += retries
 	if trap != nil {
 		res.TrapKind = trap.Kind.String()
@@ -343,28 +411,48 @@ func analyzeLoop(prog *ir.Program, fn *ir.Func, g *cfg.Graph, loop *cfg.Loop, pu
 	}
 
 	// --- Dynamic stage: permuted runs + live-out verification. ---
-	for _, sched := range opt.Schedules {
-		rt, out, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return dcart.NewRuntime(sched) }, opt, inj)
-		res.Retries += retries
-		if trap != nil {
-			res.TrapKind = trap.Kind.String()
-			switch trap.Kind {
+	// The executor decides where each replay runs; the fold below consumes
+	// outcomes strictly in schedule order and stops at the first failure, so
+	// verdicts, reasons, SchedulesTested, and Retries match the sequential
+	// path regardless of execution order.
+	scheds := opt.Schedules
+	runOne := func(i int) (oc ScheduleOutcome) {
+		// A panic inside a replay cell degrades to a Panic trap in both the
+		// sequential and parallel executors, keeping reasons identical.
+		defer func() {
+			if r := recover(); r != nil {
+				oc = ScheduleOutcome{trap: &sandbox.Trap{Kind: sandbox.Panic, Err: fmt.Errorf("core: recovered panic: %v", r)}}
+			}
+		}()
+		rt, out, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return newRuntime(scheds[i], &opt) }, opt, inj)
+		return ScheduleOutcome{rt: rt, out: out, trap: trap, retries: retries}
+	}
+	if exec == nil {
+		exec = sequentialExecutor
+	}
+	get := exec(len(scheds), runOne)
+	for i, sched := range scheds {
+		oc := get(i)
+		res.Retries += oc.retries
+		if oc.trap != nil {
+			res.TrapKind = oc.trap.Kind.String()
+			switch oc.trap.Kind {
 			case sandbox.Fault:
 				// The golden run completed but this permutation trapped:
 				// a divergent observable behaviour, reliably detected as a
 				// commutativity violation (§IV-E).
 				res.Verdict = NonCommutative
-				res.Reason = fmt.Sprintf("schedule %s faulted where the golden run did not: %v", sched.Name(), trap.Err)
+				res.Reason = fmt.Sprintf("schedule %s faulted where the golden run did not: %v", sched.Name(), oc.trap.Err)
 			case sandbox.Budget, sandbox.Timeout:
 				res.Verdict = ResourceExhausted
-				res.Reason = fmt.Sprintf("schedule %s hit its %s limit after %d retries: %v", sched.Name(), trap.Kind, retries, trap.Err)
+				res.Reason = fmt.Sprintf("schedule %s hit its %s limit after %d retries: %v", sched.Name(), oc.trap.Kind, oc.retries, oc.trap.Err)
 			default: // Panic
 				res.Verdict = Failed
-				res.Reason = fmt.Sprintf("internal panic during schedule %s: %v", sched.Name(), trap.Err)
+				res.Reason = fmt.Sprintf("internal panic during schedule %s: %v", sched.Name(), oc.trap.Err)
 			}
 			return
 		}
-		if why := compareRuns(golden, rt, refOut, out, sched); why != "" {
+		if why := compareRuns(golden, oc.rt, refOut, oc.out, sched); why != "" {
 			res.Verdict = NonCommutative
 			res.Reason = why
 			return
@@ -383,10 +471,26 @@ func compareRuns(golden, rt *dcart.Runtime, refOut, out string, sched dcart.Sche
 	}
 	for i := range rt.Snapshots {
 		if rt.Snapshots[i] != golden.Snapshots[i] {
-			return fmt.Sprintf("schedule %s changed live-outs of invocation %d", sched.Name(), i)
+			why := fmt.Sprintf("schedule %s changed live-outs of invocation %d", sched.Name(), i)
+			// With DebugSnapshots on, both runtimes kept the string
+			// serializations: show what actually diverged.
+			if i < len(golden.SnapshotStrings) && i < len(rt.SnapshotStrings) {
+				why += fmt.Sprintf(": golden %s vs permuted %s",
+					truncateSnap(golden.SnapshotStrings[i]), truncateSnap(rt.SnapshotStrings[i]))
+			}
+			return why
 		}
 	}
 	return ""
+}
+
+// truncateSnap bounds a debug snapshot string for use inside a reason.
+func truncateSnap(s string) string {
+	const max = 96
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
 }
 
 func trimPrefixes(s string) string {

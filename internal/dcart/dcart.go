@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"dca/internal/instrument"
@@ -107,11 +108,18 @@ type Runtime struct {
 	cursor  int
 	driving bool
 
-	// Snapshots holds one canonical live-out snapshot per completed loop
+	// DebugSnapshots additionally materializes the full string serialization
+	// of every snapshot into SnapshotStrings, for mismatch diagnosis. Off by
+	// default: the digest alone decides equality on the hot path.
+	DebugSnapshots bool
+
+	// Snapshots holds one canonical live-out digest per completed loop
 	// invocation, in completion order; Contexts (when tracked) holds the
-	// matching calling contexts.
-	Snapshots []string
-	Contexts  []string
+	// matching calling contexts. SnapshotStrings mirrors Snapshots with the
+	// string serialization when DebugSnapshots is set.
+	Snapshots       []Digest
+	SnapshotStrings []string
+	Contexts        []string
 	// Invocations counts completed loop invocations; Iterations counts
 	// replayed payload iterations.
 	Invocations int
@@ -170,7 +178,10 @@ func (rt *Runtime) Intrinsic(_ *interp.Interp, fr *interp.Frame, name string, ar
 		if !rt.driving {
 			return ir.Value{}, errors.New("dcart: rt_verify outside an invocation")
 		}
-		rt.Snapshots = append(rt.Snapshots, Snapshot(args))
+		rt.Snapshots = append(rt.Snapshots, SnapshotDigest(args))
+		if rt.DebugSnapshots {
+			rt.SnapshotStrings = append(rt.SnapshotStrings, Snapshot(args))
+		}
 		if rt.TrackContexts {
 			rt.Contexts = append(rt.Contexts, ContextOf(fr))
 		}
@@ -202,45 +213,63 @@ func ContextOf(fr *interp.Frame) string {
 // objects structurally with traversal-order numbering (so object addresses
 // and allocation order do not leak in), cycles via back-references.
 func Snapshot(roots []ir.Value) string {
-	var b strings.Builder
+	buf := make([]byte, 0, 64)
 	ids := map[*ir.Object]int{}
 	var visit func(v ir.Value)
 	visit = func(v ir.Value) {
 		switch v.Kind {
 		case ir.KindNil:
-			b.WriteString("nil;")
+			buf = append(buf, "nil;"...)
 		case ir.KindInt:
-			fmt.Fprintf(&b, "i%d;", v.I)
+			buf = append(buf, 'i')
+			buf = strconv.AppendInt(buf, v.I, 10)
+			buf = append(buf, ';')
 		case ir.KindBool:
 			if v.I != 0 {
-				b.WriteString("bT;")
+				buf = append(buf, "bT;"...)
 			} else {
-				b.WriteString("bF;")
+				buf = append(buf, "bF;"...)
 			}
 		case ir.KindFloat:
-			fmt.Fprintf(&b, "f%g;", v.F)
+			buf = append(buf, 'f')
+			buf = appendG(buf, v.F)
+			buf = append(buf, ';')
 		case ir.KindString:
-			fmt.Fprintf(&b, "s%q;", v.S)
+			buf = append(buf, 's')
+			buf = strconv.AppendQuote(buf, v.S)
+			buf = append(buf, ';')
 		case ir.KindRef:
 			if v.Ref == nil {
-				b.WriteString("nil;")
+				buf = append(buf, "nil;"...)
 				return
 			}
 			if id, ok := ids[v.Ref]; ok {
-				fmt.Fprintf(&b, "^%d;", id)
+				buf = append(buf, '^')
+				buf = strconv.AppendInt(buf, int64(id), 10)
+				buf = append(buf, ';')
 				return
 			}
 			id := len(ids)
 			ids[v.Ref] = id
-			fmt.Fprintf(&b, "o%d:%s[", id, v.Ref.TypeName)
+			buf = append(buf, 'o')
+			buf = strconv.AppendInt(buf, int64(id), 10)
+			buf = append(buf, ':')
+			buf = append(buf, v.Ref.TypeName...)
+			buf = append(buf, '[')
 			for _, e := range v.Ref.Elems {
 				visit(e)
 			}
-			b.WriteString("];")
+			buf = append(buf, "];"...)
 		}
 	}
 	for _, r := range roots {
 		visit(r)
 	}
-	return b.String()
+	return string(buf)
+}
+
+// appendG appends f formatted exactly as fmt's %g verb does (shortest
+// representation, exponent for large/small magnitudes).
+func appendG(buf []byte, f float64) []byte {
+	return strconv.AppendFloat(buf, f, 'g', -1, 64)
 }

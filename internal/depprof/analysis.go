@@ -114,6 +114,14 @@ func Analyze(prog *ir.Program, pol Policy, maxSteps int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	return AnalyzeProfile(prog, prof, pol), nil
+}
+
+// AnalyzeProfile classifies every loop against an existing profile. The
+// classification only reads the profile, so one traced execution can be
+// shared between several profiler configurations (depprof policies,
+// discopop) instead of re-tracing the program per baseline.
+func AnalyzeProfile(prog *ir.Program, prof *Profile, pol Policy) *Report {
 	rep := &Report{Prog: prog, Profile: prof, Verdicts: map[LoopKey]*Verdict{}, Truncated: prof.Truncated}
 	pur := purity.Analyze(prog)
 	for _, fn := range prog.Funcs {
@@ -145,7 +153,7 @@ func Analyze(prog *ir.Program, pol Policy, maxSteps int64) (*Report, error) {
 			v.Parallel = len(v.Reasons) == 0
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // impureCallee returns the name of a side-effecting function the loop

@@ -76,16 +76,25 @@ func Policy() depprof.Policy {
 
 // Analyze traces the program and produces DiscoPoP's region report.
 func Analyze(prog *ir.Program, maxSteps int64) (*Report, error) {
-	loops, err := depprof.Analyze(prog, Policy(), maxSteps)
+	prof, err := depprof.Trace(prog, maxSteps)
 	if err != nil {
 		return nil, err
 	}
+	return AnalyzeProfile(prog, prof), nil
+}
+
+// AnalyzeProfile produces the region report from an existing dependence
+// profile, so one traced execution can serve both this baseline and
+// dependence profiling: the trace is policy-independent, only the
+// classification differs.
+func AnalyzeProfile(prog *ir.Program, prof *depprof.Profile) *Report {
+	loops := depprof.AnalyzeProfile(prog, prof, Policy())
 	rep := &Report{Prog: prog, Loops: loops}
 	pa := pointer.Analyze(prog)
 	for _, fn := range prog.Funcs {
 		rep.TaskSections = append(rep.TaskSections, taskSections(fn, pa, loops)...)
 	}
-	return rep, nil
+	return rep
 }
 
 // unit is a candidate computational unit: a top-level loop of a function

@@ -1,0 +1,207 @@
+// Package engine is the concurrent analysis engine: it runs DCA's per-loop
+// analyses — and, after each golden run, the per-schedule replays — across a
+// bounded worker pool, while preserving report-identical output with the
+// sequential core.Analyze path.
+//
+// Three properties make the fan-out sound:
+//
+//   - Replays never share mutable state. instrument.Loop clones the program
+//     per loop, the interpreter allocates a fresh heap per execution, and
+//     the shared inputs (original program, purity info, loop forests) are
+//     read-only after construction.
+//   - Determinism is recovered structurally, not by locking: loop results
+//     are preallocated in enumeration order and sorted exactly like the
+//     sequential path, and schedule outcomes are folded in schedule order
+//     with the same first-failure early exit (core.AnalyzeLoopInto).
+//   - Fault injection (a deliberately order-sensitive cross-run trip
+//     counter) forces schedule replays inline on their loop's worker, so
+//     trips are consumed in sequential order.
+//
+// The engine also adds a coverage prescreen: the reference execution runs
+// once with block counting enabled, and loops whose header never executes
+// skip the golden run and every replay — the workload cannot produce
+// evidence for them — going straight to NotExecuted after the static stage.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"dca/internal/cfg"
+	"dca/internal/core"
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/purity"
+	"dca/internal/sandbox"
+)
+
+// Pool is a counting semaphore shared by every analysis a caller fans out:
+// loop analyses and offloaded schedule replays all draw from the same
+// bounded worker budget, so nesting cannot oversubscribe the host.
+type Pool struct{ sem chan struct{} }
+
+// NewPool sizes a worker pool; workers < 1 is clamped to 1.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+func (p *Pool) release() { <-p.sem }
+
+// tryAcquire claims a slot only if one is free — the non-blocking form used
+// for schedule offload, so a loop analysis holding a slot can never
+// deadlock waiting for its own sub-tasks.
+func (p *Pool) tryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Options configures the concurrent engine.
+type Options struct {
+	// Core is the analysis configuration, identical to core.Analyze's.
+	Core core.Options
+	// Workers bounds concurrent executions; <= 0 means GOMAXPROCS.
+	Workers int
+	// Pool, when non-nil, shares a worker budget across several Analyze
+	// calls (suite-level fan-out); Workers is ignored then.
+	Pool *Pool
+	// NoPrescreen disables the coverage prescreen, forcing every loop
+	// through the golden run like the sequential path.
+	NoPrescreen bool
+}
+
+// Analyze runs DCA over every loop of every function, like core.Analyze,
+// but fanned out over the worker pool and prescreened for coverage.
+func Analyze(prog *ir.Program, opt Options) (*core.Report, error) {
+	copt := opt.Core.Normalized()
+	pool := opt.Pool
+	if pool == nil {
+		workers := opt.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		pool = NewPool(workers)
+	}
+
+	// Reference execution, once, with block counting: its output is the
+	// behaviour every replay must preserve, and its block counts are the
+	// coverage prescreen. A trap here is fatal for the whole analysis.
+	var refBuf strings.Builder
+	oc := sandbox.Run(nil, prog, interp.Config{Out: &refBuf, CountBlocks: true}, copt.Limits(), nil)
+	if !oc.OK() {
+		return nil, fmt.Errorf("engine: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
+	}
+	refOut := refBuf.String()
+	blockCt := oc.Result.BlockCount
+
+	pur := purity.Analyze(prog)
+	rep := &core.Report{Prog: prog}
+
+	// Enumerate loops up front, preallocating results in enumeration order.
+	type loopJob struct {
+		fn          *ir.Func
+		loop        *cfg.Loop
+		res         *core.LoopResult
+		prescreened bool
+	}
+	var jobs []loopJob
+	for _, fn := range prog.Funcs {
+		_, loops := cfg.LoopsOf(fn)
+		for _, loop := range loops {
+			res := &core.LoopResult{
+				Fn:    fn.Name,
+				Index: loop.Index,
+				ID:    loop.ID(),
+				Pos:   loop.Header.Pos,
+				Depth: loop.Depth,
+			}
+			rep.Loops = append(rep.Loops, res)
+			jobs = append(jobs, loopJob{
+				fn:          fn,
+				loop:        loop,
+				res:         res,
+				prescreened: !opt.NoPrescreen && blockCt[loop.Header] == 0,
+			})
+		}
+	}
+
+	// Injection's trip counter is consumed in run order; keep schedule
+	// replays inline (sequential within each loop) when it is armed. Loops
+	// stay parallel: each loop arms its own independent injector.
+	var mkExec func() core.ScheduleExecutor
+	if copt.InjectionEnabled() {
+		mkExec = func() core.ScheduleExecutor { return nil }
+	} else {
+		mkExec = func() core.ScheduleExecutor { return scheduleExecutor(pool) }
+	}
+
+	var wg sync.WaitGroup
+	for i := range jobs {
+		j := jobs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.acquire()
+			defer pool.release()
+			core.AnalyzeLoopInto(prog, j.fn, j.loop, pur, copt, refOut, j.res, j.prescreened, mkExec())
+		}()
+	}
+	wg.Wait()
+
+	sortLoops(rep)
+	return rep, nil
+}
+
+// scheduleExecutor offloads schedule replays onto free pool slots, running
+// the rest inline on the loop's own worker. All offloadable replays start
+// eagerly — the fold may discard outcomes past its first failure, trading
+// a little wasted work for latency — while inline ones stay lazy, so they
+// are skipped after an early exit just like the sequential path.
+func scheduleExecutor(pool *Pool) core.ScheduleExecutor {
+	return func(n int, runOne func(i int) core.ScheduleOutcome) func(i int) core.ScheduleOutcome {
+		results := make([]core.ScheduleOutcome, n)
+		done := make([]chan struct{}, n)
+		for i := 0; i < n; i++ {
+			if !pool.tryAcquire() {
+				continue
+			}
+			ch := make(chan struct{})
+			done[i] = ch
+			go func(i int) {
+				defer pool.release()
+				defer close(ch)
+				// runOne recovers its own panics into a Panic-trap outcome.
+				results[i] = runOne(i)
+			}(i)
+		}
+		return func(i int) core.ScheduleOutcome {
+			if done[i] != nil {
+				<-done[i]
+				return results[i]
+			}
+			return runOne(i)
+		}
+	}
+}
+
+// sortLoops orders results exactly like core.Analyze: by function name,
+// then loop index.
+func sortLoops(rep *core.Report) {
+	loops := rep.Loops
+	sort.SliceStable(loops, func(i, j int) bool {
+		if loops[i].Fn != loops[j].Fn {
+			return loops[i].Fn < loops[j].Fn
+		}
+		return loops[i].Index < loops[j].Index
+	})
+}

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strings"
+	"strconv"
 
 	"dca/internal/ir"
 )
@@ -127,6 +127,7 @@ type Interp struct {
 	nextID   int64
 	outBytes int64
 	blockCt  map[*ir.Block]int64
+	printBuf []byte // reusable scratch for Print formatting
 }
 
 // New creates an interpreter for prog.
@@ -379,24 +380,38 @@ func (it *Interp) step(fr *Frame, b *ir.Block, in ir.Instr) error {
 		}
 	case *ir.Print:
 		if it.cfg.Out != nil {
-			var line strings.Builder
+			line := it.printBuf[:0]
 			for k, a := range i.Args {
 				if k > 0 {
-					line.WriteByte(' ')
+					line = append(line, ' ')
 				}
 				v := it.operand(fr, a)
-				if v.Kind == ir.KindString {
-					line.WriteString(v.S)
-				} else {
-					line.WriteString(v.String())
+				switch v.Kind {
+				case ir.KindString:
+					line = append(line, v.S...)
+				case ir.KindInt:
+					line = strconv.AppendInt(line, v.I, 10)
+				case ir.KindFloat:
+					line = strconv.AppendFloat(line, v.F, 'g', -1, 64)
+				case ir.KindBool:
+					if v.I != 0 {
+						line = append(line, "true"...)
+					} else {
+						line = append(line, "false"...)
+					}
+				case ir.KindNil:
+					line = append(line, "nil"...)
+				default:
+					line = append(line, v.String()...)
 				}
 			}
-			line.WriteByte('\n')
-			it.outBytes += int64(line.Len())
+			line = append(line, '\n')
+			it.printBuf = line
+			it.outBytes += int64(len(line))
 			if it.cfg.MaxOutput > 0 && it.outBytes > it.cfg.MaxOutput {
 				return it.budgetErr("output-bytes", it.cfg.MaxOutput, fr, b)
 			}
-			io.WriteString(it.cfg.Out, line.String())
+			it.cfg.Out.Write(line)
 		}
 	case *ir.Intrinsic:
 		if it.cfg.Runtime == nil {

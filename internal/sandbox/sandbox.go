@@ -156,6 +156,29 @@ func Run(ctx context.Context, prog *ir.Program, cfg interp.Config, lim Limits, i
 	return &Outcome{Result: &interp.Result{Steps: it.Steps(), BlockCount: it.BlockCounts(), Ret: ret}}
 }
 
+// RunRetry executes Run with a fresh configuration from mkCfg, retrying
+// Budget and Timeout traps at doubled limits up to retries times — the
+// dynamic stage's bounded-retry policy, shared by every caller so the
+// policy cannot drift between the loop-level and context-level analyses.
+// mkCfg is called once per attempt so the caller can rebuild per-attempt
+// state (runtime, output sink) and keep references to the last attempt's.
+// Returns the final outcome and the retries actually spent.
+func RunRetry(ctx context.Context, prog *ir.Program, mkCfg func() interp.Config, lim Limits, inj *Injector, retries int) (*Outcome, int) {
+	spent := 0
+	for {
+		oc := Run(ctx, prog, mkCfg(), lim, inj)
+		if oc.OK() {
+			return oc, spent
+		}
+		if k := oc.Trap.Kind; (k == Budget || k == Timeout) && spent < retries {
+			spent++
+			lim = lim.Doubled()
+			continue
+		}
+		return oc, spent
+	}
+}
+
 func chainStepHooks(a, b func(fr *interp.Frame, in ir.Instr, steps int64) error) func(fr *interp.Frame, in ir.Instr, steps int64) error {
 	if a == nil {
 		return b
