@@ -5,19 +5,25 @@
 //
 // Usage:
 //
-//	dca analyze [-baselines] [-schedules n] file.mc
+//	dca analyze [-baselines] [-schedules n] [-json] [-cache-dir d] file.mc
 //	dca run file.mc
 //	dca ir file.mc
 //	dca parallel -fn name -loop k [-workers n] file.mc
+//	dca serve -addr :8344 [-cache-dir d]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
+	"dca/internal/cache"
 	"dca/internal/core"
 	"dca/internal/dcart"
 	"dca/internal/depprof"
@@ -35,6 +41,7 @@ import (
 	"dca/internal/polly"
 	"dca/internal/printer"
 	"dca/internal/sandbox"
+	"dca/internal/server"
 	"dca/internal/skeleton"
 )
 
@@ -93,6 +100,8 @@ func main() {
 		err = cmdIR(args)
 	case "parallel":
 		err = cmdParallel(args)
+	case "serve":
+		err = cmdServe(args)
 	case "skeletons":
 		err = cmdSkeletons(args)
 	case "contexts":
@@ -116,9 +125,14 @@ func usage() {
 
 commands:
   analyze [-j n] [-baselines] [-schedules n] [-timeout d] [-max-steps n]
-          [-retry n] [-no-prescreen] [-debug-snapshots]
+          [-retry n] [-no-prescreen] [-debug-snapshots] [-json]
+          [-cache-dir d] [-cache-mem bytes] [-no-cache]
           [-inject-kind k -inject-at-step n|-inject-at-intrinsic n
            -inject-fn f -inject-loop k] file.mc  run DCA on every loop
+  serve [-addr host:port] [-j n] [-max-concurrent n] [-cache-dir d]
+        [-cache-mem bytes] [-no-cache] [-schedules n] [-timeout d]
+        [-max-steps n] [-retry n] [-max-source-bytes n] [-drain-timeout d]
+                                                 run the analysis service
   run [-opt] [-timeout d] [-max-steps n] file.mc execute the program
   ir [-opt] file.mc                              print the IR
   parallel -fn f -loop k [-workers n] [-timeout d] [-max-steps n] file.mc
@@ -142,6 +156,10 @@ func compile(path string) (*ir.Program, error) {
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	baselines := fs.Bool("baselines", false, "also run the five baseline detectors")
+	jsonOut := fs.Bool("json", false, "emit the verdict report as JSON")
+	cacheDir := fs.String("cache-dir", "", "persistent verdict-cache directory (empty = memory-only)")
+	cacheMem := fs.Int64("cache-mem", 0, "verdict-cache memory budget in bytes (0 = default)")
+	noCache := fs.Bool("no-cache", false, "disable the verdict cache")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "concurrent analysis workers (1 = sequential)")
 	schedules := fs.Int("schedules", 3, "number of random permutation schedules (plus reverse)")
 	noPrescreen := fs.Bool("no-prescreen", false, "disable the coverage prescreen (run every loop's golden run)")
@@ -159,6 +177,9 @@ func cmdAnalyze(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze: need exactly one source file")
+	}
+	if *jsonOut && *baselines {
+		return fmt.Errorf("analyze: -json and -baselines are mutually exclusive")
 	}
 	prog, err := compile(fs.Arg(0))
 	if err != nil {
@@ -187,9 +208,27 @@ func cmdAnalyze(args []string) error {
 			return fmt.Errorf("analyze: -inject-kind needs -inject-at-step or -inject-at-intrinsic")
 		}
 	}
+	// The cache only pays off across invocations, so it is tied to a
+	// persistent directory; -no-cache wins over -cache-dir.
+	if *cacheDir != "" && !*noCache {
+		c, err := cache.Open(*cacheDir, *cacheMem, core.CacheRecordVersion)
+		if err != nil {
+			return fmt.Errorf("analyze: open cache: %w", err)
+		}
+		opts.Cache = c
+	}
+	start := time.Now()
 	rep, err := engine.Analyze(prog, engine.Options{Core: opts, Workers: *jobs, NoPrescreen: *noPrescreen})
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		data, err := rep.MarshalIndentJSON(time.Since(start))
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
 	}
 	fmt.Println("== DCA ==")
 	fmt.Print(rep)
@@ -266,6 +305,55 @@ func parseInjectKind(s string) (sandbox.Kind, error) {
 		return sandbox.Panic, nil
 	}
 	return sandbox.None, fmt.Errorf("unknown inject kind %q (want fault|budget|panic)", s)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "engine workers shared by all requests")
+	maxConc := fs.Int("max-concurrent", 0, "concurrent /analyze requests (0 = workers)")
+	cacheDir := fs.String("cache-dir", "", "persistent verdict-cache directory (empty = memory-only)")
+	cacheMem := fs.Int64("cache-mem", 0, "verdict-cache memory budget in bytes (0 = default)")
+	noCache := fs.Bool("no-cache", false, "disable the verdict cache")
+	schedules := fs.Int("schedules", 3, "number of random permutation schedules (plus reverse)")
+	timeout := fs.Duration("timeout", 30*time.Second, "wall-clock ceiling per execution")
+	maxSteps := fs.Int64("max-steps", 0, "instruction budget per execution (0 = default 200M)")
+	retry := fs.Int("retry", 1, "doubled-budget retries for budget/timeout traps (negative disables)")
+	maxSource := fs.Int64("max-source-bytes", 1<<20, "request body size cap")
+	drain := fs.Duration("drain-timeout", 15*time.Second, "in-flight drain window on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %q", fs.Args())
+	}
+	cfg := server.Config{
+		Workers:        *jobs,
+		MaxConcurrent:  *maxConc,
+		MaxSourceBytes: *maxSource,
+		MaxSteps:       *maxSteps,
+		Timeout:        *timeout,
+		Retries:        *retry,
+		Schedules:      *schedules,
+		DrainTimeout:   *drain,
+	}
+	if !*noCache {
+		// Unlike one-shot analyze, the daemon benefits from a memory-only
+		// cache too: it lives as long as the process.
+		c, err := cache.Open(*cacheDir, *cacheMem, core.CacheRecordVersion)
+		if err != nil {
+			return fmt.Errorf("serve: open cache: %w", err)
+		}
+		cfg.Cache = c
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "dca serve: listening on %s (%d workers)\n", *addr, *jobs)
+	if err := server.New(cfg).ListenAndServe(ctx, *addr); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "dca serve: drained, bye")
+	return nil
 }
 
 func cmdRun(args []string) error {

@@ -1,0 +1,62 @@
+package bench_test
+
+import (
+	"testing"
+
+	"dca/internal/bench"
+	"dca/internal/cache"
+	"dca/internal/core"
+	"dca/internal/engine"
+	"dca/internal/workloads/npb"
+)
+
+// TestWarmCacheIdentity is the warm-cache acceptance test on the small NPB
+// proxies: a second run against the cache populated by the first must
+// reproduce every verdict table byte-for-byte while skipping at least 90%
+// of the dynamic-stage replays.
+func TestWarmCacheIdentity(t *testing.T) {
+	c, err := cache.Open("", 0, core.CacheRecordVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := engine.NewPool(2)
+	run := func() *bench.Suite {
+		s := &bench.Suite{}
+		for _, name := range []string{"EP", "IS"} {
+			r, err := bench.RunNPBOptions(npb.SpecByName(name), pool, c)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			s.Results = append(s.Results, r)
+		}
+		return s
+	}
+
+	cold := run()
+	if cold.Replays() == 0 {
+		t.Fatal("cold run performed no replays")
+	}
+	if cold.CachedLoops() != 0 {
+		t.Fatalf("cold run served %d loops from an empty cache", cold.CachedLoops())
+	}
+
+	warm := run()
+	for _, tab := range []struct{ name, c, w string }{
+		{"TableI", cold.TableI(), warm.TableI()},
+		{"TableIII", cold.TableIII(), warm.TableIII()},
+		{"TableIV", cold.TableIV(), warm.TableIV()},
+	} {
+		if tab.c != tab.w {
+			t.Errorf("%s diverged on the warm run:\n--- cold ---\n%s--- warm ---\n%s", tab.name, tab.c, tab.w)
+		}
+	}
+
+	skip := 1 - float64(warm.Replays())/float64(cold.Replays())
+	if skip < 0.9 {
+		t.Errorf("warm run skipped only %.0f%% of replays (%d -> %d), want >= 90%%",
+			skip*100, cold.Replays(), warm.Replays())
+	}
+	if warm.CachedLoops() == 0 {
+		t.Error("warm run served no loops from the cache")
+	}
+}

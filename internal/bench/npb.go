@@ -65,12 +65,19 @@ func RunNPB(spec *npb.Spec) (*NPBResult, error) {
 	return RunNPBEngine(spec, nil)
 }
 
-// RunNPBEngine runs all six analyzers over the generated benchmark. The
+// RunNPBEngine runs all six analyzers with replays drawn from pool
+// (nil = sequential) and no verdict cache.
+func RunNPBEngine(spec *npb.Spec, pool *engine.Pool) (*NPBResult, error) {
+	return RunNPBOptions(spec, pool, nil)
+}
+
+// RunNPBOptions runs all six analyzers over the generated benchmark. The
 // dependence profilers (depprof, discopop) and the machine model share ONE
 // traced execution — the trace is policy-independent — instead of tracing
 // the program once per baseline. DCA runs on the concurrent engine, its
-// replays drawn from pool (nil = sequential).
-func RunNPBEngine(spec *npb.Spec, pool *engine.Pool) (*NPBResult, error) {
+// replays drawn from pool (nil = sequential) and its verdicts served from
+// vc (nil = always computed).
+func RunNPBOptions(spec *npb.Spec, pool *engine.Pool, vc core.VerdictCache) (*NPBResult, error) {
 	prog, err := spec.Compile()
 	if err != nil {
 		return nil, err
@@ -86,7 +93,7 @@ func RunNPBEngine(spec *npb.Spec, pool *engine.Pool) (*NPBResult, error) {
 	r.ID = idioms.Analyze(prog)
 	r.PO = polly.Analyze(prog)
 	r.IC = icc.Analyze(prog)
-	eopt := engine.Options{Core: core.Options{Schedules: npbSchedules()}, Workers: 1, Pool: pool}
+	eopt := engine.Options{Core: core.Options{Schedules: npbSchedules(), Cache: vc}, Workers: 1, Pool: pool}
 	if r.DCA, err = engine.Analyze(prog, eopt); err != nil {
 		return nil, fmt.Errorf("%s: dca: %w", spec.Name, err)
 	}

@@ -36,6 +36,13 @@ func RunSuite() (*Suite, error) {
 // than multiplying across levels. Results keep spec order; the verdicts are
 // identical to the sequential path for any worker count.
 func RunSuiteWorkers(workers int) (*Suite, error) {
+	return RunSuiteOptions(workers, nil)
+}
+
+// RunSuiteOptions additionally shares a verdict cache across the whole
+// suite: a warm cache serves every previously analyzed loop without
+// re-running its dynamic stage.
+func RunSuiteOptions(workers int, vc core.VerdictCache) (*Suite, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -54,7 +61,7 @@ func RunSuiteWorkers(workers int) (*Suite, error) {
 			defer wg.Done()
 			gate <- struct{}{}
 			defer func() { <-gate }()
-			results[i], errs[i] = RunNPBEngine(spec, pool)
+			results[i], errs[i] = RunNPBOptions(spec, pool, vc)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -64,6 +71,25 @@ func RunSuiteWorkers(workers int) (*Suite, error) {
 		}
 	}
 	return &Suite{Results: results}, nil
+}
+
+// Replays sums the dynamic-stage executions (golden runs plus schedule
+// replays) across the suite's DCA reports — the work a warm cache avoids.
+func (s *Suite) Replays() int {
+	n := 0
+	for _, r := range s.Results {
+		n += r.DCA.Replays()
+	}
+	return n
+}
+
+// CachedLoops counts the loops whose verdicts were served from the cache.
+func (s *Suite) CachedLoops() int {
+	n := 0
+	for _, r := range s.Results {
+		n += r.DCA.CachedLoops()
+	}
+	return n
 }
 
 func cell(paper int, measured int, reported bool) string {

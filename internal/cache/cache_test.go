@@ -1,0 +1,250 @@
+package cache_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dca/internal/cache"
+)
+
+// key returns a distinct 32-hex-digit key, the shape fingerprints have.
+func key(i int) string { return fmt.Sprintf("%032x", i+1) }
+
+func open(t *testing.T, dir string, mem int64) *cache.Cache {
+	t.Helper()
+	c, err := cache.Open(dir, mem, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTripMemoryOnly(t *testing.T) {
+	c := open(t, "", 0)
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key(0), []byte("verdict"))
+	got, ok := c.Get(key(0))
+	if !ok || string(got) != "verdict" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDiskPersistence: entries survive a process restart (a fresh Open on
+// the same directory) and are promoted back into memory.
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1 := open(t, dir, 0)
+	c1.Put(key(1), []byte("persisted"))
+
+	c2 := open(t, dir, 0)
+	got, ok := c2.Get(key(1))
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("after reopen: Get = %q, %v", got, ok)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("expected a disk hit, stats = %+v", st)
+	}
+	// Second read is served from memory.
+	if _, ok := c2.Get(key(1)); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := c2.Stats(); st.MemHits != 1 {
+		t.Fatalf("expected a mem hit after promotion, stats = %+v", st)
+	}
+}
+
+// entryPath locates the single on-disk entry file.
+func entryPath(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			found = p
+		}
+		return err
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no entry file under %s (err %v)", dir, err)
+	}
+	return found
+}
+
+// corrupt rewrites the stored entry through fn and asserts the next read
+// is a miss (never a panic, never a wrong value) with the given counter.
+func corrupt(t *testing.T, name string, fn func([]byte) []byte, wantCorruptions, wantVersionMisses uint64) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		dir := t.TempDir()
+		c := open(t, dir, 0)
+		c.Put(key(2), []byte("good verdict"))
+		p := entryPath(t, dir)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, fn(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A fresh cache bypasses the memory tier.
+		c2 := open(t, dir, 0)
+		if val, ok := c2.Get(key(2)); ok {
+			t.Fatalf("damaged entry served as a hit: %q", val)
+		}
+		st := c2.Stats()
+		if st.Corruptions != wantCorruptions || st.VersionMisses != wantVersionMisses {
+			t.Fatalf("stats = %+v, want corruptions=%d versionMisses=%d", st, wantCorruptions, wantVersionMisses)
+		}
+		if st.Misses != 1 {
+			t.Fatalf("damaged entry must count as a miss, stats = %+v", st)
+		}
+		// The bad entry is removed, so the next read is a clean miss.
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("damaged entry not removed: %v", err)
+		}
+	})
+}
+
+func TestCorruptedEntriesReadAsMisses(t *testing.T) {
+	corrupt(t, "truncated to half", func(b []byte) []byte { return b[:len(b)/2] }, 1, 0)
+	corrupt(t, "truncated inside header", func(b []byte) []byte { return b[:10] }, 1, 0)
+	corrupt(t, "empty file", func(b []byte) []byte { return nil }, 1, 0)
+	corrupt(t, "flipped payload bit", func(b []byte) []byte {
+		b[len(b)-1] ^= 0x40
+		return b
+	}, 1, 0)
+	corrupt(t, "bad magic", func(b []byte) []byte {
+		b[0] = 'X'
+		return b
+	}, 1, 0)
+	corrupt(t, "trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }, 1, 0)
+	corrupt(t, "container version bump", func(b []byte) []byte {
+		b[4]++
+		return b
+	}, 0, 1)
+}
+
+// TestAppVersionMismatch: entries written by a different record-schema
+// version read as misses and are invalidated.
+func TestAppVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c1 := open(t, dir, 0) // appVersion 7
+	c1.Put(key(3), []byte("v7 record"))
+
+	c2, err := cache.Open(dir, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val, ok := c2.Get(key(3)); ok {
+		t.Fatalf("v7 record served to a v8 reader: %q", val)
+	}
+	if st := c2.Stats(); st.VersionMisses != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLRUEviction: the memory tier respects its byte budget, evicting
+// least-recently-used entries first.
+func TestLRUEviction(t *testing.T) {
+	// Budget fits ~4 entries of (32-byte key + 100-byte value + overhead).
+	c := open(t, "", 4*(32+100+128))
+	val := make([]byte, 100)
+	for i := 0; i < 8; i++ {
+		c.Put(key(i), val)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after exceeding the budget, stats = %+v", st)
+	}
+	if st.MemBytes > 4*(32+100+128) {
+		t.Fatalf("memory budget exceeded: %d", st.MemBytes)
+	}
+	// The most recent entry must still be resident; the oldest must not.
+	if _, ok := c.Get(key(7)); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("least recent entry survived eviction")
+	}
+}
+
+// TestOversizedValueSkipsMemory: a value above the whole memory budget
+// never enters the memory tier but still persists on disk.
+func TestOversizedValueSkipsMemory(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, 256)
+	big := make([]byte, 4096)
+	big[0] = 1
+	c.Put(key(4), big)
+	if st := c.Stats(); st.MemEntries != 0 {
+		t.Fatalf("oversized value resident in memory, stats = %+v", st)
+	}
+	got, ok := c.Get(key(4))
+	if !ok || len(got) != 4096 || got[0] != 1 {
+		t.Fatalf("oversized value lost: ok=%v len=%d", ok, len(got))
+	}
+}
+
+// TestNonHexKeySkipsDisk: keys outside the fingerprint alphabet never
+// touch the filesystem but still work through the memory tier.
+func TestNonHexKeySkipsDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, 0)
+	c.Put("../escape", []byte("x"))
+	if _, ok := c.Get("../escape"); !ok {
+		t.Fatal("memory tier lost non-hex key")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("non-hex key reached the disk tier: %v", entries)
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines mixing hits,
+// misses, overwrites, evictions, and disk reads; run under -race this is
+// the cache's thread-safety proof.
+func TestConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	// A small budget keeps eviction churning during the test.
+	c := open(t, dir, 2048)
+	const goroutines = 8
+	const ops = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := key(i % 16)
+				switch i % 3 {
+				case 0:
+					c.Put(k, []byte(fmt.Sprintf("value-%d", i%16)))
+				default:
+					if val, ok := c.Get(k); ok {
+						want := fmt.Sprintf("value-%d", i%16)
+						if string(val) != want {
+							t.Errorf("wrong value for %s: %q", k, val)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Puts == 0 || st.Hits()+st.Misses == 0 {
+		t.Fatalf("counters untouched: %+v", st)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+
+	"dca/internal/fingerprint"
+	"dca/internal/instrument"
+	"dca/internal/ir"
+	"dca/internal/sandbox"
+)
+
+// CacheRecordVersion is the schema version of the serialized verdict
+// records the analysis stores in a VerdictCache. Callers opening a
+// persistent cache (internal/cache) pass it as the store's application
+// version, so a record-format change invalidates every stale entry instead
+// of decoding it. The fingerprint schema needs no version here: it is
+// hashed into every key (fingerprint.Version), so key schemas can never
+// alias.
+const CacheRecordVersion uint32 = 1
+
+// Verdict provenance values. Every analyzed loop records whether its
+// outcome was computed by running the dynamic stage or served from the
+// verdict cache.
+const (
+	// ProvenanceComputed: the verdict was produced by running the analysis
+	// (including static-stage short circuits, which always run fresh).
+	ProvenanceComputed = "computed"
+	// ProvenanceCached: the dynamic-stage outcome was served from the
+	// verdict cache; no golden run or replay executed.
+	ProvenanceCached = "cached"
+)
+
+// VerdictCache is the incremental-analysis store consulted before each
+// loop's dynamic stage. Keys are loop-analysis fingerprints
+// (internal/fingerprint), values are serialized verdict records; both
+// methods must be safe for concurrent use. internal/cache provides the
+// two-tier production implementation.
+type VerdictCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+}
+
+// cachedVerdict is the serialized dynamic-stage outcome. Only fields the
+// dynamic stage determines are stored: identity fields (Fn, ID, Pos, ...)
+// are recomputed from the program on every run, and Provenance, Replays,
+// and Elapsed describe the serving run, not the verdict.
+type cachedVerdict struct {
+	Verdict         Verdict `json:"verdict"`
+	Reason          string  `json:"reason,omitempty"`
+	Invocations     int     `json:"invocations"`
+	Iterations      int64   `json:"iterations"`
+	SchedulesTested int     `json:"schedules_tested"`
+	Retries         int     `json:"retries"`
+	TrapKind        string  `json:"trap_kind,omitempty"`
+}
+
+// loopKey fingerprints one loop analysis under the active options.
+func loopKey(prog *ir.Program, fnName string, loopIndex int, inst *instrument.Instrumented, opt *Options) string {
+	return fingerprint.Loop(prog, fnName, loopIndex, inst, fingerprint.Inputs{
+		Schedules:      opt.Schedules,
+		Limits:         opt.Limits(),
+		Retries:        opt.Retries,
+		DebugSnapshots: opt.DebugSnapshots,
+	}).String()
+}
+
+// encodeCachedVerdict serializes a freshly computed dynamic-stage outcome.
+func encodeCachedVerdict(res *LoopResult) []byte {
+	data, err := json.Marshal(cachedVerdict{
+		Verdict:         res.Verdict,
+		Reason:          res.Reason,
+		Invocations:     res.Invocations,
+		Iterations:      res.Iterations,
+		SchedulesTested: res.SchedulesTested,
+		Retries:         res.Retries,
+		TrapKind:        res.TrapKind,
+	})
+	if err != nil {
+		return nil // never happens for this struct; a nil record is simply not stored
+	}
+	return data
+}
+
+// decodeCachedVerdict restores a stored outcome into res. It returns false
+// — and leaves res usable for a fresh computation — when the record does
+// not decode to a plausible verdict, so a corrupted or stale cache entry
+// degrades to a miss rather than a wrong result.
+func decodeCachedVerdict(data []byte, res *LoopResult) bool {
+	var cv cachedVerdict
+	if err := json.Unmarshal(data, &cv); err != nil {
+		return false
+	}
+	if cv.Verdict < 0 || int(cv.Verdict) >= len(verdictNames) {
+		return false
+	}
+	res.Verdict = cv.Verdict
+	res.Reason = cv.Reason
+	res.Invocations = cv.Invocations
+	res.Iterations = cv.Iterations
+	res.SchedulesTested = cv.SchedulesTested
+	res.Retries = cv.Retries
+	res.TrapKind = cv.TrapKind
+	return true
+}
+
+// cacheableVerdict reports whether a computed outcome may be stored.
+// Timeout-trapped outcomes depend on wall-clock speed and panic-trapped
+// ones on analysis bugs — neither is a deterministic function of the
+// fingerprinted inputs, so they are recomputed every run. Everything else
+// (commutative, non-commutative, not-executed, fault-failed, and
+// budget-exhausted outcomes) is deterministic under the interpreter.
+func cacheableVerdict(res *LoopResult) bool {
+	switch res.TrapKind {
+	case sandbox.Timeout.String(), sandbox.Panic.String():
+		return false
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"dca/internal/sandbox"
+)
+
+// TestCacheablePolicy: timeout- and panic-derived outcomes depend on
+// wall-clock speed or analysis bugs and must never be stored; every
+// deterministic outcome is storable.
+func TestCacheablePolicy(t *testing.T) {
+	cases := []struct {
+		verdict  Verdict
+		trapKind string
+		want     bool
+	}{
+		{Commutative, "", true},
+		{NonCommutative, "", true},
+		{NonCommutative, sandbox.Fault.String(), true},
+		{NotExecuted, "", true},
+		{Failed, sandbox.Fault.String(), true},
+		{Failed, "", true}, // golden-run divergence: deterministic
+		{ResourceExhausted, sandbox.Budget.String(), true},
+		{ResourceExhausted, sandbox.Timeout.String(), false},
+		{Failed, sandbox.Panic.String(), false},
+	}
+	for _, c := range cases {
+		res := &LoopResult{Verdict: c.verdict, TrapKind: c.trapKind}
+		if got := cacheableVerdict(res); got != c.want {
+			t.Errorf("cacheableVerdict(%s, trap %q) = %v, want %v", c.verdict, c.trapKind, got, c.want)
+		}
+	}
+}
+
+// TestCachedVerdictRoundTrip: every stored field survives encode/decode.
+func TestCachedVerdictRoundTrip(t *testing.T) {
+	src := &LoopResult{
+		Verdict:         NonCommutative,
+		Reason:          "schedule reverse changed live-outs of invocation 3",
+		Invocations:     7,
+		Iterations:      123456,
+		SchedulesTested: 2,
+		Retries:         1,
+		TrapKind:        sandbox.Fault.String(),
+	}
+	data := encodeCachedVerdict(src)
+	if data == nil {
+		t.Fatal("encode returned nil")
+	}
+	var dst LoopResult
+	if !decodeCachedVerdict(data, &dst) {
+		t.Fatal("decode rejected a fresh record")
+	}
+	if dst.Verdict != src.Verdict || dst.Reason != src.Reason ||
+		dst.Invocations != src.Invocations || dst.Iterations != src.Iterations ||
+		dst.SchedulesTested != src.SchedulesTested || dst.Retries != src.Retries ||
+		dst.TrapKind != src.TrapKind {
+		t.Fatalf("round trip lost fields:\n  in:  %+v\n  out: %+v", *src, dst)
+	}
+}

@@ -78,6 +78,19 @@ type LoopResult struct {
 	// TrapKind is the sandbox classification ("fault", "budget", "timeout",
 	// "panic") behind a trap-derived verdict; "" when no trap fired.
 	TrapKind string
+	// Provenance records how the dynamic-stage outcome was obtained:
+	// ProvenanceComputed (replays ran) or ProvenanceCached (served from the
+	// verdict cache).
+	Provenance string
+	// Replays counts the instrumented executions this analysis consumed —
+	// the golden run plus every schedule replay folded into the verdict
+	// (doubled-budget retries are tracked separately in Retries). A cached
+	// outcome consumes none.
+	Replays int
+	// Elapsed is the wall-clock time this loop's analysis took, including a
+	// cache hit's lookup time. Diagnostic only: it is not part of the
+	// deterministic verdict and never compared across runs.
+	Elapsed time.Duration
 }
 
 // Report is the whole-program analysis result.
@@ -106,6 +119,27 @@ func (r *Report) Commutative() []*LoopResult {
 		}
 	}
 	return out
+}
+
+// Replays returns the total instrumented executions consumed across all
+// loops — the dynamic-stage work a warm verdict cache avoids.
+func (r *Report) Replays() int {
+	n := 0
+	for _, l := range r.Loops {
+		n += l.Replays
+	}
+	return n
+}
+
+// CachedLoops returns how many loops were served from the verdict cache.
+func (r *Report) CachedLoops() int {
+	n := 0
+	for _, l := range r.Loops {
+		if l.Provenance == ProvenanceCached {
+			n++
+		}
+	}
+	return n
 }
 
 // Result returns the outcome for a specific loop, or nil.
@@ -158,6 +192,12 @@ type Options struct {
 	// snapshot alongside its digest, so a live-out divergence reason carries
 	// the actual differing serializations. Costs O(heap) per invocation.
 	DebugSnapshots bool
+	// Cache, when non-nil, is consulted before each loop's dynamic stage
+	// and updated after it: a hit under the loop's fingerprint serves the
+	// stored verdict without running the golden run or any replay. Fault
+	// injection bypasses the cache entirely. See internal/fingerprint for
+	// the key contract and internal/cache for the production store.
+	Cache VerdictCache
 }
 
 func (o *Options) normalize() {
@@ -334,6 +374,8 @@ func sequentialExecutor(_ int, runOne func(i int) ScheduleOutcome) func(i int) S
 //     replay are skipped and the loop short-circuits to NotExecuted.
 //   - exec chooses how schedule replays execute (nil = sequential).
 func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.Info, opt Options, refOut string, res *LoopResult, prescreened bool, exec ScheduleExecutor) {
+	start := time.Now()
+	defer func() { res.Elapsed = time.Since(start) }()
 	// A panic anywhere in this loop's static or dynamic stage (including
 	// instrumentation) marks the loop Failed; the suite run continues.
 	defer func() {
@@ -343,6 +385,7 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 			res.Reason = fmt.Sprintf("internal panic: %v", r)
 		}
 	}()
+	res.Provenance = ProvenanceComputed
 
 	// --- Selection: exclude I/O loops (§IV-E). ---
 	if pur.LoopDoesIO(loop.Blocks) {
@@ -371,8 +414,43 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 
 	inj := opt.InjectorFor(fn.Name, loop.Index)
 
+	// --- Incremental analysis: consult the verdict cache. The fingerprint
+	// covers every input that can reach the verdict (program IR, payload,
+	// schedules, budgets — see internal/fingerprint), so a hit is the exact
+	// outcome the dynamic stage below would recompute. Armed fault injection
+	// bypasses the cache in both directions: injected traps are harness
+	// behaviour, not reusable analysis results.
+	var key string
+	if opt.Cache != nil && inj == nil {
+		key = loopKey(prog, fn.Name, loop.Index, inst, &opt)
+		if data, ok := opt.Cache.Get(key); ok && decodeCachedVerdict(data, res) {
+			res.Provenance = ProvenanceCached
+			return
+		}
+	}
+
+	dynamicStage(inst, &opt, refOut, res, inj, exec)
+
+	// Store the freshly computed outcome for future runs. Reached only on
+	// normal completion: a panic unwinds past this into the recover above,
+	// so a half-written result can never be cached.
+	if key != "" && cacheableVerdict(res) {
+		if data := encodeCachedVerdict(res); data != nil {
+			opt.Cache.Put(key, data)
+		}
+	}
+}
+
+// dynamicStage runs the golden execution and the permuted replays for one
+// instrumented loop and writes the verdict into res. Split from
+// AnalyzeLoopInto so the cache layer wraps exactly the replay work and
+// nothing else.
+func dynamicStage(inst *instrument.Instrumented, optp *Options, refOut string, res *LoopResult, inj *sandbox.Injector, exec ScheduleExecutor) {
+	opt := *optp
+
 	// --- Dynamic stage: golden run. ---
 	golden, goldenOut, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return newRuntime(dcart.Identity{}, &opt) }, opt, inj)
+	res.Replays++
 	res.Retries += retries
 	if trap != nil {
 		res.TrapKind = trap.Kind.String()
@@ -433,6 +511,7 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 	get := exec(len(scheds), runOne)
 	for i, sched := range scheds {
 		oc := get(i)
+		res.Replays++
 		res.Retries += oc.retries
 		if oc.trap != nil {
 			res.TrapKind = oc.trap.Kind.String()

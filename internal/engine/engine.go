@@ -54,6 +54,13 @@ func NewPool(workers int) *Pool {
 func (p *Pool) acquire() { p.sem <- struct{}{} }
 func (p *Pool) release() { <-p.sem }
 
+// Cap returns the pool's total worker capacity.
+func (p *Pool) Cap() int { return cap(p.sem) }
+
+// InUse returns how many worker slots are held right now — a point-in-time
+// load reading for monitoring endpoints.
+func (p *Pool) InUse() int { return len(p.sem) }
+
 // tryAcquire claims a slot only if one is free — the non-blocking form used
 // for schedule offload, so a loop analysis holding a slot can never
 // deadlock waiting for its own sub-tasks.

@@ -1,0 +1,158 @@
+package fingerprint_test
+
+import (
+	"testing"
+	"time"
+
+	"dca/internal/dcart"
+	"dca/internal/fingerprint"
+	"dca/internal/instrument"
+	"dca/internal/ir"
+	"dca/internal/irbuild"
+	"dca/internal/sandbox"
+)
+
+const baseSrc = `
+func helper(x int) int { return x * 2; }
+func main() {
+	var array []int = new [32]int;
+	for (var i int = 0; i < 32; i++) { array[i] = helper(i); }
+	var s int = 0;
+	for (var i int = 0; i < 32; i++) { s += array[i]; }
+	print(s);
+}`
+
+// payloadChanged differs from baseSrc only inside the first loop's payload.
+const payloadChanged = `
+func helper(x int) int { return x * 2; }
+func main() {
+	var array []int = new [32]int;
+	for (var i int = 0; i < 32; i++) { array[i] = helper(i) + 1; }
+	var s int = 0;
+	for (var i int = 0; i < 32; i++) { s += array[i]; }
+	print(s);
+}`
+
+// calleeChanged differs from baseSrc only in a function the loop calls —
+// the loop body's own IR is unchanged, but the dynamic stage executes the
+// callee, so the key must still change.
+const calleeChanged = `
+func helper(x int) int { return x * 3; }
+func main() {
+	var array []int = new [32]int;
+	for (var i int = 0; i < 32; i++) { array[i] = helper(i); }
+	var s int = 0;
+	for (var i int = 0; i < 32; i++) { s += array[i]; }
+	print(s);
+}`
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := irbuild.Compile("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func keyOf(t *testing.T, src string, loop int, in fingerprint.Inputs) fingerprint.Key {
+	t.Helper()
+	prog := compile(t, src)
+	inst, err := instrument.Loop(prog, "main", loop)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	return fingerprint.Loop(prog, "main", loop, inst, in)
+}
+
+func defaultInputs() fingerprint.Inputs {
+	return fingerprint.Inputs{
+		Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}},
+		Limits:    sandbox.Limits{MaxSteps: 200_000_000},
+		Retries:   1,
+	}
+}
+
+// TestDeterministic: the same inputs always produce the same key, including
+// across independent compilations of the same source.
+func TestDeterministic(t *testing.T) {
+	a := keyOf(t, baseSrc, 0, defaultInputs())
+	b := keyOf(t, baseSrc, 0, defaultInputs())
+	if a != b {
+		t.Fatalf("same inputs produced different keys: %s vs %s", a, b)
+	}
+	if len(a.String()) != 32 {
+		t.Fatalf("key %q is not 32 hex digits", a)
+	}
+}
+
+// TestSensitivity: every input that can reach a verdict must change the
+// key; each case flips exactly one input against the base.
+func TestSensitivity(t *testing.T) {
+	base := keyOf(t, baseSrc, 0, defaultInputs())
+
+	cases := []struct {
+		name string
+		key  fingerprint.Key
+	}{
+		{"payload IR change", keyOf(t, payloadChanged, 0, defaultInputs())},
+		{"callee change outside the loop body", keyOf(t, calleeChanged, 0, defaultInputs())},
+		{"different loop of the same program", keyOf(t, baseSrc, 1, defaultInputs())},
+		{"schedule seed change", keyOf(t, baseSrc, 0, func() fingerprint.Inputs {
+			in := defaultInputs()
+			in.Schedules = []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 2}}
+			return in
+		}())},
+		{"schedule count change", keyOf(t, baseSrc, 0, func() fingerprint.Inputs {
+			in := defaultInputs()
+			in.Schedules = append(in.Schedules, dcart.Random{Seed: 2})
+			return in
+		}())},
+		{"step budget change", keyOf(t, baseSrc, 0, func() fingerprint.Inputs {
+			in := defaultInputs()
+			in.Limits.MaxSteps = 100
+			return in
+		}())},
+		{"timeout change", keyOf(t, baseSrc, 0, func() fingerprint.Inputs {
+			in := defaultInputs()
+			in.Limits.Timeout = time.Second
+			return in
+		}())},
+		{"heap budget change", keyOf(t, baseSrc, 0, func() fingerprint.Inputs {
+			in := defaultInputs()
+			in.Limits.MaxHeapObjects = 10_000
+			return in
+		}())},
+		{"retry budget change", keyOf(t, baseSrc, 0, func() fingerprint.Inputs {
+			in := defaultInputs()
+			in.Retries = 2
+			return in
+		}())},
+		{"debug-snapshots change", keyOf(t, baseSrc, 0, func() fingerprint.Inputs {
+			in := defaultInputs()
+			in.DebugSnapshots = true
+			return in
+		}())},
+	}
+	seen := map[fingerprint.Key]string{base: "base"}
+	for _, c := range cases {
+		if c.key == base {
+			t.Errorf("%s: key did not change", c.name)
+		}
+		if prev, dup := seen[c.key]; dup {
+			t.Errorf("%s: key collides with %s", c.name, prev)
+		}
+		seen[c.key] = c.name
+	}
+}
+
+// TestPositionInsensitive: formatting-only source changes (moved lines,
+// comments) shift positions but not structure; the key must not change.
+func TestPositionInsensitive(t *testing.T) {
+	shifted := "// leading comment\n\n\n" + baseSrc
+	a := keyOf(t, baseSrc, 0, defaultInputs())
+	b := keyOf(t, shifted, 0, defaultInputs())
+	if a != b {
+		t.Fatalf("position-only change invalidated the key: %s vs %s", a, b)
+	}
+}

@@ -36,9 +36,19 @@ func (p *Program) AddFunc(f *Func) {
 	p.Funcs = append(p.Funcs, f)
 }
 
-// Clone deep-copies the program (functions, blocks, locals).
+// Clone deep-copies the program (functions, blocks, locals). The struct
+// table is copied too — outlining registers env structs on the clone it
+// works on, and sharing the map would leak them into the original (and race
+// when clones are instrumented concurrently). The StructInfo values stay
+// shared: layouts are immutable after construction.
 func (p *Program) Clone() *Program {
-	q := &Program{Name: p.Name, Structs: p.Structs}
+	q := &Program{Name: p.Name}
+	if p.Structs != nil {
+		q.Structs = make(map[string]*types.StructInfo, len(p.Structs))
+		for name, si := range p.Structs {
+			q.Structs[name] = si
+		}
+	}
 	for _, f := range p.Funcs {
 		q.AddFunc(f.Clone())
 	}

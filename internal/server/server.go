@@ -1,0 +1,341 @@
+// Package server is the `dca serve` analysis service: a long-lived HTTP
+// daemon that accepts MiniC program source, runs the concurrent analysis
+// engine with the incremental verdict cache in front of every loop's
+// dynamic stage, and returns structured per-loop verdicts.
+//
+// The service is built for sustained traffic:
+//
+//   - One engine.Pool is shared by every in-flight request, so total
+//     interpreter concurrency is bounded by the configured worker budget no
+//     matter how many requests arrive.
+//   - A request semaphore bounds concurrent analyses; excess requests wait
+//     only as long as their own context allows, then are turned away with
+//     503 instead of piling up.
+//   - Every execution inherits the sandbox budgets and timeouts of the
+//     fault-isolated dynamic stage; requests may tighten them but never
+//     exceed the server's ceiling.
+//   - Request bodies are size-capped before they are read.
+//   - Shutdown is graceful: on context cancellation (SIGTERM in cmd/dca)
+//     the listener closes, in-flight analyses drain within DrainTimeout,
+//     and only then does Serve return.
+//
+// Endpoints: POST /analyze, GET /healthz, GET /stats.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dca/internal/cache"
+	"dca/internal/core"
+	"dca/internal/dcart"
+	"dca/internal/engine"
+	"dca/internal/irbuild"
+)
+
+// Config tunes the analysis service. The zero value is production-safe:
+// GOMAXPROCS workers, 1 MiB source cap, 30s per-execution timeout, default
+// step budget, no cache.
+type Config struct {
+	// Workers bounds the engine pool shared by all requests (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+	// MaxConcurrent bounds concurrently served /analyze requests (<= 0
+	// means Workers).
+	MaxConcurrent int
+	// MaxSourceBytes caps the request body (<= 0 means 1 MiB).
+	MaxSourceBytes int64
+	// MaxSteps / Timeout / MaxHeapObjects / MaxOutput are the
+	// per-execution sandbox ceilings. Requests may lower them, never
+	// raise them. Zero MaxSteps means the core default (200M); zero
+	// Timeout means 30s.
+	MaxSteps       int64
+	Timeout        time.Duration
+	MaxHeapObjects int64
+	MaxOutput      int64
+	// Retries is the doubled-budget retry count (0 means the core
+	// default of 1; negative disables).
+	Retries int
+	// Schedules is the default number of random permutation schedules run
+	// in addition to reverse (<= 0 means 3).
+	Schedules int
+	// Cache, when non-nil, serves repeated analyses without re-running
+	// their dynamic stages.
+	Cache core.VerdictCache
+	// DrainTimeout bounds how long Serve waits for in-flight requests
+	// after shutdown begins (<= 0 means 15s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = c.Workers
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Schedules <= 0 {
+		c.Schedules = 3
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// Server is the analysis service.
+type Server struct {
+	cfg   Config
+	pool  *engine.Pool
+	sem   chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+
+	requests  atomic.Uint64 // /analyze requests accepted for processing
+	analyzed  atomic.Uint64 // analyses completed successfully
+	errored   atomic.Uint64 // analyses failed (compile or reference errors)
+	rejected  atomic.Uint64 // requests turned away (busy or oversized)
+	loopsDone atomic.Uint64 // loops analyzed across all requests
+	inFlight  atomic.Int64
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  engine.NewPool(cfg.Workers),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler exposes the service's HTTP handler (also used by tests via
+// httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// gracefully. It returns nil after a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on an existing listener until ctx is cancelled, then shuts
+// down gracefully: the listener closes immediately, in-flight requests get
+// up to DrainTimeout to finish.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		return srv.Shutdown(drainCtx)
+	}
+}
+
+// AnalyzeRequest is the /analyze request body.
+type AnalyzeRequest struct {
+	// Filename labels positions in verdicts ("request.mc" when empty).
+	Filename string `json:"filename,omitempty"`
+	// Source is the MiniC program to analyze.
+	Source string `json:"source"`
+	// Schedules overrides the number of random permutation schedules
+	// (bounded by the server default; 0 keeps the default).
+	Schedules int `json:"schedules,omitempty"`
+	// MaxSteps / TimeoutMS tighten the per-execution budgets; values above
+	// the server ceiling are clamped down to it.
+	MaxSteps  int64 `json:"max_steps,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache forces a fresh computation for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// AnalyzeResponse is the /analyze response body.
+type AnalyzeResponse struct {
+	Report *core.ReportJSON `json:"report"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// clampBudget lowers def to req when the request asks for less; requests
+// can never exceed the server ceiling. def <= 0 (unlimited server budget)
+// adopts any requested bound.
+func clampBudget(def, req int64) int64 {
+	if req <= 0 {
+		return def
+	}
+	if def <= 0 || req < def {
+		return req
+	}
+	return def
+}
+
+// options assembles the engine options for one request.
+func (s *Server) options(req *AnalyzeRequest) engine.Options {
+	n := req.Schedules
+	if n <= 0 || n > s.cfg.Schedules {
+		n = s.cfg.Schedules
+	}
+	scheds := []dcart.Schedule{dcart.Reverse{}}
+	for i := 0; i < n; i++ {
+		scheds = append(scheds, dcart.Random{Seed: int64(i + 1)})
+	}
+	copt := core.Options{
+		Schedules:      scheds,
+		MaxSteps:       clampBudget(s.cfg.MaxSteps, req.MaxSteps),
+		Timeout:        time.Duration(clampBudget(int64(s.cfg.Timeout), req.TimeoutMS*int64(time.Millisecond))),
+		MaxHeapObjects: s.cfg.MaxHeapObjects,
+		MaxOutput:      s.cfg.MaxOutput,
+		Retries:        s.cfg.Retries,
+	}
+	if !req.NoCache {
+		copt.Cache = s.cfg.Cache
+	}
+	return engine.Options{Core: copt, Pool: s.pool}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.rejected.Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxSourceBytes)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	if req.Source == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"missing \"source\""})
+		return
+	}
+
+	// Concurrency bound: wait for a slot only as long as the client waits.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server at capacity"})
+		return
+	}
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	filename := req.Filename
+	if filename == "" {
+		filename = "request.mc"
+	}
+	prog, err := irbuild.Compile(filename, req.Source)
+	if err != nil {
+		s.errored.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"compile: " + err.Error()})
+		return
+	}
+
+	start := time.Now()
+	rep, err := engine.Analyze(prog, s.options(&req))
+	if err != nil {
+		// The reference execution failed: the program is analyzable by
+		// nobody, which is the request's fault, not the server's.
+		s.errored.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"analysis: " + err.Error()})
+		return
+	}
+	s.analyzed.Add(1)
+	s.loopsDone.Add(uint64(len(rep.Loops)))
+	writeJSON(w, http.StatusOK, AnalyzeResponse{Report: rep.JSON(time.Since(start))})
+}
+
+// healthz is the liveness payload.
+type healthz struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"in_flight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthz{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Load(),
+	})
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Analyzed      uint64       `json:"analyzed"`
+	Errored       uint64       `json:"errored"`
+	Rejected      uint64       `json:"rejected"`
+	LoopsAnalyzed uint64       `json:"loops_analyzed"`
+	InFlight      int64        `json:"in_flight"`
+	Pool          poolStats    `json:"pool"`
+	Cache         *cache.Stats `json:"cache,omitempty"`
+}
+
+type poolStats struct {
+	Workers int `json:"workers"`
+	InUse   int `json:"in_use"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Analyzed:      s.analyzed.Load(),
+		Errored:       s.errored.Load(),
+		Rejected:      s.rejected.Load(),
+		LoopsAnalyzed: s.loopsDone.Load(),
+		InFlight:      s.inFlight.Load(),
+		Pool:          poolStats{Workers: s.pool.Cap(), InUse: s.pool.InUse()},
+	}
+	// The production cache exposes counters; any other VerdictCache simply
+	// reports no cache section.
+	if c, ok := s.cfg.Cache.(*cache.Cache); ok && c != nil {
+		st := c.Stats()
+		resp.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

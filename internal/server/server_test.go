@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dca/internal/cache"
+	"dca/internal/core"
+)
+
+const testSrc = `
+func main() {
+	var a []int = new [16]int;
+	for (var i int = 0; i < 16; i++) {
+		a[i] = i * 3;
+	}
+	var s int = 0;
+	for (var i int = 0; i < 16; i++) {
+		s = s + a[i];
+	}
+	print(s);
+}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postAnalyze(t *testing.T, url string, req AnalyzeRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func decodeReport(t *testing.T, data []byte) *core.ReportJSON {
+	t.Helper()
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, data)
+	}
+	if ar.Report == nil {
+		t.Fatalf("no report in response: %s", data)
+	}
+	return ar.Report
+}
+
+// TestAnalyzeComputedThenCached: the first request computes every verdict;
+// an identical second request is served wholly from the cache with the same
+// verdict table.
+func TestAnalyzeComputedThenCached(t *testing.T) {
+	c, err := cache.Open("", 0, core.CacheRecordVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: c, Workers: 2})
+
+	resp, body := postAnalyze(t, ts.URL, AnalyzeRequest{Filename: "t.mc", Source: testSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", resp.StatusCode, body)
+	}
+	cold := decodeReport(t, body)
+	if cold.TotalLoops == 0 {
+		t.Fatal("cold report has no loops")
+	}
+	for _, l := range cold.Loops {
+		if l.Provenance != core.ProvenanceComputed {
+			t.Errorf("cold loop %s: provenance %q", l.ID, l.Provenance)
+		}
+	}
+
+	resp, body = postAnalyze(t, ts.URL, AnalyzeRequest{Filename: "t.mc", Source: testSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d: %s", resp.StatusCode, body)
+	}
+	warm := decodeReport(t, body)
+	if warm.Replays != 0 {
+		t.Errorf("warm request performed %d replays, want 0", warm.Replays)
+	}
+	for i, l := range warm.Loops {
+		if l.Provenance != core.ProvenanceCached {
+			t.Errorf("warm loop %s: provenance %q, want cached", l.ID, l.Provenance)
+		}
+		cd := cold.Loops[i]
+		if l.Verdict != cd.Verdict || l.Reason != cd.Reason || l.Iterations != cd.Iterations {
+			t.Errorf("warm loop %s diverged: %+v vs %+v", l.ID, l, cd)
+		}
+	}
+
+	// no_cache forces recomputation even with the cache populated.
+	resp, body = postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc, NoCache: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("no_cache status %d: %s", resp.StatusCode, body)
+	}
+	for _, l := range decodeReport(t, body).Loops {
+		if l.Provenance != core.ProvenanceComputed {
+			t.Errorf("no_cache loop %s: provenance %q, want computed", l.ID, l.Provenance)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h healthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status %q", h.Status)
+	}
+}
+
+// TestStats: counters reflect served traffic, the pool section reports the
+// configured workers, and the cache section carries hit counters.
+func TestStats(t *testing.T) {
+	c, err := cache.Open("", 0, core.CacheRecordVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: c, Workers: 3})
+
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: "not a program"})
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3 {
+		t.Errorf("requests = %d, want 3", st.Requests)
+	}
+	if st.Analyzed != 2 {
+		t.Errorf("analyzed = %d, want 2", st.Analyzed)
+	}
+	if st.Errored != 1 {
+		t.Errorf("errored = %d, want 1", st.Errored)
+	}
+	if st.Pool.Workers != 3 {
+		t.Errorf("pool workers = %d, want 3", st.Pool.Workers)
+	}
+	if st.Cache == nil {
+		t.Fatal("no cache section")
+	}
+	if st.Cache.Hits() == 0 {
+		t.Error("warm request produced no cache hits")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxSourceBytes: 4096})
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"invalid-json", "{nope", http.StatusBadRequest},
+		{"missing-source", `{"filename": "x.mc"}`, http.StatusBadRequest},
+		{"bad-program", `{"source": "func main("}`, http.StatusUnprocessableEntity},
+		{"oversized", fmt.Sprintf(`{"source": %q}`, strings.Repeat("x", 8192)), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+			var er errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatalf("error body must be JSON: %v", err)
+			}
+			if er.Error == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+
+	// GET on /analyze is rejected by the method-aware mux.
+	resp, err := http.Get(ts.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentRequests: a burst of parallel analyses against a small pool
+// must all succeed with consistent verdicts. Run under -race this is the
+// server's sharing discipline test.
+func TestConcurrentRequests(t *testing.T) {
+	c, err := cache.Open("", 0, core.CacheRecordVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Cache: c, Workers: 2, MaxConcurrent: 4})
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two distinct programs interleaved, so the cache serves both.
+			src := testSrc
+			if i%2 == 1 {
+				src = strings.Replace(testSrc, "i * 3", "i * 5", 1)
+			}
+			resp, body := postAnalyze(t, ts.URL, AnalyzeRequest{Source: src})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			rep := decodeReport(t, body)
+			if rep.TotalLoops == 0 {
+				errs <- fmt.Errorf("request %d: empty report", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.requests.Load(); got != n {
+		t.Errorf("requests = %d, want %d", got, n)
+	}
+	if s.inFlight.Load() != 0 {
+		t.Errorf("in-flight = %d after drain, want 0", s.inFlight.Load())
+	}
+}
+
+// TestBudgetClamping: requests may tighten sandbox budgets but a request
+// asking for more than the server ceiling is clamped down to it.
+func TestBudgetClamping(t *testing.T) {
+	s := New(Config{MaxSteps: 1000, Timeout: time.Second, Schedules: 2})
+
+	opt := s.options(&AnalyzeRequest{MaxSteps: 500, TimeoutMS: 100})
+	if opt.Core.MaxSteps != 500 {
+		t.Errorf("tightened MaxSteps = %d, want 500", opt.Core.MaxSteps)
+	}
+	if opt.Core.Timeout != 100*time.Millisecond {
+		t.Errorf("tightened Timeout = %v, want 100ms", opt.Core.Timeout)
+	}
+
+	opt = s.options(&AnalyzeRequest{MaxSteps: 1 << 40, TimeoutMS: 3600_000})
+	if opt.Core.MaxSteps != 1000 {
+		t.Errorf("clamped MaxSteps = %d, want the 1000 ceiling", opt.Core.MaxSteps)
+	}
+	if opt.Core.Timeout != time.Second {
+		t.Errorf("clamped Timeout = %v, want the 1s ceiling", opt.Core.Timeout)
+	}
+
+	// Schedule count is bounded by the server default too.
+	if got := len(s.options(&AnalyzeRequest{Schedules: 100}).Core.Schedules); got != 3 {
+		t.Errorf("schedules = %d (incl. reverse), want 3", got)
+	}
+	if got := len(s.options(&AnalyzeRequest{Schedules: 1}).Core.Schedules); got != 2 {
+		t.Errorf("schedules = %d (incl. reverse), want 2", got)
+	}
+}
+
+// TestGracefulDrain: cancelling the serve context stops the listener and
+// Serve returns cleanly once in-flight work drains.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Workers: 2, DrainTimeout: 5 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	resp, body := postAnalyze(t, url, AnalyzeRequest{Source: testSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still accepting connections after drain")
+	}
+}
