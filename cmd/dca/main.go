@@ -35,6 +35,7 @@ import (
 	"dca/internal/interp"
 	"dca/internal/ir"
 	"dca/internal/irbuild"
+	"dca/internal/obs"
 	"dca/internal/opt"
 	"dca/internal/parallel"
 	"dca/internal/parser"
@@ -78,7 +79,7 @@ func exitCodeFor(err error) int {
 	switch {
 	case errors.Is(err, interp.ErrBudget):
 		return exitBudget
-	case errors.Is(err, interp.ErrCancelled):
+	case errors.Is(err, interp.ErrCancelled), errors.Is(err, context.Canceled):
 		return exitTimeout
 	}
 	return exitErr
@@ -126,13 +127,14 @@ func usage() {
 commands:
   analyze [-j n] [-baselines] [-schedules n] [-timeout d] [-max-steps n]
           [-retry n] [-no-prescreen] [-debug-snapshots] [-json]
-          [-cache-dir d] [-cache-mem bytes] [-no-cache]
+          [-trace out.jsonl] [-cache-dir d] [-cache-mem bytes] [-no-cache]
           [-inject-kind k -inject-at-step n|-inject-at-intrinsic n
            -inject-fn f -inject-loop k] file.mc  run DCA on every loop
   serve [-addr host:port] [-j n] [-max-concurrent n] [-cache-dir d]
         [-cache-mem bytes] [-no-cache] [-schedules n] [-timeout d]
         [-max-steps n] [-retry n] [-max-source-bytes n] [-drain-timeout d]
-                                                 run the analysis service
+        [-trace out.jsonl]                       run the analysis service
+                                                 (metrics at GET /metrics)
   run [-opt] [-timeout d] [-max-steps n] file.mc execute the program
   ir [-opt] file.mc                              print the IR
   parallel -fn f -loop k [-workers n] [-timeout d] [-max-steps n] file.mc
@@ -163,6 +165,7 @@ func cmdAnalyze(args []string) error {
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "concurrent analysis workers (1 = sequential)")
 	schedules := fs.Int("schedules", 3, "number of random permutation schedules (plus reverse)")
 	noPrescreen := fs.Bool("no-prescreen", false, "disable the coverage prescreen (run every loop's golden run)")
+	tracePath := fs.String("trace", "", "append per-loop trace events to this JSONL file")
 	debugSnapshots := fs.Bool("debug-snapshots", false, "keep string snapshots alongside digests for mismatch diagnosis")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit per execution (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "instruction budget per execution (0 = default 200M)")
@@ -217,10 +220,29 @@ func cmdAnalyze(args []string) error {
 		}
 		opts.Cache = c
 	}
+	var traceSink *obs.JSONL
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("analyze: open trace file: %w", err)
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONL(f)
+		opts.Trace = traceSink
+	}
+	// The analysis is scoped to the process signals: Ctrl-C stops replays
+	// promptly instead of waiting out their budgets.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	rep, err := engine.Analyze(prog, engine.Options{Core: opts, Workers: *jobs, NoPrescreen: *noPrescreen})
+	rep, err := engine.Analyze(ctx, prog, engine.Options{Core: opts, Workers: *jobs, NoPrescreen: *noPrescreen})
 	if err != nil {
 		return err
+	}
+	if traceSink != nil {
+		if terr := traceSink.Err(); terr != nil {
+			return fmt.Errorf("analyze: write trace: %w", terr)
+		}
 	}
 	if *jsonOut {
 		data, err := rep.MarshalIndentJSON(time.Since(start))
@@ -238,6 +260,9 @@ func cmdAnalyze(args []string) error {
 	}
 	if n := rep.Count(core.Failed); n > 0 {
 		fmt.Printf("failed: %d loops\n", n)
+	}
+	if n := rep.Count(core.Cancelled); n > 0 {
+		fmt.Printf("cancelled: %d loops (analysis interrupted)\n", n)
 	}
 	if !*baselines {
 		return nil
@@ -321,6 +346,7 @@ func cmdServe(args []string) error {
 	retry := fs.Int("retry", 1, "doubled-budget retries for budget/timeout traps (negative disables)")
 	maxSource := fs.Int64("max-source-bytes", 1<<20, "request body size cap")
 	drain := fs.Duration("drain-timeout", 15*time.Second, "in-flight drain window on shutdown")
+	tracePath := fs.String("trace", "", "append per-loop trace events to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -336,6 +362,14 @@ func cmdServe(args []string) error {
 		Retries:        *retry,
 		Schedules:      *schedules,
 		DrainTimeout:   *drain,
+	}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: open trace file: %w", err)
+		}
+		defer f.Close()
+		cfg.Trace = obs.NewJSONL(f)
 	}
 	if !*noCache {
 		// Unlike one-shot analyze, the daemon benefits from a memory-only

@@ -4,6 +4,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -94,7 +95,7 @@ func RunNPBOptions(spec *npb.Spec, pool *engine.Pool, vc core.VerdictCache) (*NP
 	r.PO = polly.Analyze(prog)
 	r.IC = icc.Analyze(prog)
 	eopt := engine.Options{Core: core.Options{Schedules: npbSchedules(), Cache: vc}, Workers: 1, Pool: pool}
-	if r.DCA, err = engine.Analyze(prog, eopt); err != nil {
+	if r.DCA, err = engine.Analyze(context.Background(), prog, eopt); err != nil {
 		return nil, fmt.Errorf("%s: dca: %w", spec.Name, err)
 	}
 	r.Truth = truthMap(spec, prog)

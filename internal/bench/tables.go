@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -314,7 +315,7 @@ func RunPLDS(p *plds.Program) (*PLDSResult, error) {
 		// DCA parallelization of the whole program: every commutative loop
 		// is a candidate, the profitability filter and outermost selection
 		// pick the parallel regions (as for the NPB suite).
-		full, err := engine.Analyze(prog, engine.Options{Core: core.Options{
+		full, err := engine.Analyze(context.Background(), prog, engine.Options{Core: core.Options{
 			Schedules: []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 1}},
 		}})
 		if err != nil {

@@ -104,12 +104,16 @@ func decodeCachedVerdict(data []byte, res *LoopResult) bool {
 }
 
 // cacheableVerdict reports whether a computed outcome may be stored.
-// Timeout-trapped outcomes depend on wall-clock speed and panic-trapped
-// ones on analysis bugs — neither is a deterministic function of the
-// fingerprinted inputs, so they are recomputed every run. Everything else
-// (commutative, non-commutative, not-executed, fault-failed, and
-// budget-exhausted outcomes) is deterministic under the interpreter.
+// Timeout-trapped outcomes depend on wall-clock speed, panic-trapped ones
+// on analysis bugs, and cancelled ones on the caller's context — none is a
+// deterministic function of the fingerprinted inputs, so they are
+// recomputed every run. Everything else (commutative, non-commutative,
+// not-executed, fault-failed, and budget-exhausted outcomes) is
+// deterministic under the interpreter.
 func cacheableVerdict(res *LoopResult) bool {
+	if res.Verdict == Cancelled {
+		return false
+	}
 	switch res.TrapKind {
 	case sandbox.Timeout.String(), sandbox.Panic.String():
 		return false

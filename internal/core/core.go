@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"dca/internal/instrument"
 	"dca/internal/interp"
 	"dca/internal/ir"
+	"dca/internal/obs"
 	"dca/internal/purity"
 	"dca/internal/sandbox"
 	"dca/internal/source"
@@ -49,9 +51,13 @@ const (
 	// doubled-budget retry. Unlike a fault this says nothing about the
 	// program: the analysis simply could not afford the evidence.
 	ResourceExhausted
+	// Cancelled: the caller's context was cancelled before this loop's
+	// analysis could finish (client disconnect, server drain, Ctrl-C).
+	// Says nothing about the program; never cached.
+	Cancelled
 )
 
-var verdictNames = [...]string{"commutative", "non-commutative", "excluded-io", "not-separable", "not-executed", "failed", "resource-exhausted"}
+var verdictNames = [...]string{"commutative", "non-commutative", "excluded-io", "not-separable", "not-executed", "failed", "resource-exhausted", "cancelled"}
 
 func (v Verdict) String() string { return verdictNames[v] }
 
@@ -198,6 +204,20 @@ type Options struct {
 	// injection bypasses the cache entirely. See internal/fingerprint for
 	// the key contract and internal/cache for the production store.
 	Cache VerdictCache
+	// Trace, when non-nil, receives one structured event per stage of
+	// every loop's analysis lifecycle (static outcome, prescreen skip,
+	// cache lookup, golden run, each schedule replay, final verdict) plus
+	// one program-level event per reference execution. The sink must be
+	// safe for concurrent use; it observes the analysis and must never
+	// influence it. Not part of the fingerprinted inputs.
+	Trace obs.Sink
+}
+
+// emit sends one trace event to the configured sink, if any.
+func (o *Options) emit(ev obs.Event) {
+	if o.Trace != nil {
+		o.Trace.Emit(ev)
+	}
 }
 
 func (o *Options) normalize() {
@@ -261,9 +281,12 @@ func Analyze(prog *ir.Program, opt Options) (*Report, error) {
 	// the whole analysis: with no reference behaviour there is nothing to
 	// compare any loop's replays against.
 	var refOut strings.Builder
+	refStart := time.Now()
 	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.Limits(), nil); !oc.OK() {
 		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
+	opt.emit(obs.Event{Stage: obs.StageReference, Outcome: obs.OutcomeOK,
+		DurationMS: float64(time.Since(refStart)) / float64(time.Millisecond)})
 
 	pur := purity.Analyze(prog)
 
@@ -278,7 +301,7 @@ func Analyze(prog *ir.Program, opt Options) (*Report, error) {
 				Depth: loop.Depth,
 			}
 			rep.Loops = append(rep.Loops, res)
-			AnalyzeLoopInto(prog, fn, loop, pur, opt, refOut.String(), res, false, nil)
+			AnalyzeLoopInto(context.Background(), prog, fn, loop, pur, opt, refOut.String(), res, false, nil)
 		}
 	}
 	sort.SliceStable(rep.Loops, func(i, j int) bool {
@@ -307,23 +330,36 @@ func AnalyzeLoop(prog *ir.Program, fnName string, loopIndex int, opt Options) (*
 		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
 	res := &LoopResult{Fn: fnName, Index: loopIndex, ID: loop.ID(), Pos: loop.Header.Pos, Depth: loop.Depth}
-	AnalyzeLoopInto(prog, fn, loop, purity.Analyze(prog), opt, refOut.String(), res, false, nil)
+	AnalyzeLoopInto(context.Background(), prog, fn, loop, purity.Analyze(prog), opt, refOut.String(), res, false, nil)
 	return res, nil
 }
 
 // runCell executes the instrumented program under a fresh runtime from
 // mkRT inside a sandbox cell, retrying Budget and Timeout traps at doubled
-// limits up to opt.Retries times. It returns the last attempt's runtime,
-// captured output, trap (nil on success), and the retries spent.
-func runCell(prog *ir.Program, mkRT func() *dcart.Runtime, opt Options, inj *sandbox.Injector) (*dcart.Runtime, string, *sandbox.Trap, int) {
+// limits up to opt.Retries times. ctx cancellation aborts the execution
+// mid-run (surfacing as a Timeout trap) and suppresses retries. It returns
+// the last attempt's runtime, captured output, trap (nil on success), and
+// the retries spent.
+func runCell(ctx context.Context, prog *ir.Program, mkRT func() *dcart.Runtime, opt Options, inj *sandbox.Injector) (*dcart.Runtime, string, *sandbox.Trap, int) {
 	var rt *dcart.Runtime
 	var out strings.Builder
-	oc, retries := sandbox.RunRetry(nil, prog, func() interp.Config {
+	oc, retries := sandbox.RunRetry(ctx, prog, func() interp.Config {
 		rt = mkRT()
 		out.Reset()
 		return interp.Config{Out: &out, Runtime: rt}
 	}, opt.Limits(), inj, opt.Retries)
 	return rt, out.String(), oc.Trap, retries
+}
+
+// cancelled reports whether the analysis context has been cancelled.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// markCancelled records a context cancellation as the loop's outcome.
+func markCancelled(ctx context.Context, res *LoopResult) {
+	res.Verdict = Cancelled
+	res.Reason = "analysis cancelled: " + context.Cause(ctx).Error()
 }
 
 // newRuntime builds a replay runtime for one schedule under the options'
@@ -366,6 +402,9 @@ func sequentialExecutor(_ int, runOne func(i int) ScheduleOutcome) func(i int) S
 // writes the verdict into res. It is the shared kernel of the sequential
 // Analyze path and the concurrent engine:
 //
+//   - ctx cancellation aborts the analysis: the loop reports Cancelled
+//     (a context-level outcome, never cached) and in-flight replays stop
+//     at the interpreter's next cancellation check. ctx may be nil.
 //   - prescreened declares that a coverage prescreen proved the loop's
 //     header never executes in the reference run. The static stage (I/O
 //     exclusion, separation, instrumentation) still runs — a never-executed
@@ -373,9 +412,17 @@ func sequentialExecutor(_ int, runOne func(i int) ScheduleOutcome) func(i int) S
 //     NotSeparable, same as sequentially — but the golden run and every
 //     replay are skipped and the loop short-circuits to NotExecuted.
 //   - exec chooses how schedule replays execute (nil = sequential).
-func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.Info, opt Options, refOut string, res *LoopResult, prescreened bool, exec ScheduleExecutor) {
+func AnalyzeLoopInto(ctx context.Context, prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.Info, opt Options, refOut string, res *LoopResult, prescreened bool, exec ScheduleExecutor) {
 	start := time.Now()
-	defer func() { res.Elapsed = time.Since(start) }()
+	// Registered first so it runs last: the verdict event carries whatever
+	// the panic recovery below settled on.
+	defer func() {
+		res.Elapsed = time.Since(start)
+		opt.emit(obs.Event{Stage: obs.StageVerdict, Fn: res.Fn, LoopID: res.ID,
+			Verdict: res.Verdict.String(), Reason: res.Reason, Trap: res.TrapKind,
+			Provenance: res.Provenance, Retries: res.Retries,
+			DurationMS: float64(res.Elapsed) / float64(time.Millisecond)})
+	}()
 	// A panic anywhere in this loop's static or dynamic stage (including
 	// instrumentation) marks the loop Failed; the suite run continues.
 	defer func() {
@@ -387,10 +434,18 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 	}()
 	res.Provenance = ProvenanceComputed
 
+	// Cancelled before any work: report without paying for the static
+	// stage. The bounded engine dispatch drains its remaining jobs here.
+	if cancelled(ctx) {
+		markCancelled(ctx, res)
+		return
+	}
+
 	// --- Selection: exclude I/O loops (§IV-E). ---
 	if pur.LoopDoesIO(loop.Blocks) {
 		res.Verdict = ExcludedIO
 		res.Reason = "loop performs I/O directly or through a callee"
+		opt.emit(obs.Event{Stage: obs.StageStatic, Fn: res.Fn, LoopID: res.ID, Outcome: ExcludedIO.String()})
 		return
 	}
 
@@ -399,8 +454,11 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 	if err != nil {
 		res.Verdict = NotSeparable
 		res.Reason = trimPrefixes(err.Error())
+		opt.emit(obs.Event{Stage: obs.StageStatic, Fn: res.Fn, LoopID: res.ID,
+			Outcome: NotSeparable.String(), Err: res.Reason})
 		return
 	}
+	opt.emit(obs.Event{Stage: obs.StageStatic, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeOK})
 
 	// --- Coverage prescreen: the reference run proved the loop header never
 	// executes, so the golden run could only confirm zero iterations. Skip
@@ -409,6 +467,7 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 	if prescreened {
 		res.Verdict = NotExecuted
 		res.Reason = "workload never executes this loop's payload"
+		opt.emit(obs.Event{Stage: obs.StagePrescreen, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeSkipped})
 		return
 	}
 
@@ -425,16 +484,20 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 		key = loopKey(prog, fn.Name, loop.Index, inst, &opt)
 		if data, ok := opt.Cache.Get(key); ok && decodeCachedVerdict(data, res) {
 			res.Provenance = ProvenanceCached
+			opt.emit(obs.Event{Stage: obs.StageCache, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeHit})
 			return
 		}
+		opt.emit(obs.Event{Stage: obs.StageCache, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeMiss})
 	}
 
-	dynamicStage(inst, &opt, refOut, res, inj, exec)
+	dynamicStage(ctx, inst, &opt, refOut, res, inj, exec)
 
 	// Store the freshly computed outcome for future runs. Reached only on
 	// normal completion: a panic unwinds past this into the recover above,
-	// so a half-written result can never be cached.
-	if key != "" && cacheableVerdict(res) {
+	// so a half-written result can never be cached — and a cancelled
+	// analysis is a statement about the context, not the program, so it is
+	// never stored either.
+	if key != "" && !cancelled(ctx) && cacheableVerdict(res) {
 		if data := encodeCachedVerdict(res); data != nil {
 			opt.Cache.Put(key, data)
 		}
@@ -445,22 +508,29 @@ func AnalyzeLoopInto(prog *ir.Program, fn *ir.Func, loop *cfg.Loop, pur *purity.
 // instrumented loop and writes the verdict into res. Split from
 // AnalyzeLoopInto so the cache layer wraps exactly the replay work and
 // nothing else.
-func dynamicStage(inst *instrument.Instrumented, optp *Options, refOut string, res *LoopResult, inj *sandbox.Injector, exec ScheduleExecutor) {
+func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Options, refOut string, res *LoopResult, inj *sandbox.Injector, exec ScheduleExecutor) {
 	opt := *optp
 
 	// --- Dynamic stage: golden run. ---
-	golden, goldenOut, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return newRuntime(dcart.Identity{}, &opt) }, opt, inj)
+	gstart := time.Now()
+	golden, goldenOut, trap, retries := runCell(ctx, inst.Prog, func() *dcart.Runtime { return newRuntime(dcart.Identity{}, &opt) }, opt, inj)
+	emitRun(&opt, obs.Event{Stage: obs.StageGolden, Fn: res.Fn, LoopID: res.ID,
+		DurationMS: float64(time.Since(gstart)) / float64(time.Millisecond), Retries: retries}, trap)
 	res.Replays++
 	res.Retries += retries
 	if trap != nil {
 		res.TrapKind = trap.Kind.String()
-		switch trap.Kind {
-		case sandbox.Budget, sandbox.Timeout:
+		switch {
+		case cancelled(ctx):
+			// The caller tore the analysis down mid-run; the trap is an
+			// artifact of cancellation, not evidence about the program.
+			markCancelled(ctx, res)
+		case trap.Kind == sandbox.Budget, trap.Kind == sandbox.Timeout:
 			// The analysis ran out of resources, not the program out of
 			// correctness: degrade without claiming a verdict.
 			res.Verdict = ResourceExhausted
 			res.Reason = fmt.Sprintf("golden run hit its %s limit after %d retries: %v", trap.Kind, retries, trap.Err)
-		case sandbox.Panic:
+		case trap.Kind == sandbox.Panic:
 			res.Verdict = Failed
 			res.Reason = fmt.Sprintf("internal panic during golden run: %v", trap.Err)
 		default: // Fault
@@ -495,14 +565,21 @@ func dynamicStage(inst *instrument.Instrumented, optp *Options, refOut string, r
 	// path regardless of execution order.
 	scheds := opt.Schedules
 	runOne := func(i int) (oc ScheduleOutcome) {
+		rstart := time.Now()
 		// A panic inside a replay cell degrades to a Panic trap in both the
-		// sequential and parallel executors, keeping reasons identical.
+		// sequential and parallel executors, keeping reasons identical. The
+		// replay event is emitted from this same deferred hook so trapped
+		// and clean replays alike are traced — possibly concurrently, from
+		// an offload worker's goroutine.
 		defer func() {
 			if r := recover(); r != nil {
 				oc = ScheduleOutcome{trap: &sandbox.Trap{Kind: sandbox.Panic, Err: fmt.Errorf("core: recovered panic: %v", r)}}
 			}
+			emitRun(&opt, obs.Event{Stage: obs.StageReplay, Fn: res.Fn, LoopID: res.ID,
+				Schedule: scheds[i].Name(), Retries: oc.retries,
+				DurationMS: float64(time.Since(rstart)) / float64(time.Millisecond)}, oc.trap)
 		}()
-		rt, out, trap, retries := runCell(inst.Prog, func() *dcart.Runtime { return newRuntime(scheds[i], &opt) }, opt, inj)
+		rt, out, trap, retries := runCell(ctx, inst.Prog, func() *dcart.Runtime { return newRuntime(scheds[i], &opt) }, opt, inj)
 		return ScheduleOutcome{rt: rt, out: out, trap: trap, retries: retries}
 	}
 	if exec == nil {
@@ -515,14 +592,16 @@ func dynamicStage(inst *instrument.Instrumented, optp *Options, refOut string, r
 		res.Retries += oc.retries
 		if oc.trap != nil {
 			res.TrapKind = oc.trap.Kind.String()
-			switch oc.trap.Kind {
-			case sandbox.Fault:
+			switch {
+			case cancelled(ctx):
+				markCancelled(ctx, res)
+			case oc.trap.Kind == sandbox.Fault:
 				// The golden run completed but this permutation trapped:
 				// a divergent observable behaviour, reliably detected as a
 				// commutativity violation (§IV-E).
 				res.Verdict = NonCommutative
 				res.Reason = fmt.Sprintf("schedule %s faulted where the golden run did not: %v", sched.Name(), oc.trap.Err)
-			case sandbox.Budget, sandbox.Timeout:
+			case oc.trap.Kind == sandbox.Budget, oc.trap.Kind == sandbox.Timeout:
 				res.Verdict = ResourceExhausted
 				res.Reason = fmt.Sprintf("schedule %s hit its %s limit after %d retries: %v", sched.Name(), oc.trap.Kind, oc.retries, oc.trap.Err)
 			default: // Panic
@@ -539,6 +618,24 @@ func dynamicStage(inst *instrument.Instrumented, optp *Options, refOut string, r
 		res.SchedulesTested++
 	}
 	res.Verdict = Commutative
+}
+
+// emitRun emits a golden or replay event, filling the outcome from the
+// trap (nil = clean).
+func emitRun(opt *Options, ev obs.Event, trap *sandbox.Trap) {
+	if opt.Trace == nil {
+		return
+	}
+	if trap != nil {
+		ev.Outcome = obs.OutcomeTrap
+		ev.Trap = trap.Kind.String()
+		if trap.Err != nil {
+			ev.Err = trap.Err.Error()
+		}
+	} else {
+		ev.Outcome = obs.OutcomeOK
+	}
+	opt.Trace.Emit(ev)
 }
 
 func compareRuns(golden, rt *dcart.Runtime, refOut, out string, sched dcart.Schedule) string {

@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/irbuild"
+	"dca/internal/obs"
+)
+
+// mapCache is a minimal VerdictCache for trace tests.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string][]byte{}} }
+
+func (c *mapCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *mapCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = val
+}
+
+// loopEvents groups a collector's events by loop ID, preserving order.
+func loopEvents(events []obs.Event) map[string][]obs.Event {
+	byLoop := map[string][]obs.Event{}
+	for _, ev := range events {
+		byLoop[ev.LoopID] = append(byLoop[ev.LoopID], ev)
+	}
+	return byLoop
+}
+
+// TestTraceEventLifecycle: one analysis emits a reference event and, per
+// loop, static → cache miss → golden → one replay per schedule → verdict,
+// in that order, with the verdict events agreeing with the report.
+func TestTraceEventLifecycle(t *testing.T) {
+	prog, err := irbuild.Compile("trace.mc", `
+func main() {
+	var a []int = new [8]int;
+	for (var i int = 0; i < 8; i++) {
+		a[i] = i * 2;
+	}
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) {
+		s = s + a[i];
+	}
+	print(s);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	rep, err := core.Analyze(prog, core.Options{Trace: col, Cache: newMapCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+	if len(events) == 0 || events[0].Stage != obs.StageReference || events[0].Outcome != obs.OutcomeOK {
+		t.Fatalf("first event must be an ok reference run, got %+v", events[:1])
+	}
+
+	byLoop := loopEvents(events[1:])
+	for _, lr := range rep.Loops {
+		evs := byLoop[lr.ID]
+		stages := make([]string, len(evs))
+		for i, ev := range evs {
+			stages[i] = ev.Stage
+		}
+		// static, cache miss, golden, one replay per schedule, verdict.
+		wantLen := 4 + lr.SchedulesTested
+		if len(evs) != wantLen {
+			t.Fatalf("loop %s: %d events %v, want %d", lr.ID, len(evs), stages, wantLen)
+		}
+		if evs[0].Stage != obs.StageStatic {
+			t.Errorf("loop %s: first event %q, want static", lr.ID, evs[0].Stage)
+		}
+		if evs[1].Stage != obs.StageCache || evs[1].Outcome != obs.OutcomeMiss {
+			t.Errorf("loop %s: second event %+v, want cache miss", lr.ID, evs[1])
+		}
+		if evs[2].Stage != obs.StageGolden || evs[2].DurationMS <= 0 {
+			t.Errorf("loop %s: third event %+v, want timed golden run", lr.ID, evs[2])
+		}
+		for i := 0; i < lr.SchedulesTested; i++ {
+			ev := evs[3+i]
+			if ev.Stage != obs.StageReplay || ev.Schedule == "" {
+				t.Errorf("loop %s: event %d = %+v, want named replay", lr.ID, 3+i, ev)
+			}
+		}
+		last := evs[len(evs)-1]
+		if last.Stage != obs.StageVerdict || last.Verdict != lr.Verdict.String() || last.Provenance != core.ProvenanceComputed {
+			t.Errorf("loop %s: verdict event %+v disagrees with report verdict %s", lr.ID, last, lr.Verdict)
+		}
+	}
+}
+
+// TestTraceCacheHit: a warm second analysis emits cache-hit events and
+// cached-provenance verdicts with no golden or replay executions.
+func TestTraceCacheHit(t *testing.T) {
+	prog, err := irbuild.Compile("trace.mc", `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 8; i++) {
+		s = s + i;
+	}
+	print(s);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := newMapCache()
+	if _, err := core.Analyze(prog, core.Options{Cache: vc}); err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	rep, err := core.Analyze(prog, core.Options{Trace: col, Cache: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, runs int
+	for _, ev := range col.Events() {
+		switch ev.Stage {
+		case obs.StageCache:
+			if ev.Outcome == obs.OutcomeHit {
+				hits++
+			}
+		case obs.StageGolden, obs.StageReplay:
+			runs++
+		case obs.StageVerdict:
+			if ev.Provenance != core.ProvenanceCached {
+				t.Errorf("warm verdict event provenance %q, want cached", ev.Provenance)
+			}
+		}
+	}
+	if hits != len(rep.Loops) {
+		t.Errorf("cache hit events = %d, want %d", hits, len(rep.Loops))
+	}
+	if runs != 0 {
+		t.Errorf("warm analysis emitted %d golden/replay events, want 0", runs)
+	}
+}

@@ -21,19 +21,29 @@
 // once with block counting enabled, and loops whose header never executes
 // skip the golden run and every replay — the workload cannot produce
 // evidence for them — going straight to NotExecuted after the static stage.
+//
+// Every analysis is request-scoped: the caller's context flows into the
+// reference execution, every loop's dynamic stage, and every offloaded
+// schedule replay. Cancelling it stops scheduling new work, interrupts
+// in-flight interpreter runs, and marks unfinished loops Cancelled — the
+// report always comes back complete, never blocked on a dead client.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dca/internal/cfg"
 	"dca/internal/core"
 	"dca/internal/interp"
 	"dca/internal/ir"
+	"dca/internal/obs"
 	"dca/internal/purity"
 	"dca/internal/sandbox"
 )
@@ -51,8 +61,19 @@ func NewPool(workers int) *Pool {
 	return &Pool{sem: make(chan struct{}, workers)}
 }
 
-func (p *Pool) acquire() { p.sem <- struct{}{} }
 func (p *Pool) release() { <-p.sem }
+
+// acquireCtx claims a slot, giving up when ctx is cancelled first. It
+// reports whether the slot was actually acquired — callers that proceed
+// without one must not release it.
+func (p *Pool) acquireCtx(ctx context.Context) bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
 
 // Cap returns the pool's total worker capacity.
 func (p *Pool) Cap() int { return cap(p.sem) }
@@ -88,8 +109,14 @@ type Options struct {
 }
 
 // Analyze runs DCA over every loop of every function, like core.Analyze,
-// but fanned out over the worker pool and prescreened for coverage.
-func Analyze(prog *ir.Program, opt Options) (*core.Report, error) {
+// but fanned out over the worker pool and prescreened for coverage. ctx
+// (nil means Background) scopes the whole analysis: once it is cancelled no
+// new loop or replay starts, in-flight interpreter runs are interrupted,
+// and every unfinished loop reports Verdict Cancelled.
+func Analyze(ctx context.Context, prog *ir.Program, opt Options) (*core.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	copt := opt.Core.Normalized()
 	pool := opt.Pool
 	if pool == nil {
@@ -102,11 +129,25 @@ func Analyze(prog *ir.Program, opt Options) (*core.Report, error) {
 
 	// Reference execution, once, with block counting: its output is the
 	// behaviour every replay must preserve, and its block counts are the
-	// coverage prescreen. A trap here is fatal for the whole analysis.
+	// coverage prescreen. A trap here is fatal for the whole analysis —
+	// including the trap a cancelled ctx converts it into.
 	var refBuf strings.Builder
-	oc := sandbox.Run(nil, prog, interp.Config{Out: &refBuf, CountBlocks: true}, copt.Limits(), nil)
+	refStart := time.Now()
+	oc := sandbox.Run(ctx, prog, interp.Config{Out: &refBuf, CountBlocks: true}, copt.Limits(), nil)
 	if !oc.OK() {
+		if copt.Trace != nil {
+			copt.Trace.Emit(obs.Event{Stage: obs.StageReference, Outcome: obs.OutcomeTrap,
+				Trap: oc.Trap.Kind.String(), Err: oc.Trap.Err.Error(),
+				DurationMS: float64(time.Since(refStart)) / float64(time.Millisecond)})
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("engine: analysis cancelled during reference execution: %w", context.Cause(ctx))
+		}
 		return nil, fmt.Errorf("engine: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
+	}
+	if copt.Trace != nil {
+		copt.Trace.Emit(obs.Event{Stage: obs.StageReference, Outcome: obs.OutcomeOK,
+			DurationMS: float64(time.Since(refStart)) / float64(time.Millisecond)})
 	}
 	refOut := refBuf.String()
 	blockCt := oc.Result.BlockCount
@@ -149,18 +190,38 @@ func Analyze(prog *ir.Program, opt Options) (*core.Report, error) {
 	if copt.InjectionEnabled() {
 		mkExec = func() core.ScheduleExecutor { return nil }
 	} else {
-		mkExec = func() core.ScheduleExecutor { return scheduleExecutor(pool) }
+		mkExec = func() core.ScheduleExecutor { return scheduleExecutor(ctx, pool) }
 	}
 
+	// Bounded dispatch: at most pool.Cap() dispatcher goroutines pull jobs
+	// from a shared index, instead of one goroutine per loop parked on the
+	// semaphore. A suite with thousands of loops costs Cap() goroutines,
+	// and a cancelled ctx stops the pull loop instead of leaving a spawned
+	// backlog behind. Jobs whose slot acquisition loses to cancellation
+	// still run AnalyzeLoopInto slot-less: its entry check marks the loop
+	// Cancelled without doing any work, keeping the report complete.
+	workers := pool.Cap()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := range jobs {
-		j := jobs[i]
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pool.acquire()
-			defer pool.release()
-			core.AnalyzeLoopInto(prog, j.fn, j.loop, pur, copt, refOut, j.res, j.prescreened, mkExec())
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				held := pool.acquireCtx(ctx)
+				core.AnalyzeLoopInto(ctx, prog, j.fn, j.loop, pur, copt, refOut, j.res, j.prescreened, mkExec())
+				if held {
+					pool.release()
+				}
+			}
 		}()
 	}
 	wg.Wait()
@@ -173,12 +234,17 @@ func Analyze(prog *ir.Program, opt Options) (*core.Report, error) {
 // the rest inline on the loop's own worker. All offloadable replays start
 // eagerly — the fold may discard outcomes past its first failure, trading
 // a little wasted work for latency — while inline ones stay lazy, so they
-// are skipped after an early exit just like the sequential path.
-func scheduleExecutor(pool *Pool) core.ScheduleExecutor {
+// are skipped after an early exit just like the sequential path. A
+// cancelled ctx stops the eager offload: remaining replays run inline,
+// where the dynamic stage's own cancellation checks cut them short.
+func scheduleExecutor(ctx context.Context, pool *Pool) core.ScheduleExecutor {
 	return func(n int, runOne func(i int) core.ScheduleOutcome) func(i int) core.ScheduleOutcome {
 		results := make([]core.ScheduleOutcome, n)
 		done := make([]chan struct{}, n)
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			if !pool.tryAcquire() {
 				continue
 			}

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -95,7 +96,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			t.Fatalf("%s: sequential: %v", name, err)
 		}
 		for _, j := range workers {
-			par, err := engine.Analyze(prog, engine.Options{Core: opt, Workers: j})
+			par, err := engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: j})
 			if err != nil {
 				t.Fatalf("%s -j %d: %v", name, j, err)
 			}
@@ -142,7 +143,7 @@ func TestParallelMatchesSequentialUnderInjection(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, j := range []int{1, 4} {
-				par, err := engine.Analyze(prog, engine.Options{Core: opt, Workers: j})
+				par, err := engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: j})
 				if err != nil {
 					t.Fatalf("-j %d: %v", j, err)
 				}
@@ -196,7 +197,7 @@ func TestPrescreenSoundness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := engine.Analyze(prog, engine.Options{Core: opt, Workers: 4})
+	par, err := engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestPrescreenZeroTripGoesThroughGoldenRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := testOptions()
-	par, err := engine.Analyze(prog, engine.Options{Core: opt, Workers: 2})
+	par, err := engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestNoPrescreen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := engine.Analyze(prog, engine.Options{Core: opt, Workers: 4, NoPrescreen: true})
+	par, err := engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: 4, NoPrescreen: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestSharedPool(t *testing.T) {
 	ch := make(chan named, len(progs))
 	for name, prog := range progs {
 		go func(name string, prog *ir.Program) {
-			rep, err := engine.Analyze(prog, engine.Options{Core: opt, Pool: pool})
+			rep, err := engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Pool: pool})
 			if err != nil {
 				t.Errorf("%s: %v", name, err)
 				ch <- named{name, nil}

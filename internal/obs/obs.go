@@ -1,0 +1,334 @@
+// Package obs is the repo's zero-dependency observability layer: typed
+// counters, gauges, and histograms with atomic hot paths, a Prometheus
+// text-format exposition writer, and a structured per-loop trace-event
+// stream (trace.go) that the analysis stack emits and sinks consume —
+// `dca serve` turns events into /metrics samples, `dca analyze -trace`
+// turns them into JSONL.
+//
+// Design constraints, in order:
+//
+//   - Zero third-party dependencies. Everything is stdlib; the exposition
+//     format is Prometheus text 0.0.4, which is a plain-text contract, not
+//     a library contract.
+//   - Atomic hot paths. Counter.Inc, Gauge.Set, and Histogram.Observe are
+//     single atomic operations (a short CAS loop for the histogram sum);
+//     no locks are taken while the analysis engine is running. Locks exist
+//     only at registration time and at scrape time.
+//   - Bounded cardinality. Labeled metrics carry exactly one label, and
+//     every label value comes from a closed set the code controls (trap
+//     kinds, verdict names, cache outcomes) — never from user input such
+//     as filenames or loop IDs. High-cardinality identity lives in the
+//     trace stream, not in metrics.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// collector is one registered metric family: a name, a help string, a
+// Prometheus type, and the ability to write its current samples.
+type collector interface {
+	name() string
+	help() string
+	typ() string
+	collect(w io.Writer)
+}
+
+// Registry holds metric families in registration order and renders them in
+// Prometheus text format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]collector
+	order  []collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]collector{}}
+}
+
+func (r *Registry) register(c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[c.name()]; dup {
+		panic("obs: duplicate metric " + c.name())
+	}
+	r.byName[c.name()] = c
+	r.order = append(r.order, c)
+}
+
+// Counter registers a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{nm: name, hp: help}
+	r.register(c)
+	return c
+}
+
+// CounterVec registers a counter family with one label. Children are
+// created on first use; label values must come from a closed, code-owned
+// set (see the package cardinality policy).
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{nm: name, hp: help, label: label, children: map[string]*atomic.Uint64{}}
+	r.register(v)
+	return v
+}
+
+// Gauge registers an integer gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{nm: name, hp: help}
+	r.register(g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time —
+// for instruments the owner already maintains (pool occupancy, drain state).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&funcMetric{nm: name, hp: help, kind: "gauge", fn: fn})
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotonic — it adapts external counters (e.g. the
+// verdict cache's) into the registry rather than duplicating them.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&funcMetric{nm: name, hp: help, kind: "counter", fn: fn})
+}
+
+// Histogram registers a cumulative histogram with the given upper bounds
+// (nil selects DefBuckets). Bounds must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &Histogram{nm: name, hp: help, bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+	r.register(h)
+	return h
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format 0.0.4, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]collector, len(r.order))
+	copy(fams, r.order)
+	r.mu.Unlock()
+	for _, c := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name(), c.help(), c.name(), c.typ())
+		c.collect(w)
+	}
+}
+
+// Handler serves the registry as a Prometheus /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// --------------------------------------------------------------- counter
+
+// Counter is a monotonically increasing counter with an atomic hot path.
+type Counter struct {
+	nm, hp string
+	v      atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) name() string { return c.nm }
+func (c *Counter) help() string { return c.hp }
+func (c *Counter) typ() string  { return "counter" }
+func (c *Counter) collect(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.nm, c.v.Load())
+}
+
+// CounterVec is a counter family keyed by one label value.
+type CounterVec struct {
+	nm, hp, label string
+
+	mu       sync.RWMutex
+	children map[string]*atomic.Uint64
+}
+
+// With returns the child counter cell for a label value, creating it on
+// first use. The returned cell supports atomic Add via With(...).Add(1) —
+// callers typically use the Inc/Add helpers below.
+func (v *CounterVec) with(value string) *atomic.Uint64 {
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[value]; !ok {
+		c = &atomic.Uint64{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Inc adds one to the child with the given label value.
+func (v *CounterVec) Inc(value string) { v.with(value).Add(1) }
+
+// Add adds n to the child with the given label value.
+func (v *CounterVec) Add(value string, n uint64) { v.with(value).Add(n) }
+
+// Value returns the child's current count (0 if never touched).
+func (v *CounterVec) Value(value string) uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if c, ok := v.children[value]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (v *CounterVec) name() string { return v.nm }
+func (v *CounterVec) help() string { return v.hp }
+func (v *CounterVec) typ() string  { return "counter" }
+func (v *CounterVec) collect(w io.Writer) {
+	v.mu.RLock()
+	vals := make([]string, 0, len(v.children))
+	for val := range v.children {
+		vals = append(vals, val)
+	}
+	sort.Strings(vals)
+	lines := make([]string, 0, len(vals))
+	for _, val := range vals {
+		lines = append(lines, fmt.Sprintf("%s{%s=\"%s\"} %d\n", v.nm, v.label, escapeLabel(val), v.children[val].Load()))
+	}
+	v.mu.RUnlock()
+	for _, l := range lines {
+		io.WriteString(w, l)
+	}
+}
+
+// ----------------------------------------------------------------- gauge
+
+// Gauge is an integer gauge with an atomic hot path.
+type Gauge struct {
+	nm, hp string
+	v      atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) name() string { return g.nm }
+func (g *Gauge) help() string { return g.hp }
+func (g *Gauge) typ() string  { return "gauge" }
+func (g *Gauge) collect(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", g.nm, g.v.Load())
+}
+
+// funcMetric adapts an externally maintained value into the registry,
+// sampling it at scrape time.
+type funcMetric struct {
+	nm, hp, kind string
+	fn           func() float64
+}
+
+func (f *funcMetric) name() string { return f.nm }
+func (f *funcMetric) help() string { return f.hp }
+func (f *funcMetric) typ() string  { return f.kind }
+func (f *funcMetric) collect(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", f.nm, formatFloat(f.fn()))
+}
+
+// ------------------------------------------------------------- histogram
+
+// DefBuckets are the default histogram bounds, in seconds — tuned for
+// interpreter executions that span sub-millisecond cache probes to
+// multi-second replays.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a cumulative histogram. Observe is lock-free: a bucket
+// increment, a count increment, and a CAS loop folding the observation
+// into the float sum.
+type Histogram struct {
+	nm, hp  string
+	bounds  []float64
+	counts  []atomic.Uint64 // one per bound, plus a final +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) name() string { return h.nm }
+func (h *Histogram) help() string { return h.hp }
+func (h *Histogram) typ() string  { return "histogram" }
+func (h *Histogram) collect(w io.Writer) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.nm, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.count.Load())
+}
+
+// ----------------------------------------------------------------- utils
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format. Values are
+// code-owned, so this is defence in depth, not a parsing layer.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\n\"") {
+		return s
+	}
+	r := strings.NewReplacer("\\", `\\`, "\n", `\n`, "\"", `\"`)
+	return r.Replace(s)
+}

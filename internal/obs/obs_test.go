@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterAndGaugeConcurrent: the atomic hot paths survive concurrent
+// hammering with exact totals. Run under -race this is the package's
+// sharing-discipline test.
+func TestCounterAndGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter")
+	v := r.CounterVec("v_total", "test vec", "kind")
+	g := r.Gauge("g", "test gauge")
+	h := r.Histogram("h_seconds", "test histogram", []float64{0.01, 0.1, 1})
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := fmt.Sprintf("k%d", w%2)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				v.Inc(kind)
+				g.Inc()
+				g.Dec()
+				h.Observe(0.05)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if got := v.Value("k0") + v.Value("k1"); got != workers*per {
+		t.Errorf("vec total = %d, want %d", got, workers*per)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	want := 0.05 * workers * per
+	if s := h.Sum(); s < want*0.999 || s > want*1.001 {
+		t.Errorf("histogram sum = %g, want ~%g", s, want)
+	}
+}
+
+// TestWritePrometheus: the exposition output carries HELP/TYPE headers,
+// label sets, and cumulative histogram buckets in the text 0.0.4 shape.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", "requests")
+	c.Add(3)
+	v := r.CounterVec("traps_total", "traps", "kind")
+	v.Inc("fault")
+	v.Add("budget", 2)
+	g := r.Gauge("in_flight", "in flight")
+	g.Set(7)
+	r.GaugeFunc("pool_in_use", "pool", func() float64 { return 4 })
+	r.CounterFunc("ext_total", "external", func() float64 { return 9 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP req_total requests\n# TYPE req_total counter\nreq_total 3\n",
+		"# TYPE traps_total counter\ntraps_total{kind=\"budget\"} 2\ntraps_total{kind=\"fault\"} 1\n",
+		"# TYPE in_flight gauge\nin_flight 7\n",
+		"# TYPE pool_in_use gauge\npool_in_use 4\n",
+		"# TYPE ext_total counter\next_total 9\n",
+		"lat_seconds_bucket{le=\"0.1\"} 1\n",
+		"lat_seconds_bucket{le=\"1\"} 2\n",
+		"lat_seconds_bucket{le=\"+Inf\"} 3\n",
+		"lat_seconds_sum 5.55\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBucketEdges: an observation equal to a bound lands in that
+// bound's bucket (le is inclusive), and larger ones fall through to +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("e_seconds", "edges", []float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"e_seconds_bucket{le=\"1\"} 1\n",
+		"e_seconds_bucket{le=\"2\"} 2\n",
+		"e_seconds_bucket{le=\"+Inf\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "escapes", "why")
+	v.Inc("a\"b\\c\nd")
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if want := `esc_total{why="a\"b\\c\nd"} 1`; !strings.Contains(buf.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestJSONL: every emitted event becomes one well-formed JSON line with a
+// timestamp, concurrent emitters included.
+func TestJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	safe := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	s := NewJSONL(safe)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				s.Emit(Event{Stage: StageReplay, Schedule: fmt.Sprintf("s%d", w), DurationMS: 1.5})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("got %d lines, want 100", len(lines))
+	}
+	for _, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if ev.Time == "" || ev.Stage != StageReplay {
+			t.Fatalf("line missing stamp or stage: %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestAnalysisMetricsEmit: the event→instrument mapping counts replays,
+// traps, retries, cache outcomes, and verdicts.
+func TestAnalysisMetricsEmit(t *testing.T) {
+	r := NewRegistry()
+	m := NewAnalysisMetrics(r)
+	m.Emit(Event{Stage: StageReference, DurationMS: 100})
+	m.Emit(Event{Stage: StageGolden, DurationMS: 50, Retries: 1})
+	m.Emit(Event{Stage: StageReplay, DurationMS: 50, Trap: "fault"})
+	m.Emit(Event{Stage: StageCache, Outcome: OutcomeHit})
+	m.Emit(Event{Stage: StageCache, Outcome: OutcomeMiss})
+	m.Emit(Event{Stage: StageVerdict, Verdict: "commutative"})
+	m.Emit(Event{Stage: StageVerdict, Verdict: "cancelled"})
+
+	if m.Replays.Value() != 3 {
+		t.Errorf("replays = %d, want 3", m.Replays.Value())
+	}
+	if m.Traps.Value("fault") != 1 {
+		t.Errorf("fault traps = %d, want 1", m.Traps.Value("fault"))
+	}
+	if m.Retries.Value() != 1 {
+		t.Errorf("retries = %d, want 1", m.Retries.Value())
+	}
+	if m.CacheHits.Value() != 1 || m.CacheMisses.Value() != 1 {
+		t.Errorf("cache = %d/%d, want 1/1", m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+	if m.Verdicts.Value("commutative") != 1 || m.Verdicts.Value("cancelled") != 1 {
+		t.Error("verdict counters wrong")
+	}
+	if m.ReplaySeconds.Count() != 3 {
+		t.Errorf("histogram count = %d, want 3", m.ReplaySeconds.Count())
+	}
+}

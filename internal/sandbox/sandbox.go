@@ -163,11 +163,18 @@ func Run(ctx context.Context, prog *ir.Program, cfg interp.Config, lim Limits, i
 // mkCfg is called once per attempt so the caller can rebuild per-attempt
 // state (runtime, output sink) and keep references to the last attempt's.
 // Returns the final outcome and the retries actually spent.
+//
+// A Timeout trap caused by ctx itself being done is never retried: the
+// caller cancelled the whole analysis, and a doubled budget cannot buy
+// back a dead context.
 func RunRetry(ctx context.Context, prog *ir.Program, mkCfg func() interp.Config, lim Limits, inj *Injector, retries int) (*Outcome, int) {
 	spent := 0
 	for {
 		oc := Run(ctx, prog, mkCfg(), lim, inj)
 		if oc.OK() {
+			return oc, spent
+		}
+		if ctx != nil && ctx.Err() != nil {
 			return oc, spent
 		}
 		if k := oc.Trap.Kind; (k == Budget || k == Timeout) && spent < retries {

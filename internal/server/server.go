@@ -11,15 +11,26 @@
 //   - A request semaphore bounds concurrent analyses; excess requests wait
 //     only as long as their own context allows, then are turned away with
 //     503 instead of piling up.
+//   - Every analysis is scoped to its request context: a client that
+//     disconnects mid-analysis cancels its interpreter runs, frees its
+//     semaphore slot and pool workers promptly, and is accounted as
+//     rejected — never cached, never counted as an analysis error.
 //   - Every execution inherits the sandbox budgets and timeouts of the
 //     fault-isolated dynamic stage; requests may tighten them but never
-//     exceed the server's ceiling.
+//     exceed the server's ceiling. Budgets that are negative or would
+//     overflow the nanosecond clock are rejected with 400.
 //   - Request bodies are size-capped before they are read.
 //   - Shutdown is graceful: on context cancellation (SIGTERM in cmd/dca)
-//     the listener closes, in-flight analyses drain within DrainTimeout,
-//     and only then does Serve return.
+//     /healthz flips to "draining" with 503, the listener closes, in-flight
+//     analyses drain within DrainTimeout, and only then does Serve return.
 //
-// Endpoints: POST /analyze, GET /healthz, GET /stats.
+// Observability runs through one obs.Registry: every per-loop trace event
+// the engine emits is folded into the registry's instruments
+// (obs.AnalysisMetrics), GET /metrics serves the registry in Prometheus
+// text format, and GET /stats re-expresses the same instruments as JSON —
+// the three views can never disagree about what happened.
+//
+// Endpoints: POST /analyze, GET /healthz, GET /stats, GET /metrics.
 package server
 
 import (
@@ -27,9 +38,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,6 +52,15 @@ import (
 	"dca/internal/dcart"
 	"dca/internal/engine"
 	"dca/internal/irbuild"
+	"dca/internal/obs"
+)
+
+// Request outcome labels for the dca_request_outcomes_total counter — a
+// closed set, per the registry's cardinality policy.
+const (
+	outcomeAnalyzed = "analyzed" // analysis completed, report returned
+	outcomeErrored  = "errored"  // compile or reference-execution failure
+	outcomeRejected = "rejected" // turned away: busy, oversized, or cancelled
 )
 
 // Config tunes the analysis service. The zero value is production-safe:
@@ -72,6 +95,10 @@ type Config struct {
 	// DrainTimeout bounds how long Serve waits for in-flight requests
 	// after shutdown begins (<= 0 means 15s).
 	DrainTimeout time.Duration
+	// Trace, when non-nil, additionally receives every per-loop trace
+	// event the analyses emit (e.g. an obs.JSONL sink). The server always
+	// folds events into its /metrics registry regardless.
+	Trace obs.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -98,18 +125,27 @@ func (c Config) withDefaults() Config {
 
 // Server is the analysis service.
 type Server struct {
-	cfg   Config
-	pool  *engine.Pool
-	sem   chan struct{}
-	mux   *http.ServeMux
-	start time.Time
+	cfg      Config
+	pool     *engine.Pool
+	sem      chan struct{}
+	mux      *http.ServeMux
+	start    time.Time
+	draining atomic.Bool
 
-	requests  atomic.Uint64 // /analyze requests accepted for processing
-	analyzed  atomic.Uint64 // analyses completed successfully
-	errored   atomic.Uint64 // analyses failed (compile or reference errors)
-	rejected  atomic.Uint64 // requests turned away (busy or oversized)
-	loopsDone atomic.Uint64 // loops analyzed across all requests
-	inFlight  atomic.Int64
+	// Observability: one registry backs /metrics and /stats; analysis
+	// trace events flow into it through metrics (an obs.Sink), fanned out
+	// together with cfg.Trace.
+	reg     *obs.Registry
+	metrics *obs.AnalysisMetrics
+	sink    obs.Sink
+
+	requests     *obs.Counter    // /analyze requests accepted for processing
+	outcomes     *obs.CounterVec // accepted requests by final outcome
+	loopsDone    *obs.Counter    // loops analyzed across all requests
+	encodeErrors *obs.Counter    // response encodes that failed mid-write
+	inFlight     *obs.Gauge
+
+	logEncodeOnce sync.Once
 }
 
 // New builds a Server from the config.
@@ -121,16 +157,66 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+		reg:   obs.NewRegistry(),
+	}
+	s.metrics = obs.NewAnalysisMetrics(s.reg)
+	s.sink = obs.Sink(s.metrics)
+	if cfg.Trace != nil {
+		s.sink = obs.Multi{s.metrics, cfg.Trace}
+	}
+	s.requests = s.reg.Counter("dca_requests_total",
+		"Analyze requests accepted for processing.")
+	s.outcomes = s.reg.CounterVec("dca_request_outcomes_total",
+		"Accepted analyze requests by final outcome.", "outcome")
+	s.loopsDone = s.reg.Counter("dca_loops_analyzed_total",
+		"Loops analyzed across all completed requests.")
+	s.encodeErrors = s.reg.Counter("dca_response_encode_errors_total",
+		"Responses whose JSON encoding failed mid-write (usually a disconnected client).")
+	s.inFlight = s.reg.Gauge("dca_inflight_requests",
+		"Analyze requests currently being served.")
+	s.reg.GaugeFunc("dca_pool_workers",
+		"Configured engine worker-pool capacity.",
+		func() float64 { return float64(s.pool.Cap()) })
+	s.reg.GaugeFunc("dca_pool_in_use",
+		"Engine worker-pool slots held right now.",
+		func() float64 { return float64(s.pool.InUse()) })
+	s.reg.GaugeFunc("dca_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	// The production cache exposes tiered counters; sample them at scrape
+	// time so /metrics covers hit tiers, evictions, and corruption without
+	// double-counting the analysis-level hit/miss events.
+	if c, ok := cfg.Cache.(*cache.Cache); ok && c != nil {
+		s.reg.CounterFunc("dca_cache_mem_hits_total",
+			"Verdict-cache lookups served from the memory tier.",
+			func() float64 { return float64(c.Stats().MemHits) })
+		s.reg.CounterFunc("dca_cache_disk_hits_total",
+			"Verdict-cache lookups served from the disk tier.",
+			func() float64 { return float64(c.Stats().DiskHits) })
+		s.reg.CounterFunc("dca_cache_misses_total",
+			"Verdict-cache lookups that missed both tiers.",
+			func() float64 { return float64(c.Stats().Misses) })
+		s.reg.CounterFunc("dca_cache_evictions_total",
+			"Memory-tier entries evicted by the LRU bound.",
+			func() float64 { return float64(c.Stats().Evictions) })
+		s.reg.CounterFunc("dca_cache_corruptions_total",
+			"Cache records rejected as corrupt.",
+			func() float64 { return float64(c.Stats().Corruptions) })
 	}
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	return s
 }
 
 // Handler exposes the service's HTTP handler (also used by tests via
 // httptest.Server).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's metrics registry, so embedders can add
+// their own instruments next to the service's.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ListenAndServe serves on addr until ctx is cancelled, then drains
 // gracefully. It returns nil after a clean drain.
@@ -142,9 +228,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.Serve(ctx, ln)
 }
 
+// beginDrain flips the server into its drain window: /healthz starts
+// reporting "draining" with 503 so load balancers stop routing to it.
+func (s *Server) beginDrain() { s.draining.Store(true) }
+
 // Serve serves on an existing listener until ctx is cancelled, then shuts
-// down gracefully: the listener closes immediately, in-flight requests get
-// up to DrainTimeout to finish.
+// down gracefully: /healthz flips to draining, the listener closes, and
+// in-flight requests get up to DrainTimeout to finish.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
@@ -153,6 +243,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		s.beginDrain()
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		return srv.Shutdown(drainCtx)
@@ -169,7 +260,8 @@ type AnalyzeRequest struct {
 	// (bounded by the server default; 0 keeps the default).
 	Schedules int `json:"schedules,omitempty"`
 	// MaxSteps / TimeoutMS tighten the per-execution budgets; values above
-	// the server ceiling are clamped down to it.
+	// the server ceiling are clamped down to it. Negative values, and
+	// timeouts too large to express in nanoseconds, are rejected with 400.
 	MaxSteps  int64 `json:"max_steps,omitempty"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache forces a fresh computation for this request.
@@ -185,12 +277,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Usually the client hung up mid-write; count every occurrence,
+		// log the first so a systematic encoding bug is visible without
+		// flooding the log on every disconnect.
+		s.encodeErrors.Inc()
+		s.logEncodeOnce.Do(func() {
+			log.Printf("server: response encode failed (further occurrences counted in dca_response_encode_errors_total): %v", err)
+		})
+	}
 }
 
 // clampBudget lowers def to req when the request asks for less; requests
@@ -206,7 +306,32 @@ func clampBudget(def, req int64) int64 {
 	return def
 }
 
-// options assembles the engine options for one request.
+// maxTimeoutMS is the largest request timeout expressible in nanoseconds;
+// anything above it would overflow time.Duration's int64 clock.
+const maxTimeoutMS = math.MaxInt64 / int64(time.Millisecond)
+
+// validate rejects request budgets no analysis could honour: negative
+// values and timeouts that overflow the nanosecond clock. (Before this
+// check existed, timeout_ms above ~9.2e12 silently overflowed into a
+// negative — i.e. server-default — timeout.)
+func (req *AnalyzeRequest) validate() error {
+	if req.Schedules < 0 {
+		return fmt.Errorf("\"schedules\" must be >= 0, got %d", req.Schedules)
+	}
+	if req.MaxSteps < 0 {
+		return fmt.Errorf("\"max_steps\" must be >= 0, got %d", req.MaxSteps)
+	}
+	if req.TimeoutMS < 0 {
+		return fmt.Errorf("\"timeout_ms\" must be >= 0, got %d", req.TimeoutMS)
+	}
+	if req.TimeoutMS > maxTimeoutMS {
+		return fmt.Errorf("\"timeout_ms\" %d overflows the nanosecond clock (max %d)", req.TimeoutMS, maxTimeoutMS)
+	}
+	return nil
+}
+
+// options assembles the engine options for one request. The request has
+// passed validate, so the budget arithmetic cannot overflow.
 func (s *Server) options(req *AnalyzeRequest) engine.Options {
 	n := req.Schedules
 	if n <= 0 || n > s.cfg.Schedules {
@@ -223,6 +348,7 @@ func (s *Server) options(req *AnalyzeRequest) engine.Options {
 		MaxHeapObjects: s.cfg.MaxHeapObjects,
 		MaxOutput:      s.cfg.MaxOutput,
 		Retries:        s.cfg.Retries,
+		Trace:          s.sink,
 	}
 	if !req.NoCache {
 		copt.Cache = s.cfg.Cache
@@ -236,16 +362,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.rejected.Add(1)
-			writeJSON(w, http.StatusRequestEntityTooLarge,
+			s.outcomes.Inc(outcomeRejected)
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
 				errorResponse{fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxSourceBytes)})
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
 		return
 	}
 	if req.Source == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"missing \"source\""})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{"missing \"source\""})
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
 
@@ -254,13 +384,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
-		s.rejected.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server at capacity"})
+		s.outcomes.Inc(outcomeRejected)
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server at capacity"})
 		return
 	}
-	s.requests.Add(1)
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	s.requests.Inc()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
 
 	filename := req.Filename
 	if filename == "" {
@@ -268,23 +398,33 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	prog, err := irbuild.Compile(filename, req.Source)
 	if err != nil {
-		s.errored.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"compile: " + err.Error()})
+		s.outcomes.Inc(outcomeErrored)
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"compile: " + err.Error()})
 		return
 	}
 
+	// The analysis is scoped to the request: a disconnected client cancels
+	// every interpreter run it still owns and frees the pool promptly.
 	start := time.Now()
-	rep, err := engine.Analyze(prog, s.options(&req))
+	rep, err := engine.Analyze(r.Context(), prog, s.options(&req))
+	if r.Context().Err() != nil {
+		// The client is gone; whatever the engine salvaged (Cancelled
+		// verdicts were never cached) has no reader. This is load shed,
+		// not an analysis failure.
+		s.outcomes.Inc(outcomeRejected)
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{"analysis cancelled: client disconnected"})
+		return
+	}
 	if err != nil {
 		// The reference execution failed: the program is analyzable by
 		// nobody, which is the request's fault, not the server's.
-		s.errored.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"analysis: " + err.Error()})
+		s.outcomes.Inc(outcomeErrored)
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"analysis: " + err.Error()})
 		return
 	}
-	s.analyzed.Add(1)
+	s.outcomes.Inc(outcomeAnalyzed)
 	s.loopsDone.Add(uint64(len(rep.Loops)))
-	writeJSON(w, http.StatusOK, AnalyzeResponse{Report: rep.JSON(time.Since(start))})
+	s.writeJSON(w, http.StatusOK, AnalyzeResponse{Report: rep.JSON(time.Since(start))})
 }
 
 // healthz is the liveness payload.
@@ -295,14 +435,21 @@ type healthz struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthz{
-		Status:        "ok",
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Load balancers must stop routing here while in-flight analyses
+		// finish; 503 is the conventional take-me-out-of-rotation signal.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, healthz{
+		Status:        status,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		InFlight:      s.inFlight.Load(),
+		InFlight:      s.inFlight.Value(),
 	})
 }
 
-// statsResponse is the /stats payload.
+// statsResponse is the /stats payload — the registry's instruments
+// re-expressed as JSON for humans and existing scrapers.
 type statsResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Requests      uint64       `json:"requests"`
@@ -323,12 +470,12 @@ type poolStats struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		Analyzed:      s.analyzed.Load(),
-		Errored:       s.errored.Load(),
-		Rejected:      s.rejected.Load(),
-		LoopsAnalyzed: s.loopsDone.Load(),
-		InFlight:      s.inFlight.Load(),
+		Requests:      s.requests.Value(),
+		Analyzed:      s.outcomes.Value(outcomeAnalyzed),
+		Errored:       s.outcomes.Value(outcomeErrored),
+		Rejected:      s.outcomes.Value(outcomeRejected),
+		LoopsAnalyzed: s.loopsDone.Value(),
+		InFlight:      s.inFlight.Value(),
 		Pool:          poolStats{Workers: s.pool.Cap(), InUse: s.pool.InUse()},
 	}
 	// The production cache exposes counters; any other VerdictCache simply
@@ -337,5 +484,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := c.Stats()
 		resp.Cache = &st
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -15,6 +15,7 @@ import (
 
 	"dca/internal/cache"
 	"dca/internal/core"
+	"dca/internal/obs"
 )
 
 const testSrc = `
@@ -193,6 +194,10 @@ func TestBadRequests(t *testing.T) {
 		{"missing-source", `{"filename": "x.mc"}`, http.StatusBadRequest},
 		{"bad-program", `{"source": "func main("}`, http.StatusUnprocessableEntity},
 		{"oversized", fmt.Sprintf(`{"source": %q}`, strings.Repeat("x", 8192)), http.StatusRequestEntityTooLarge},
+		{"negative-timeout", `{"source": "func main() { print(0); }", "timeout_ms": -5}`, http.StatusBadRequest},
+		{"overflowing-timeout", `{"source": "func main() { print(0); }", "timeout_ms": 9300000000000000}`, http.StatusBadRequest},
+		{"negative-max-steps", `{"source": "func main() { print(0); }", "max_steps": -1}`, http.StatusBadRequest},
+		{"negative-schedules", `{"source": "func main() { print(0); }", "schedules": -1}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -263,11 +268,11 @@ func TestConcurrentRequests(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	if got := s.requests.Load(); got != n {
+	if got := s.requests.Value(); got != n {
 		t.Errorf("requests = %d, want %d", got, n)
 	}
-	if s.inFlight.Load() != 0 {
-		t.Errorf("in-flight = %d after drain, want 0", s.inFlight.Load())
+	if s.inFlight.Value() != 0 {
+		t.Errorf("in-flight = %d after drain, want 0", s.inFlight.Value())
 	}
 }
 
@@ -332,5 +337,182 @@ func TestGracefulDrain(t *testing.T) {
 	// The listener is closed: new connections must fail.
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Error("server still accepting connections after drain")
+	}
+}
+
+// TestRequestValidation: the budget arithmetic that silently overflowed
+// (timeout_ms * time.Millisecond wrapping negative) is now rejected up
+// front, and the largest representable timeout still clamps sanely.
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		req     AnalyzeRequest
+		wantErr bool
+	}{
+		{"zero", AnalyzeRequest{}, false},
+		{"max-timeout", AnalyzeRequest{TimeoutMS: maxTimeoutMS}, false},
+		{"overflow-timeout", AnalyzeRequest{TimeoutMS: maxTimeoutMS + 1}, true},
+		{"negative-timeout", AnalyzeRequest{TimeoutMS: -1}, true},
+		{"negative-steps", AnalyzeRequest{MaxSteps: -1}, true},
+		{"negative-schedules", AnalyzeRequest{Schedules: -1}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.req.validate(); (err != nil) != tc.wantErr {
+			t.Errorf("%s: validate() = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// A validated maximal timeout must never reach the engine negative.
+	s := New(Config{Timeout: time.Second})
+	if d := s.options(&AnalyzeRequest{TimeoutMS: maxTimeoutMS}).Core.Timeout; d != time.Second {
+		t.Errorf("maximal timeout_ms produced engine timeout %v, want the 1s ceiling", d)
+	}
+}
+
+// TestHealthzDraining: once the drain window opens, /healthz flips to
+// "draining" with 503 so load balancers take the instance out of rotation.
+func TestHealthzDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.beginDrain()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var h healthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("status %q, want draining", h.Status)
+	}
+}
+
+// TestMetrics: GET /metrics serves Prometheus text covering requests, pool
+// occupancy, the replay latency histogram, verdict counters, and both the
+// analysis-level and tiered cache counters.
+func TestMetrics(t *testing.T) {
+	c, err := cache.Open("", 0, core.CacheRecordVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: c, Workers: 2})
+
+	// Cold then warm: the second request is served from the cache.
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	out := buf.String()
+
+	for _, want := range []string{
+		"dca_requests_total 2\n",
+		"dca_request_outcomes_total{outcome=\"analyzed\"} 2\n",
+		"# TYPE dca_replay_seconds histogram\n",
+		"dca_replay_seconds_bucket{le=\"+Inf\"}",
+		"dca_replay_seconds_sum",
+		"dca_loops_total{verdict=\"commutative\"} 4\n",
+		"dca_pool_workers 2\n",
+		"dca_pool_in_use 0\n",
+		"dca_inflight_requests 0\n",
+		"dca_loops_analyzed_total 4\n",
+		"dca_verdict_cache_hits_total 2\n",
+		"dca_verdict_cache_misses_total 2\n",
+		"dca_cache_mem_hits_total 2\n",
+		"dca_traps_total",
+		"dca_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full /metrics output:\n%s", out)
+	}
+}
+
+// slowSrc keeps the interpreter busy long enough for a cancellation to
+// land mid-analysis (a few hundred ms per execution).
+const slowSrc = `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 2000; i++) {
+		for (var j int = 0; j < 2000; j++) {
+			s = s + i * j;
+		}
+	}
+	print(s);
+}`
+
+// TestAnalyzeCancellation: a client that disconnects mid-analysis frees its
+// request slot and every pool worker promptly, is accounted as rejected
+// (not errored), leaves a cancelled-verdict trail in the trace, and does
+// not starve the next request.
+func TestAnalyzeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	col := &obs.Collector{}
+	sink := obs.Multi{col, obs.SinkFunc(func(ev obs.Event) {
+		if ev.Stage == obs.StageGolden {
+			cancel() // the client hangs up as the first golden run finishes
+		}
+	})}
+	s, ts := newTestServer(t, Config{Workers: 2, MaxConcurrent: 1, Trace: sink})
+
+	body, err := json.Marshal(AnalyzeRequest{Source: slowSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/analyze", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("cancelled request completed with a response")
+	}
+
+	// The semaphore slot and every pool worker must come free, and the
+	// request must be accounted as rejected.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pool.InUse() != 0 || len(s.sem) != 0 || s.outcomes.Value(outcomeRejected) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation did not release resources: pool in use %d, slots held %d, rejected %d",
+				s.pool.InUse(), len(s.sem), s.outcomes.Value(outcomeRejected))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.outcomes.Value(outcomeErrored); got != 0 {
+		t.Errorf("errored = %d, want 0 (a disconnect is load shed, not an analysis failure)", got)
+	}
+
+	// The trace proves replays were aborted rather than run to completion.
+	var sawCancelled bool
+	for _, ev := range col.Events() {
+		if ev.Stage == obs.StageVerdict && ev.Verdict == core.Cancelled.String() {
+			sawCancelled = true
+			break
+		}
+	}
+	if !sawCancelled {
+		t.Error("trace has no cancelled verdict event")
+	}
+
+	// With MaxConcurrent=1, a leaked slot would starve this follow-up.
+	resp, rbody := postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request after cancellation: status %d: %s", resp.StatusCode, rbody)
 	}
 }
