@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// killResumeSrc has four quick loops followed by one slow nested loop, so a
+// SIGKILL landing after the first journal records arrive is guaranteed to
+// interrupt the suite before the slow loop's verdict is journaled.
+const killResumeSrc = `
+func fill(a []int, n int) {
+	for (var i int = 0; i < n; i++) { a[i] = i * 7; }
+}
+func main() {
+	var a []int = new [64]int;
+	fill(a, 64);
+	var s int = 0;
+	for (var i int = 0; i < 64; i++) { s = s + a[i]; }
+	var p int = 1;
+	for (var i int = 1; i < 32; i++) { p = (p * i) % 9973; }
+	var b []int = new [64]int;
+	for (var i int = 0; i < 64; i++) { b[i] = a[63 - i]; }
+	var slow int = 0;
+	for (var i int = 0; i < 700; i++) {
+		for (var j int = 0; j < 700; j++) { slow = slow + (i ^ j); }
+	}
+	print(s); print(p); print(b[0]); print(slow);
+}`
+
+// TestKillResumeHelper is not a test: it is the child process body for
+// TestKillResume, re-executed from the test binary. It runs cmdAnalyze with
+// the argument list from the environment and exits before the
+// testing framework can print anything to stdout (the parent compares the
+// report bytes on stdout).
+func TestKillResumeHelper(t *testing.T) {
+	raw := os.Getenv("DCA_KILL_RESUME_ARGS")
+	if raw == "" {
+		t.Skip("helper process body; run via TestKillResume")
+	}
+	if err := cmdAnalyze(strings.Split(raw, "\x1f")); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func runAnalyzeChild(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestKillResumeHelper")
+	cmd.Env = append(os.Environ(), "DCA_KILL_RESUME_ARGS="+strings.Join(args, "\x1f"))
+	return cmd
+}
+
+// countRecords returns how many complete journal lines past the header have
+// reached the file.
+func countRecords(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := bytes.Count(data, []byte("\n")) - 1 // header line
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// TestKillResume is the end-to-end durability contract: SIGKILL a journaled
+// analysis mid-suite, rerun with -resume, and the resumed report is
+// byte-identical to an uninterrupted run — with the already-verdicted loops
+// skipped, not recomputed.
+func TestKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns helper processes")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(killResumeSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "run.wal")
+	// -j 1 completes loops in order; -journal-sync 1 makes every record
+	// durable the moment it is appended, so the kill can land anywhere.
+	args := []string{"-j", "1", "-journal-sync", "1", "-journal", wal, src}
+
+	victim := runAnalyzeChild(t, args...)
+	victim.Stdout, victim.Stderr = new(bytes.Buffer), new(bytes.Buffer)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for at least two durable records, then kill. The slow fifth loop
+	// keeps the child busy for far longer than the poll granularity, so the
+	// suite cannot have finished.
+	deadline := time.Now().Add(30 * time.Second)
+	for countRecords(wal) < 2 {
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			t.Fatalf("no journal records after 30s; child stderr: %s", victim.Stderr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait() // expected: killed
+	killed := countRecords(wal)
+	if killed < 2 {
+		t.Fatalf("journal lost durable records after SIGKILL: %d left", killed)
+	}
+
+	// Resume: must skip the journaled loops and finish the rest.
+	var resumedOut, resumedErr bytes.Buffer
+	resumed := runAnalyzeChild(t, append([]string{"-resume"}, args...)...)
+	resumed.Stdout, resumed.Stderr = &resumedOut, &resumedErr
+	if err := resumed.Run(); err != nil {
+		t.Fatalf("resume run failed: %v\nstderr: %s", err, resumedErr.String())
+	}
+	m := regexp.MustCompile(`resumed (\d+) loops, appended (\d+) records`).
+		FindStringSubmatch(resumedErr.String())
+	if m == nil {
+		t.Fatalf("resume summary missing from stderr: %s", resumedErr.String())
+	}
+	skipped, _ := strconv.Atoi(m[1])
+	appended, _ := strconv.Atoi(m[2])
+	if skipped < 2 {
+		t.Errorf("resume skipped %d loops, want >= 2 (the pre-kill records)", skipped)
+	}
+	if appended < 1 {
+		t.Errorf("resume appended %d records, want >= 1 (the kill landed mid-suite)", appended)
+	}
+
+	// An uninterrupted run of the same program is the reference.
+	var freshOut, freshErr bytes.Buffer
+	fresh := runAnalyzeChild(t, "-j", "1", src)
+	fresh.Stdout, fresh.Stderr = &freshOut, &freshErr
+	if err := fresh.Run(); err != nil {
+		t.Fatalf("fresh run failed: %v\nstderr: %s", err, freshErr.String())
+	}
+	if !bytes.Equal(resumedOut.Bytes(), freshOut.Bytes()) {
+		t.Errorf("resumed report differs from uninterrupted run:\n-- resumed --\n%s\n-- fresh --\n%s",
+			resumedOut.String(), freshOut.String())
+	}
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	dca analyze [-baselines] [-schedules n] [-json] [-cache-dir d] file.mc
+//	dca analyze [-baselines] [-schedules n] [-json] [-cache-dir d]
+//	            [-journal run.wal] [-resume] file.mc
 //	dca run file.mc
 //	dca ir file.mc
 //	dca parallel -fn name -loop k [-workers n] file.mc
@@ -29,12 +30,14 @@ import (
 	"dca/internal/depprof"
 	"dca/internal/discopop"
 	"dca/internal/engine"
+	"dca/internal/fingerprint"
 	"dca/internal/icc"
 	"dca/internal/idioms"
 	"dca/internal/instrument"
 	"dca/internal/interp"
 	"dca/internal/ir"
 	"dca/internal/irbuild"
+	"dca/internal/journal"
 	"dca/internal/obs"
 	"dca/internal/opt"
 	"dca/internal/parallel"
@@ -127,12 +130,14 @@ func usage() {
 commands:
   analyze [-j n] [-baselines] [-schedules n] [-timeout d] [-max-steps n]
           [-retry n] [-no-prescreen] [-debug-snapshots] [-json]
+          [-journal run.wal] [-resume] [-journal-sync n]
           [-trace out.jsonl] [-cache-dir d] [-cache-mem bytes] [-no-cache]
           [-inject-kind k -inject-at-step n|-inject-at-intrinsic n
            -inject-fn f -inject-loop k] file.mc  run DCA on every loop
-  serve [-addr host:port] [-j n] [-max-concurrent n] [-cache-dir d]
-        [-cache-mem bytes] [-no-cache] [-schedules n] [-timeout d]
-        [-max-steps n] [-retry n] [-max-source-bytes n] [-drain-timeout d]
+  serve [-addr host:port] [-j n] [-max-concurrent n] [-max-queue n]
+        [-queue-timeout d] [-cache-dir d] [-cache-mem bytes] [-no-cache]
+        [-schedules n] [-timeout d] [-max-steps n] [-retry n]
+        [-max-source-bytes n] [-drain-timeout d]
         [-trace out.jsonl]                       run the analysis service
                                                  (metrics at GET /metrics)
   run [-opt] [-timeout d] [-max-steps n] file.mc execute the program
@@ -165,6 +170,9 @@ func cmdAnalyze(args []string) error {
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "concurrent analysis workers (1 = sequential)")
 	schedules := fs.Int("schedules", 3, "number of random permutation schedules (plus reverse)")
 	noPrescreen := fs.Bool("no-prescreen", false, "disable the coverage prescreen (run every loop's golden run)")
+	journalPath := fs.String("journal", "", "write-ahead run journal file (crash-durable verdict log)")
+	resume := fs.Bool("resume", false, "replay -journal and skip already-verdicted loops")
+	syncEvery := fs.Int("journal-sync", 0, "journal fsync batch size (0 = default, 1 = every record)")
 	tracePath := fs.String("trace", "", "append per-loop trace events to this JSONL file")
 	debugSnapshots := fs.Bool("debug-snapshots", false, "keep string snapshots alongside digests for mismatch diagnosis")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit per execution (0 = none)")
@@ -183,6 +191,12 @@ func cmdAnalyze(args []string) error {
 	}
 	if *jsonOut && *baselines {
 		return fmt.Errorf("analyze: -json and -baselines are mutually exclusive")
+	}
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("analyze: -resume needs -journal")
+	}
+	if *journalPath != "" && *injectKind != "" {
+		return fmt.Errorf("analyze: -journal cannot be combined with fault injection (injected verdicts must never be journaled)")
 	}
 	prog, err := compile(fs.Arg(0))
 	if err != nil {
@@ -213,12 +227,14 @@ func cmdAnalyze(args []string) error {
 	}
 	// The cache only pays off across invocations, so it is tied to a
 	// persistent directory; -no-cache wins over -cache-dir.
+	var diskCache *cache.Cache
 	if *cacheDir != "" && !*noCache {
 		c, err := cache.Open(*cacheDir, *cacheMem, core.CacheRecordVersion)
 		if err != nil {
 			return fmt.Errorf("analyze: open cache: %w", err)
 		}
 		opts.Cache = c
+		diskCache = c
 	}
 	var traceSink *obs.JSONL
 	if *tracePath != "" {
@@ -229,15 +245,65 @@ func cmdAnalyze(args []string) error {
 		defer f.Close()
 		traceSink = obs.NewJSONL(f)
 		opts.Trace = traceSink
+		if diskCache != nil {
+			// Disk faults in the verdict cache surface in the same trace.
+			diskCache.SetTrace(traceSink)
+		}
+	}
+	eopt := engine.Options{Core: opts, Workers: *jobs, NoPrescreen: *noPrescreen}
+	var jnl *journal.Journal
+	if *journalPath != "" {
+		// The run key ties the journal to this program and configuration:
+		// a journal from a different source file or schedule set is
+		// discarded on open, never replayed into wrong verdicts.
+		runKey := fingerprint.Run(prog, fingerprint.Inputs{
+			Schedules:      scheds,
+			Limits:         sandbox.Limits{MaxSteps: *maxSteps, Timeout: *timeout},
+			Retries:        *retry,
+			DebugSnapshots: *debugSnapshots,
+		}).String()
+		j, rec, err := journal.Open(*journalPath, runKey, journal.Options{
+			Version:   core.CacheRecordVersion,
+			SyncEvery: *syncEvery,
+			Resume:    *resume,
+		})
+		if err != nil {
+			return fmt.Errorf("analyze: %w", err)
+		}
+		defer j.Close()
+		jnl = j
+		eopt.Journal = journalSink{j}
+		if *resume {
+			if rec.Discarded != "" {
+				fmt.Fprintf(os.Stderr, "dca: journal discarded (%s); starting fresh\n", rec.Discarded)
+			}
+			if rec.TornBytes > 0 {
+				fmt.Fprintf(os.Stderr, "dca: journal: dropped %d torn trailing bytes\n", rec.TornBytes)
+			}
+		}
+		if len(rec.Records) > 0 {
+			eopt.Resume = make(map[engine.LoopKey][]byte, len(rec.Records))
+			for _, r := range rec.Records {
+				// Append order; a duplicate loop keeps the latest record.
+				eopt.Resume[engine.LoopKey{Fn: r.Fn, Index: r.Index}] = []byte(r.Data)
+			}
+		}
 	}
 	// The analysis is scoped to the process signals: Ctrl-C stops replays
 	// promptly instead of waiting out their budgets.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	start := time.Now()
-	rep, err := engine.Analyze(ctx, prog, engine.Options{Core: opts, Workers: *jobs, NoPrescreen: *noPrescreen})
+	rep, err := engine.Analyze(ctx, prog, eopt)
 	if err != nil {
 		return err
+	}
+	if jnl != nil {
+		fmt.Fprintf(os.Stderr, "dca: journal: resumed %d loops, appended %d records\n",
+			rep.ResumedLoops(), jnl.Appended())
+		if jerr := jnl.Err(); jerr != nil {
+			fmt.Fprintf(os.Stderr, "dca: warning: journal degraded, this run is not resumable: %v\n", jerr)
+		}
 	}
 	if traceSink != nil {
 		if terr := traceSink.Err(); terr != nil {
@@ -319,6 +385,14 @@ func printStatic(prog *ir.Program, verdict func(fn string, idx int) (bool, []str
 	}
 }
 
+// journalSink adapts *journal.Journal to the engine's JournalSink, keeping
+// the engine decoupled from the journal package.
+type journalSink struct{ j *journal.Journal }
+
+func (s journalSink) Record(fn string, index int, data []byte) error {
+	return s.j.Append(fn, index, data)
+}
+
 // parseInjectKind maps a -inject-kind flag value to a sandbox trap kind.
 func parseInjectKind(s string) (sandbox.Kind, error) {
 	switch s {
@@ -345,6 +419,8 @@ func cmdServe(args []string) error {
 	maxSteps := fs.Int64("max-steps", 0, "instruction budget per execution (0 = default 200M)")
 	retry := fs.Int("retry", 1, "doubled-budget retries for budget/timeout traps (negative disables)")
 	maxSource := fs.Int64("max-source-bytes", 1<<20, "request body size cap")
+	maxQueue := fs.Int("max-queue", 0, "waiting /analyze requests before shedding (0 = 4x max-concurrent)")
+	queueTimeout := fs.Duration("queue-timeout", 0, "max wait for an analysis slot before shedding (0 = 10s)")
 	drain := fs.Duration("drain-timeout", 15*time.Second, "in-flight drain window on shutdown")
 	tracePath := fs.String("trace", "", "append per-loop trace events to this JSONL file")
 	if err := fs.Parse(args); err != nil {
@@ -356,6 +432,8 @@ func cmdServe(args []string) error {
 	cfg := server.Config{
 		Workers:        *jobs,
 		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
 		MaxSourceBytes: *maxSource,
 		MaxSteps:       *maxSteps,
 		Timeout:        *timeout,

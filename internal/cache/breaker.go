@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The breaker guards the cache's disk tier: repeated I/O
+// failures trip it open, stopping every disk access for a cooldown so a
+// dying or hung disk cannot drag each analysis through a failing syscall.
+// After the cooldown one probe operation is let through (half-open); its
+// success closes the breaker, its failure re-opens it for another cooldown.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker defaults: trip after this many consecutive disk faults, probe
+// again after this long.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// breaker is a consecutive-failure circuit breaker. Corrupt entries do not
+// feed it — corruption means bad bytes on a working disk, which the read
+// path already handles by deleting the entry — only I/O errors do.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	state    string
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	trips    uint64
+}
+
+func newBreaker() *breaker {
+	return &breaker{
+		threshold: DefaultBreakerThreshold,
+		cooldown:  DefaultBreakerCooldown,
+		now:       time.Now,
+		state:     BreakerClosed,
+	}
+}
+
+// allow reports whether a disk operation may proceed. While open it denies
+// everything until the cooldown elapses, then admits exactly one probe
+// (half-open); concurrent callers during a probe are denied.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success reports a disk operation that completed; a half-open probe's
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// failure reports a disk I/O error; enough consecutive ones — or one failed
+// half-open probe — trip the breaker open.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.trips++
+}
+
+// snapshot returns the current state name and total trips.
+func (b *breaker) snapshot() (string, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

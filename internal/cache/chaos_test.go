@@ -1,0 +1,277 @@
+package cache_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dca/internal/cache"
+	"dca/internal/chaos"
+	"dca/internal/obs"
+)
+
+const nChaosEntries = 4
+
+func chaosVal(i int) []byte { return []byte(fmt.Sprintf("verdict-record-%d-%032x", i, i)) }
+
+// chaosWorkload opens a cache on fsys and pushes nChaosEntries entries
+// through it — the disk-mutating op sequence the fault-point enumeration
+// walks. Put swallows write errors by contract; an Open failure is
+// surfaced to the caller instead (reported false here), so it may cost
+// every entry without being a silent loss.
+func chaosWorkload(fsys chaos.FS, dir string) bool {
+	c, err := cache.OpenFS(fsys, dir, 0, 1)
+	if err != nil {
+		return false
+	}
+	for i := 0; i < nChaosEntries; i++ {
+		c.Put(key(i), chaosVal(i))
+	}
+	return true
+}
+
+// checkSurvivors reopens dir on the real filesystem and asserts the
+// bounded-loss invariant: every key either misses or returns exactly the
+// bytes that were Put — an injected fault may cost entries, never corrupt
+// them.
+func checkSurvivors(t *testing.T, label, dir string) int {
+	t.Helper()
+	c, err := cache.OpenFS(chaos.OS{}, dir, 0, 1)
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	hits := 0
+	for i := 0; i < nChaosEntries; i++ {
+		val, ok := c.Get(key(i))
+		if !ok {
+			continue
+		}
+		hits++
+		if !bytes.Equal(val, chaosVal(i)) {
+			t.Fatalf("%s: key %d returned wrong bytes %q", label, i, val)
+		}
+	}
+	return hits
+}
+
+// TestCacheChaosEveryFaultPoint plants every fault kind at every eligible
+// disk operation of the Put workload and asserts the store degrades to
+// misses, never to wrong values. TornRename is the sharpest case: a
+// half-copied entry lands under its final name and must be caught by the
+// checksum, counted as a corruption, and removed.
+func TestCacheChaosEveryFaultPoint(t *testing.T) {
+	ops := chaos.CountOps(chaos.OS{}, false, func(fsys chaos.FS) {
+		chaosWorkload(fsys, t.TempDir())
+	})
+	if ops == 0 {
+		t.Fatal("workload performed no eligible operations")
+	}
+	for _, kind := range []chaos.Kind{chaos.EIO, chaos.ENOSPC, chaos.ShortWrite, chaos.TornRename} {
+		for at := int64(1); at <= ops; at++ {
+			label := fmt.Sprintf("%s@%d", kind, at)
+			dir := t.TempDir()
+			opened := chaosWorkload(chaos.NewFaulty(chaos.OS{}, chaos.Plan{FailAt: at, Kind: kind}), dir)
+			hits := checkSurvivors(t, label, dir)
+			// One planted fault costs at most one entry — unless it failed
+			// Open itself, which is a loud error, not a silent loss.
+			if opened && hits < nChaosEntries-1 {
+				t.Fatalf("%s: only %d/%d entries survived a single fault", label, hits, nChaosEntries)
+			}
+		}
+	}
+}
+
+// TestCacheChaosEveryFaultPointSticky is the dead-disk variant: the fault
+// is sticky, so everything from the fault point on fails. Any subset of
+// entries may be lost; correctness of the survivors is the invariant.
+func TestCacheChaosEveryFaultPointSticky(t *testing.T) {
+	ops := chaos.CountOps(chaos.OS{}, false, func(fsys chaos.FS) {
+		chaosWorkload(fsys, t.TempDir())
+	})
+	for _, kind := range []chaos.Kind{chaos.EIO, chaos.ShortWrite, chaos.TornRename} {
+		for at := int64(1); at <= ops; at++ {
+			dir := t.TempDir()
+			chaosWorkload(chaos.NewFaulty(chaos.OS{}, chaos.Plan{FailAt: at, Kind: kind, Sticky: true}), dir)
+			checkSurvivors(t, fmt.Sprintf("sticky %s@%d", kind, at), dir)
+		}
+	}
+}
+
+// TestCacheChaosMonkey layers seeded random faults (reads included) over
+// repeated open/put/get cycles; survivors must stay byte-correct under
+// every seed.
+func TestCacheChaosMonkey(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		dir := t.TempDir()
+		m := chaos.NewMonkey(chaos.OS{}, seed, 0.12, true)
+		for round := 0; round < 3; round++ {
+			c, err := cache.OpenFS(m, dir, 0, 1)
+			if err != nil {
+				continue
+			}
+			for i := 0; i < nChaosEntries; i++ {
+				c.Put(key(i), chaosVal(i))
+				// Reads may fault or miss; a success must be exact.
+				if val, ok := c.Get(key(i)); ok && !bytes.Equal(val, chaosVal(i)) {
+					t.Fatalf("seed %d: live Get returned wrong bytes %q", seed, val)
+				}
+			}
+		}
+		checkSurvivors(t, fmt.Sprintf("monkey seed %d", seed), dir)
+	}
+}
+
+// TestBreakerTripsAndRecovers drives the disk breaker through its full
+// cycle: consecutive write failures trip it open (disk access stops), a
+// failed half-open probe re-opens it, and a successful probe after the
+// disk heals closes it again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	f := chaos.NewFaulty(chaos.OS{}, chaos.Plan{})
+	c, err := cache.OpenFS(f, dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cooldown = 25 * time.Millisecond
+	c.ConfigureBreaker(3, cooldown)
+
+	f.SetAlwaysFail(true)
+	for i := 0; i < 3; i++ {
+		c.Put(key(i), chaosVal(i))
+	}
+	st := c.Stats()
+	if st.BreakerState != cache.BreakerOpen || st.BreakerTrips != 1 {
+		t.Fatalf("after 3 write failures: state %s, trips %d, want open/1", st.BreakerState, st.BreakerTrips)
+	}
+	if st.DiskWriteErrors != 3 {
+		t.Fatalf("DiskWriteErrors = %d, want 3", st.DiskWriteErrors)
+	}
+
+	// Open breaker: no disk operation leaves the cache at all.
+	before := f.Ops()
+	c.Put(key(9), chaosVal(9))
+	if got := f.Ops(); got != before {
+		t.Fatalf("open breaker let %d disk ops through", got-before)
+	}
+
+	// Cooldown elapses while the disk is still dead: the half-open probe
+	// fails and re-trips the breaker.
+	time.Sleep(cooldown + 5*time.Millisecond)
+	c.Put(key(8), chaosVal(8))
+	if st := c.Stats(); st.BreakerState != cache.BreakerOpen || st.BreakerTrips != 2 {
+		t.Fatalf("failed probe: state %s, trips %d, want open/2", st.BreakerState, st.BreakerTrips)
+	}
+
+	// Disk heals; after the cooldown the next operation probes and closes.
+	f.SetAlwaysFail(false)
+	time.Sleep(cooldown + 5*time.Millisecond)
+	c.Put(key(7), chaosVal(7))
+	if st := c.Stats(); st.BreakerState != cache.BreakerClosed {
+		t.Fatalf("successful probe left breaker %s", st.BreakerState)
+	}
+	// The post-recovery write really reached the disk.
+	c2, err := cache.OpenFS(chaos.OS{}, dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val, ok := c2.Get(key(7)); !ok || !bytes.Equal(val, chaosVal(7)) {
+		t.Fatalf("post-recovery entry = %q, %v", val, ok)
+	}
+}
+
+// TestWriteErrorsCountedAndTraced: a failed disk write must not be silent —
+// it increments DiskWriteErrors and emits a cache-stage error trace event.
+func TestWriteErrorsCountedAndTraced(t *testing.T) {
+	f := chaos.NewFaulty(chaos.OS{}, chaos.Plan{FailAt: 2, Kind: chaos.EIO}) // op 1 is OpenFS's MkdirAll
+	c, err := cache.OpenFS(f, t.TempDir(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr obs.Collector
+	c.SetTrace(&tr)
+	c.Put(key(0), chaosVal(0))
+	if got := c.Stats().DiskWriteErrors; got != 1 {
+		t.Fatalf("DiskWriteErrors = %d, want 1", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Stage != obs.StageCache || evs[0].Outcome != obs.OutcomeError || evs[0].Err == "" {
+		t.Fatalf("trace events = %+v, want one cache/error event", evs)
+	}
+	// The memory tier still serves the value; the loss is durability only.
+	if val, ok := c.Get(key(0)); !ok || !bytes.Equal(val, chaosVal(0)) {
+		t.Fatal("memory tier lost the entry after a disk write error")
+	}
+}
+
+// TestReadErrorsCounted: an I/O error on the read path (not a miss, not
+// corruption) counts under DiskReadErrors and degrades to a miss.
+func TestReadErrorsCounted(t *testing.T) {
+	dir := t.TempDir()
+	prime, err := cache.OpenFS(chaos.OS{}, dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime.Put(key(0), chaosVal(0))
+
+	f := chaos.NewFaulty(chaos.OS{}, chaos.Plan{})
+	c, err := cache.OpenFS(f, dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetAlwaysFail(true)
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("Get succeeded through a failing disk")
+	}
+	if got := c.Stats().DiskReadErrors; got != 1 {
+		t.Fatalf("DiskReadErrors = %d, want 1", got)
+	}
+	f.SetAlwaysFail(false)
+	if val, ok := c.Get(key(0)); !ok || !bytes.Equal(val, chaosVal(0)) {
+		t.Fatal("healed disk did not serve the entry")
+	}
+}
+
+// TestStaleTempSweep: Open removes orphaned temp files older than the
+// stale age from shard directories, and leaves young ones (a live writer
+// may own them) and real entries alone.
+func TestStaleTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	prime, err := cache.Open(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime.Put(key(0), chaosVal(0))
+
+	shard := filepath.Join(dir, key(0)[:2])
+	stale := filepath.Join(shard, ".tmp-stale")
+	young := filepath.Join(shard, ".tmp-young")
+	for _, p := range []string{stale, young} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := cache.Open(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().StaleTempsRemoved; got != 1 {
+		t.Fatalf("StaleTempsRemoved = %d, want 1", got)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived the sweep")
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Fatal("young temp file was removed")
+	}
+	if val, ok := c.Get(key(0)); !ok || !bytes.Equal(val, chaosVal(0)) {
+		t.Fatal("sweep damaged a real entry")
+	}
+}

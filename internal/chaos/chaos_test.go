@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFile pushes one create-write-sync-rename sequence through fs — four
+// eligible operations — like the cache's atomic-write path.
+func writeFile(fs FS, dir, name string, data []byte) error {
+	tmp, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp.Name(), filepath.Join(dir, name))
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs OS
+	if err := writeFile(fs, dir, "a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+}
+
+func TestCountOpsDeterministic(t *testing.T) {
+	workload := func(fs FS) {
+		dir := t.TempDir()
+		writeFile(fs, dir, "a", []byte("one"))
+		writeFile(fs, dir, "b", []byte("two"))
+	}
+	n1 := CountOps(OS{}, false, workload)
+	n2 := CountOps(OS{}, false, workload)
+	if n1 != n2 || n1 == 0 {
+		t.Fatalf("CountOps = %d then %d, want equal and non-zero", n1, n2)
+	}
+	// create + write + sync + rename, twice.
+	if n1 != 8 {
+		t.Fatalf("CountOps = %d, want 8", n1)
+	}
+}
+
+func TestFaultyFailAtEachKind(t *testing.T) {
+	for _, kind := range []Kind{EIO, ENOSPC, ShortWrite, TornRename} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			f := NewFaulty(OS{}, Plan{FailAt: 2, Kind: kind})
+			err := writeFile(f, dir, "a", []byte("payload"))
+			if err == nil {
+				t.Fatal("write survived an injected fault")
+			}
+			if !Injected(err) {
+				t.Fatalf("error %v not marked as injected", err)
+			}
+			if f.Faults() != 1 {
+				t.Fatalf("Faults = %d, want 1", f.Faults())
+			}
+			// Op 2 is the data write; the final file must not exist intact.
+			if data, err := os.ReadFile(filepath.Join(dir, "a")); err == nil && string(data) == "payload" {
+				t.Fatal("destination holds full payload despite injected write fault")
+			}
+		})
+	}
+}
+
+func TestFaultyShortWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{FailAt: 2, Kind: ShortWrite})
+	tmp, err := f.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("0123456789")); err == nil {
+		t.Fatal("short write reported success")
+	}
+	tmp.Close()
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || len(data) >= 10 {
+		t.Fatalf("short write persisted %d bytes, want a proper prefix", len(data))
+	}
+}
+
+func TestFaultyTornRenameLeavesCorruptDestination(t *testing.T) {
+	dir := t.TempDir()
+	// Ops: create(1) write(2) sync(3) rename(4).
+	f := NewFaulty(OS{}, Plan{FailAt: 4, Kind: TornRename})
+	if err := writeFile(f, dir, "a", []byte("0123456789abcdef")); err == nil {
+		t.Fatal("torn rename reported success")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal("torn rename left no destination to corrupt:", err)
+	}
+	if len(data) >= 16 {
+		t.Fatalf("destination has %d bytes, want a torn prefix", len(data))
+	}
+}
+
+func TestFaultySticky(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{FailAt: 1, Kind: EIO, Sticky: true})
+	for i := 0; i < 3; i++ {
+		if err := writeFile(f, dir, "a", []byte("x")); err == nil {
+			t.Fatalf("write %d survived a sticky fault", i)
+		}
+	}
+	if f.Faults() < 3 {
+		t.Fatalf("Faults = %d, want >= 3 under sticky plan", f.Faults())
+	}
+}
+
+func TestFaultyReadsEligibility(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	os.WriteFile(path, []byte("x"), 0o644)
+
+	// Reads off: ReadFile is not eligible and never faults.
+	f := NewFaulty(OS{}, Plan{FailAt: 1, Kind: EIO})
+	if _, err := f.ReadFile(path); err != nil {
+		t.Fatalf("read faulted with Reads off: %v", err)
+	}
+	// Reads on: the first read trips.
+	f = NewFaulty(OS{}, Plan{FailAt: 1, Kind: EIO, Reads: true})
+	if _, err := f.ReadFile(path); !Injected(err) {
+		t.Fatalf("read error = %v, want injected", err)
+	}
+}
+
+func TestAlwaysFailAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{})
+	f.SetAlwaysFail(true)
+	if err := writeFile(f, dir, "a", []byte("x")); err == nil {
+		t.Fatal("write survived AlwaysFail")
+	}
+	f.SetAlwaysFail(false)
+	if err := writeFile(f, dir, "a", []byte("x")); err != nil {
+		t.Fatalf("write failed after heal: %v", err)
+	}
+}
+
+func TestMonkeyDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int64 {
+		m := NewMonkey(OS{}, seed, 0.3, false)
+		dir := t.TempDir()
+		for i := 0; i < 20; i++ {
+			writeFile(m, dir, "f", []byte("data"))
+		}
+		return m.Faults()
+	}
+	if a, b := run(7), run(7); a != b {
+		t.Fatalf("same seed produced %d then %d faults", a, b)
+	}
+	any := false
+	for seed := int64(0); seed < 8; seed++ {
+		if run(seed) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("monkey at prob 0.3 injected nothing across 8 seeds")
+	}
+}

@@ -28,6 +28,10 @@ const (
 	// ProvenanceCached: the dynamic-stage outcome was served from the
 	// verdict cache; no golden run or replay executed.
 	ProvenanceCached = "cached"
+	// ProvenanceJournaled: the whole loop outcome was replayed from a
+	// write-ahead run journal (`dca analyze -resume`); neither the static
+	// nor the dynamic stage ran in this process.
+	ProvenanceJournaled = "journaled"
 )
 
 // VerdictCache is the incremental-analysis store consulted before each
@@ -93,6 +97,11 @@ func decodeCachedVerdict(data []byte, res *LoopResult) bool {
 	if cv.Verdict < 0 || int(cv.Verdict) >= len(verdictNames) {
 		return false
 	}
+	if cv.Verdict == Cancelled {
+		// No writer stores Cancelled (a statement about a dead context, not
+		// the program); a record claiming it is corrupt or forged.
+		return false
+	}
 	res.Verdict = cv.Verdict
 	res.Reason = cv.Reason
 	res.Invocations = cv.Invocations
@@ -101,6 +110,26 @@ func decodeCachedVerdict(data []byte, res *LoopResult) bool {
 	res.Retries = cv.Retries
 	res.TrapKind = cv.TrapKind
 	return true
+}
+
+// EncodeLoopRecord serializes a completed loop outcome in the shared
+// verdict-record schema (CacheRecordVersion) — the payload format of both
+// the verdict cache and the write-ahead run journal. Returns nil for a
+// result that must not be persisted.
+func EncodeLoopRecord(res *LoopResult) []byte {
+	if res.Verdict == Cancelled {
+		// A cancelled loop is a statement about the caller's context, not
+		// the program; persisting it would resume into a hole.
+		return nil
+	}
+	return encodeCachedVerdict(res)
+}
+
+// DecodeLoopRecord restores a persisted loop outcome into res, reporting
+// false — and leaving res untouched, usable for a fresh computation — when
+// the record does not decode to a plausible verdict.
+func DecodeLoopRecord(data []byte, res *LoopResult) bool {
+	return decodeCachedVerdict(data, res)
 }
 
 // cacheableVerdict reports whether a computed outcome may be stored.

@@ -36,6 +36,7 @@ type ReportJSON struct {
 	TotalLoops     int            `json:"total_loops"`
 	Commutative    int            `json:"commutative"`
 	CachedLoops    int            `json:"cached_loops"`
+	ResumedLoops   int            `json:"resumed_loops,omitempty"`
 	Replays        int            `json:"replays"`
 	ElapsedSeconds float64        `json:"elapsed_seconds"`
 }
@@ -50,6 +51,7 @@ func (r *Report) JSON(elapsed time.Duration) *ReportJSON {
 		TotalLoops:     len(r.Loops),
 		Commutative:    r.Count(Commutative),
 		CachedLoops:    r.CachedLoops(),
+		ResumedLoops:   r.ResumedLoops(),
 		Replays:        r.Replays(),
 		ElapsedSeconds: elapsed.Seconds(),
 	}

@@ -95,6 +95,10 @@ const (
 	tagSchedule
 	tagLimits
 	tagEnd
+	// tagRun sits after tagEnd so introducing the run-level fingerprint did
+	// not renumber the loop-key tags (which would have invalidated every
+	// stored loop key without a Version bump).
+	tagRun
 )
 
 const (
@@ -253,6 +257,42 @@ func Loop(prog *ir.Program, fnName string, loopIndex int, inst *instrument.Instr
 		h.str(l.Name)
 		h.str(l.Type.String())
 	}
+
+	h.word(tagSchedule)
+	h.word(uint64(len(in.Schedules)))
+	for _, s := range in.Schedules {
+		h.str(s.Name())
+	}
+
+	h.word(tagLimits)
+	h.word(uint64(in.Limits.MaxSteps))
+	h.word(uint64(in.Limits.MaxHeapObjects))
+	h.word(uint64(in.Limits.MaxOutput))
+	h.word(uint64(in.Limits.Timeout))
+	h.word(uint64(in.Retries))
+	if in.DebugSnapshots {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
+	h.word(tagEnd)
+	return Key{Hi: h.hi, Lo: h.lo}
+}
+
+// Run fingerprints a whole analysis run: the program under test plus the
+// verdict-reaching configuration, without any per-loop sections. It keys
+// the write-ahead run journal — two runs with equal keys analyze the same
+// loops under the same configuration, so journaled verdicts from one are
+// valid answers in the other. Knobs that cannot change a verdict (worker
+// count, prescreen mode, cache configuration) are deliberately absent, so
+// a resume may change them freely.
+func Run(prog *ir.Program, in Inputs) Key {
+	h := newHasher()
+	h.word(tagVersion)
+	h.word(Version)
+	h.word(tagRun)
+
+	h.program(prog)
 
 	h.word(tagSchedule)
 	h.word(uint64(len(in.Schedules)))

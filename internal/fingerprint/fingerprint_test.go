@@ -146,6 +146,42 @@ func TestSensitivity(t *testing.T) {
 	}
 }
 
+// TestRunKey: the run-level fingerprint is deterministic, sensitive to
+// program and configuration changes, position-insensitive, and distinct
+// from every loop key of the same run.
+func TestRunKey(t *testing.T) {
+	runKey := func(src string, in fingerprint.Inputs) fingerprint.Key {
+		return fingerprint.Run(compile(t, src), in)
+	}
+	base := runKey(baseSrc, defaultInputs())
+	if base != runKey(baseSrc, defaultInputs()) {
+		t.Fatal("same inputs produced different run keys")
+	}
+	if base != runKey("// comment\n\n"+baseSrc, defaultInputs()) {
+		t.Fatal("position-only change invalidated the run key")
+	}
+	if base == runKey(calleeChanged, defaultInputs()) {
+		t.Fatal("program change did not change the run key")
+	}
+	changed := defaultInputs()
+	changed.Schedules = []dcart.Schedule{dcart.Reverse{}, dcart.Random{Seed: 2}}
+	if base == runKey(baseSrc, changed) {
+		t.Fatal("schedule change did not change the run key")
+	}
+	changed = defaultInputs()
+	changed.Retries = 2
+	if base == runKey(baseSrc, changed) {
+		t.Fatal("retry-budget change did not change the run key")
+	}
+	// A run key must never alias a loop key: the journal and the verdict
+	// cache share a key namespace shape (32 hex digits).
+	for loop := 0; loop < 2; loop++ {
+		if base == keyOf(t, baseSrc, loop, defaultInputs()) {
+			t.Fatalf("run key collides with loop %d key", loop)
+		}
+	}
+}
+
 // TestPositionInsensitive: formatting-only source changes (moved lines,
 // comments) shift positions but not structure; the key must not change.
 func TestPositionInsensitive(t *testing.T) {

@@ -24,6 +24,12 @@ type AnalysisMetrics struct {
 	// saw them (the cache's own tiered counters live beside these).
 	CacheHits   *Counter
 	CacheMisses *Counter
+	// CacheWriteErrors counts verdict-cache stores that failed on disk.
+	CacheWriteErrors *Counter
+	// JournalResumed counts loops whose verdict was replayed from the
+	// write-ahead run journal; JournalErrors counts failed journal appends.
+	JournalResumed *Counter
+	JournalErrors  *Counter
 }
 
 // NewAnalysisMetrics registers the analysis instrument set on r.
@@ -43,6 +49,12 @@ func NewAnalysisMetrics(r *Registry) *AnalysisMetrics {
 			"Verdict-cache lookups that served a stored dynamic-stage outcome."),
 		CacheMisses: r.Counter("dca_verdict_cache_misses_total",
 			"Verdict-cache lookups that fell through to the dynamic stage."),
+		CacheWriteErrors: r.Counter("dca_verdict_cache_write_errors_total",
+			"Verdict-cache stores that failed to reach the disk tier."),
+		JournalResumed: r.Counter("dca_journal_resumed_loops_total",
+			"Loops whose verdict was replayed from the write-ahead run journal."),
+		JournalErrors: r.Counter("dca_journal_append_errors_total",
+			"Run-journal appends that failed; the run continues non-resumable."),
 	}
 }
 
@@ -60,10 +72,20 @@ func (m *AnalysisMetrics) Emit(ev Event) {
 			m.Retries.Add(uint64(ev.Retries))
 		}
 	case StageCache:
-		if ev.Outcome == OutcomeHit {
+		switch ev.Outcome {
+		case OutcomeHit:
 			m.CacheHits.Inc()
-		} else {
+		case OutcomeMiss:
 			m.CacheMisses.Inc()
+		case OutcomeError:
+			m.CacheWriteErrors.Inc()
+		}
+	case StageJournal:
+		switch ev.Outcome {
+		case OutcomeHit:
+			m.JournalResumed.Inc()
+		case OutcomeError:
+			m.JournalErrors.Inc()
 		}
 	case StageVerdict:
 		m.Verdicts.Inc(ev.Verdict)

@@ -21,8 +21,13 @@ const (
 	// StagePrescreen: the coverage prescreen skipped this loop's dynamic
 	// stage (outcome "skipped"). Loops that proceed emit no prescreen event.
 	StagePrescreen = "prescreen"
-	// StageCache: verdict-cache lookup (outcome "hit" or "miss").
+	// StageCache: verdict-cache lookup (outcome "hit" or "miss") or store
+	// (outcome "error" when the disk write failed).
 	StageCache = "cache"
+	// StageJournal: write-ahead run-journal activity — outcome "hit" when a
+	// loop's verdict was replayed from the journal (skipping both stages),
+	// "error" when appending a fresh verdict failed.
+	StageJournal = "journal"
 	// StageGolden: the instrumented golden run (outcome "ok" or "trap").
 	StageGolden = "golden"
 	// StageReplay: one permuted schedule replay (outcome "ok" or "trap").
@@ -38,6 +43,7 @@ const (
 	OutcomeHit     = "hit"
 	OutcomeMiss    = "miss"
 	OutcomeSkipped = "skipped"
+	OutcomeError   = "error"
 )
 
 // Event is one structured record in a loop's analysis lifecycle. Fields
@@ -63,7 +69,7 @@ type Event struct {
 	// Verdict and Reason mirror the loop result on verdict events.
 	Verdict string `json:"verdict,omitempty"`
 	Reason  string `json:"reason,omitempty"`
-	// Provenance is "computed" or "cached" on verdict events.
+	// Provenance is "computed", "cached", or "journaled" on verdict events.
 	Provenance string `json:"provenance,omitempty"`
 	// Retries counts doubled-budget retries the stage consumed.
 	Retries int `json:"retries,omitempty"`

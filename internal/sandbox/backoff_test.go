@@ -1,0 +1,88 @@
+package sandbox
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dca/internal/interp"
+	"dca/internal/irbuild"
+)
+
+// TestRetryBackoffSpendsRetries: budget traps still retry at doubled
+// limits with the backoff in place, and the pause grows but stays capped.
+func TestRetryBackoffSpendsRetries(t *testing.T) {
+	oldBase, oldMax := retryBackoffBase, retryBackoffMax
+	retryBackoffBase, retryBackoffMax = time.Millisecond, 4*time.Millisecond
+	defer func() { retryBackoffBase, retryBackoffMax = oldBase, oldMax }()
+
+	prog, err := irbuild.Compile("t.mc", `func main() { while (true) { } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkCfg := func() interp.Config { return interp.Config{} }
+	oc, spent := RunRetry(nil, prog, mkCfg, Limits{MaxSteps: 100}, nil, 3)
+	if oc.OK() || oc.Trap.Kind != Budget {
+		t.Fatalf("want Budget trap after retries, got %+v", oc.Trap)
+	}
+	if spent != 3 {
+		t.Fatalf("spent %d retries, want 3", spent)
+	}
+}
+
+// TestRetryBackoffCancellable: a context cancelled during the backoff
+// pause stops the retry loop immediately — the last real outcome comes
+// back, with no further execution.
+func TestRetryBackoffCancellable(t *testing.T) {
+	oldBase, oldMax := retryBackoffBase, retryBackoffMax
+	retryBackoffBase, retryBackoffMax = time.Hour, time.Hour // park in backoff
+	defer func() { retryBackoffBase, retryBackoffMax = oldBase, oldMax }()
+
+	prog, err := irbuild.Compile("t.mc", `func main() { while (true) { } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var spent int
+	var oc *Outcome
+	go func() {
+		defer close(done)
+		oc, spent = RunRetry(ctx, prog, func() interp.Config { return interp.Config{} },
+			Limits{MaxSteps: 100}, nil, 3)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt trap and enter backoff
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunRetry did not return after cancellation during backoff")
+	}
+	if oc.OK() || oc.Trap.Kind != Budget {
+		t.Fatalf("want the pre-backoff Budget outcome, got %+v", oc.Trap)
+	}
+	if spent != 1 {
+		t.Fatalf("spent = %d, want 1 (the retry whose backoff was cancelled)", spent)
+	}
+}
+
+// TestBackoffGrowth: the pause doubles per spent retry and caps at
+// retryBackoffMax.
+func TestBackoffGrowth(t *testing.T) {
+	oldBase, oldMax := retryBackoffBase, retryBackoffMax
+	retryBackoffBase, retryBackoffMax = 5*time.Millisecond, 250*time.Millisecond
+	defer func() { retryBackoffBase, retryBackoffMax = oldBase, oldMax }()
+
+	for _, tc := range []struct {
+		spent int
+		want  time.Duration
+	}{{1, 5 * time.Millisecond}, {2, 10 * time.Millisecond}, {3, 20 * time.Millisecond}, {7, 250 * time.Millisecond}, {40, 250 * time.Millisecond}} {
+		d := retryBackoffBase << uint(tc.spent-1)
+		if d > retryBackoffMax || d <= 0 {
+			d = retryBackoffMax
+		}
+		if d != tc.want {
+			t.Errorf("spent %d: backoff %v, want %v", tc.spent, d, tc.want)
+		}
+	}
+}

@@ -180,9 +180,45 @@ func RunRetry(ctx context.Context, prog *ir.Program, mkCfg func() interp.Config,
 		if k := oc.Trap.Kind; (k == Budget || k == Timeout) && spent < retries {
 			spent++
 			lim = lim.Doubled()
+			// Back off before retrying: a timeout trap usually means the
+			// host is oversubscribed right now, and re-running immediately
+			// at a doubled budget just doubles the pressure. The pause is
+			// exponential in the retries already spent and gives way to
+			// cancellation instantly.
+			if !sleepBackoff(ctx, spent) {
+				return oc, spent
+			}
 			continue
 		}
 		return oc, spent
+	}
+}
+
+// Retry backoff tuning. Package variables so tests can compress time.
+var (
+	retryBackoffBase = 5 * time.Millisecond
+	retryBackoffMax  = 250 * time.Millisecond
+)
+
+// sleepBackoff pauses retryBackoffBase << (spent-1), capped at
+// retryBackoffMax. It reports false when ctx was cancelled during the
+// pause — the retry must not run then.
+func sleepBackoff(ctx context.Context, spent int) bool {
+	d := retryBackoffBase << uint(spent-1)
+	if d > retryBackoffMax || d <= 0 {
+		d = retryBackoffMax
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

@@ -8,9 +8,15 @@
 //   - One engine.Pool is shared by every in-flight request, so total
 //     interpreter concurrency is bounded by the configured worker budget no
 //     matter how many requests arrive.
-//   - A request semaphore bounds concurrent analyses; excess requests wait
-//     only as long as their own context allows, then are turned away with
-//     503 instead of piling up.
+//   - A request semaphore bounds concurrent analyses, and an admission
+//     gate sheds load before it becomes work: arrivals past the queue
+//     watermark (MaxConcurrent + MaxQueue), requests that wait longer than
+//     QueueTimeout for a slot, and arrivals during a drain are all turned
+//     away with 503 + Retry-After, counted by reason in
+//     dca_load_shed_total.
+//   - The verdict cache's disk tier sits behind a circuit breaker
+//     (internal/cache): repeated disk faults trip it open, the cache runs
+//     memory-only, and /metrics shows the breaker state and trip count.
 //   - Every analysis is scoped to its request context: a client that
 //     disconnects mid-analysis cancels its interpreter runs, frees its
 //     semaphore slot and pool workers promptly, and is accounted as
@@ -63,6 +69,14 @@ const (
 	outcomeRejected = "rejected" // turned away: busy, oversized, or cancelled
 )
 
+// Load-shed reasons for the dca_load_shed_total counter — also a closed
+// set. Every shed response carries 503 plus a Retry-After header.
+const (
+	shedQueueFull    = "queue_full"    // admission watermark exceeded
+	shedQueueTimeout = "queue_timeout" // waited QueueTimeout without a slot
+	shedDraining     = "draining"      // arrived during graceful shutdown
+)
+
 // Config tunes the analysis service. The zero value is production-safe:
 // GOMAXPROCS workers, 1 MiB source cap, 30s per-execution timeout, default
 // step budget, no cache.
@@ -73,6 +87,14 @@ type Config struct {
 	// MaxConcurrent bounds concurrently served /analyze requests (<= 0
 	// means Workers).
 	MaxConcurrent int
+	// MaxQueue bounds how many admitted requests may wait for an analysis
+	// slot beyond the MaxConcurrent in flight; arrivals past the watermark
+	// are shed immediately with 503 + Retry-After instead of piling up
+	// (<= 0 means 4x MaxConcurrent).
+	MaxQueue int
+	// QueueTimeout bounds how long an admitted request may wait for a slot
+	// before it is shed (<= 0 means 10s).
+	QueueTimeout time.Duration
 	// MaxSourceBytes caps the request body (<= 0 means 1 MiB).
 	MaxSourceBytes int64
 	// MaxSteps / Timeout / MaxHeapObjects / MaxOutput are the
@@ -108,6 +130,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = c.Workers
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 10 * time.Second
+	}
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = 1 << 20
 	}
@@ -141,9 +169,11 @@ type Server struct {
 
 	requests     *obs.Counter    // /analyze requests accepted for processing
 	outcomes     *obs.CounterVec // accepted requests by final outcome
+	shed         *obs.CounterVec // load-shed responses by reason
 	loopsDone    *obs.Counter    // loops analyzed across all requests
 	encodeErrors *obs.Counter    // response encodes that failed mid-write
 	inFlight     *obs.Gauge
+	admitted     atomic.Int64 // requests inside /analyze (waiting + in flight)
 
 	logEncodeOnce sync.Once
 }
@@ -168,6 +198,16 @@ func New(cfg Config) *Server {
 		"Analyze requests accepted for processing.")
 	s.outcomes = s.reg.CounterVec("dca_request_outcomes_total",
 		"Accepted analyze requests by final outcome.", "outcome")
+	s.shed = s.reg.CounterVec("dca_load_shed_total",
+		"Requests shed with 503 + Retry-After, by reason.", "reason")
+	s.reg.GaugeFunc("dca_queue_depth",
+		"Admitted analyze requests waiting for an analysis slot.",
+		func() float64 {
+			if d := s.admitted.Load() - s.inFlight.Value(); d > 0 {
+				return float64(d)
+			}
+			return 0
+		})
 	s.loopsDone = s.reg.Counter("dca_loops_analyzed_total",
 		"Loops analyzed across all completed requests.")
 	s.encodeErrors = s.reg.Counter("dca_response_encode_errors_total",
@@ -202,6 +242,30 @@ func New(cfg Config) *Server {
 		s.reg.CounterFunc("dca_cache_corruptions_total",
 			"Cache records rejected as corrupt.",
 			func() float64 { return float64(c.Stats().Corruptions) })
+		s.reg.CounterFunc("dca_cache_disk_write_errors_total",
+			"Verdict-cache disk writes that failed (entry lost to recomputation).",
+			func() float64 { return float64(c.Stats().DiskWriteErrors) })
+		s.reg.CounterFunc("dca_cache_disk_read_errors_total",
+			"Verdict-cache disk reads that failed with an I/O error (degraded to misses).",
+			func() float64 { return float64(c.Stats().DiskReadErrors) })
+		s.reg.CounterFunc("dca_cache_breaker_trips_total",
+			"Times the cache's disk circuit breaker tripped open.",
+			func() float64 { return float64(c.Stats().BreakerTrips) })
+		s.reg.GaugeFunc("dca_cache_breaker_open",
+			"Disk circuit breaker state: 0 closed, 0.5 half-open, 1 open.",
+			func() float64 {
+				switch c.Stats().BreakerState {
+				case cache.BreakerOpen:
+					return 1
+				case cache.BreakerHalfOpen:
+					return 0.5
+				default:
+					return 0
+				}
+			})
+		// Route the cache's disk-fault trace events into the same stream the
+		// analyses feed, so /metrics sees write errors as they happen.
+		c.SetTrace(s.sink)
 	}
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -356,7 +420,43 @@ func (s *Server) options(req *AnalyzeRequest) engine.Options {
 	return engine.Options{Core: copt, Pool: s.pool}
 }
 
+// shedRequest turns one request away with 503, a Retry-After hint, and the
+// shed accounting: load balancers and well-behaved clients back off instead
+// of retrying into the same overload.
+func (s *Server) shedRequest(w http.ResponseWriter, reason, msg string) {
+	s.outcomes.Inc(outcomeRejected)
+	s.shed.Inc(reason)
+	retry := int64(1)
+	if secs := int64(s.cfg.QueueTimeout / time.Second); secs > retry {
+		retry = secs
+	}
+	if reason == shedDraining {
+		// This instance is going away; tell the client to wait out a typical
+		// redeploy rather than hammer a dying process.
+		retry = int64(s.cfg.DrainTimeout / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+	s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{msg})
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	// Admission gate, before the body is even read. Draining means every
+	// new arrival belongs on another instance; the queue watermark bounds
+	// how much work can pile up behind the MaxConcurrent in flight.
+	if s.draining.Load() {
+		s.shedRequest(w, shedDraining, "server is draining")
+		return
+	}
+	if q := s.admitted.Add(1); q > int64(s.cfg.MaxConcurrent+s.cfg.MaxQueue) {
+		s.admitted.Add(-1)
+		s.shedRequest(w, shedQueueFull, "server at capacity: queue full")
+		return
+	}
+	defer s.admitted.Add(-1)
+
 	var req AnalyzeRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -379,10 +479,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Concurrency bound: wait for a slot only as long as the client waits.
+	// Concurrency bound: wait for a slot, but only as long as the client
+	// stays and the queue timeout allows — a slow drain of the backlog must
+	// turn into fast 503s, not requests parked until their sockets rot.
+	queueTimer := time.NewTimer(s.cfg.QueueTimeout)
+	defer queueTimer.Stop()
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
+	case <-queueTimer.C:
+		s.shedRequest(w, shedQueueTimeout, "server at capacity: queue wait exceeded")
+		return
 	case <-r.Context().Done():
 		s.outcomes.Inc(outcomeRejected)
 		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{"server at capacity"})
@@ -458,8 +565,16 @@ type statsResponse struct {
 	Rejected      uint64       `json:"rejected"`
 	LoopsAnalyzed uint64       `json:"loops_analyzed"`
 	InFlight      int64        `json:"in_flight"`
+	Shed          shedStats    `json:"shed"`
 	Pool          poolStats    `json:"pool"`
 	Cache         *cache.Stats `json:"cache,omitempty"`
+}
+
+// shedStats re-expresses dca_load_shed_total for /stats readers.
+type shedStats struct {
+	QueueFull    uint64 `json:"queue_full"`
+	QueueTimeout uint64 `json:"queue_timeout"`
+	Draining     uint64 `json:"draining"`
 }
 
 type poolStats struct {
@@ -476,7 +591,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:      s.outcomes.Value(outcomeRejected),
 		LoopsAnalyzed: s.loopsDone.Value(),
 		InFlight:      s.inFlight.Value(),
-		Pool:          poolStats{Workers: s.pool.Cap(), InUse: s.pool.InUse()},
+		Shed: shedStats{
+			QueueFull:    s.shed.Value(shedQueueFull),
+			QueueTimeout: s.shed.Value(shedQueueTimeout),
+			Draining:     s.shed.Value(shedDraining),
+		},
+		Pool: poolStats{Workers: s.pool.Cap(), InUse: s.pool.InUse()},
 	}
 	// The production cache exposes counters; any other VerdictCache simply
 	// reports no cache section.
