@@ -10,6 +10,7 @@
 //	dca run file.mc
 //	dca ir file.mc
 //	dca parallel -fn name -loop k [-workers n] file.mc
+//	dca fuzz -seed 1 -count 2000
 //	dca serve -addr :8344 [-cache-dir d]
 package main
 
@@ -104,6 +105,8 @@ func main() {
 		err = cmdIR(args)
 	case "parallel":
 		err = cmdParallel(args)
+	case "fuzz":
+		err = cmdFuzz(args)
 	case "serve":
 		err = cmdServe(args)
 	case "skeletons":
@@ -144,6 +147,10 @@ commands:
   ir [-opt] file.mc                              print the IR
   parallel -fn f -loop k [-workers n] [-timeout d] [-max-steps n] file.mc
                                                  run one loop in parallel
+  fuzz [-seed n] [-count n] [-j n] [-wall d] [-schedules n] [-timeout d]
+       [-max-steps n] [-corpus d] [-par-workers list] [-no-baselines]
+       [-bench-out f.json] [-v]                  differential fuzzing campaign
+                                                 over generated loop nests
   skeletons file.mc                              classify commutative loops
   contexts -fn f -loop k file.mc                 per-calling-context verdicts
   fmt file.mc                                    print canonical source

@@ -1,0 +1,116 @@
+package fuzzgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Entry is one minimized counterexample in the regression corpus: the
+// disagreement the differential harness found, the shrunk program spec
+// that still reproduces it, and everything needed to re-run it — the
+// originating seeds and a one-line repro command. Entries are written by
+// the campaign after minimization and replayed by the corpus regression
+// test on every ordinary `go test` run.
+type Entry struct {
+	// Kind is the disagreement class: "soundness" (DCA said commutative on
+	// a non-commutative label), "label" (DCA produced divergence evidence
+	// on a commutative label — a generator or analyzer bug either way), or
+	// "parallel-divergence" (goroutine executor output != sequential).
+	Kind string `json:"kind"`
+	// Fn/Loop locate the disagreeing loop in the minimized program.
+	Fn   string `json:"fn"`
+	Loop int    `json:"loop"`
+	// Label and Verdict are the two sides of the disagreement.
+	Label   string `json:"label"`
+	Verdict string `json:"verdict"`
+	// Detail is the harness's human-readable account.
+	Detail string `json:"detail,omitempty"`
+	// Seed generated the original (pre-minimization) program; CampaignSeed
+	// is the campaign it came from. Repro regenerates and re-checks the
+	// original with one command.
+	Seed         int64  `json:"seed"`
+	CampaignSeed int64  `json:"campaign_seed"`
+	Repro        string `json:"repro"`
+	// Fingerprint is the minimized loop's structural fingerprint
+	// (internal/fingerprint), the corpus dedup key: repeated campaigns
+	// finding isomorphic counterexamples collapse into one entry.
+	Fingerprint string `json:"fingerprint"`
+	// Spec is the minimized program; Source is its rendering, stored so a
+	// human can read the counterexample without running the generator.
+	Spec   *Program `json:"spec"`
+	Source string   `json:"source"`
+}
+
+// WriteEntry persists a counterexample into the corpus directory, keyed
+// and deduplicated by loop fingerprint. It reports dup=true (and writes
+// nothing) when an entry with the same fingerprint already exists —
+// repeated campaigns must not accumulate isomorphic counterexamples.
+func WriteEntry(dir string, e *Entry) (path string, dup bool, err error) {
+	if e.Fingerprint == "" {
+		return "", false, fmt.Errorf("fuzzgen: corpus entry needs a fingerprint")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", false, err
+	}
+	existing, err := LoadDir(dir)
+	if err != nil {
+		return "", false, err
+	}
+	for _, old := range existing {
+		if old.Fingerprint == e.Fingerprint {
+			return "", true, nil
+		}
+	}
+	name := fmt.Sprintf("%s-%s.json", e.Kind, short(e.Fingerprint))
+	path = filepath.Join(dir, name)
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", false, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", false, err
+	}
+	return path, false, nil
+}
+
+// LoadDir reads every corpus entry under dir, sorted by file name for
+// deterministic replay order. A missing directory is an empty corpus, not
+// an error.
+func LoadDir(dir string) ([]*Entry, error) {
+	names, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*Entry
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return nil, err
+		}
+		e := &Entry{}
+		if err := json.Unmarshal(data, e); err != nil {
+			return nil, fmt.Errorf("fuzzgen: corpus entry %s: %w", de.Name(), err)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out, nil
+}
+
+// short bounds a fingerprint for use in a file name.
+func short(fp string) string {
+	if len(fp) > 16 {
+		return fp[:16]
+	}
+	return fp
+}

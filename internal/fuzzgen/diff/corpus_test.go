@@ -1,0 +1,40 @@
+package diff
+
+import (
+	"testing"
+
+	"dca/internal/fuzzgen"
+)
+
+// TestCorpusReplay replays every minimized counterexample in the checked-in
+// regression corpus (internal/fuzzgen/corpus) through the full differential
+// harness. Each entry was added when a campaign found a disagreement; once
+// the underlying bug is fixed the entry must stay clean forever, so any
+// violation here is a regression. An empty corpus passes trivially.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := fuzzgen.LoadDir("../corpus")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Kind+"-"+e.Fingerprint[:8], func(t *testing.T) {
+			if e.Spec == nil {
+				t.Fatal("corpus entry has no program spec")
+			}
+			// The minimized spec must still render exactly what was stored —
+			// the corpus is readable evidence, not just replay input.
+			if got := e.Spec.Render(); got != e.Source {
+				t.Errorf("stored source drifted from spec rendering:\n%s\n----\n%s", got, e.Source)
+			}
+			res := Check(e.Spec, Options{})
+			if res.Trapped {
+				t.Fatalf("replay trapped (%s): %s\nrepro: %s", res.TrapKind, res.TrapDetail, e.Repro)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("regression: %s on %s loop %d (label %s, verdict %s)\nrepro: %s",
+					v.Kind, v.Fn, v.Index, v.Label, v.Verdict, e.Repro)
+			}
+		})
+	}
+}

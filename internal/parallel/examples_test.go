@@ -1,0 +1,181 @@
+package parallel_test
+
+import (
+	goast "go/ast"
+	goparser "go/parser"
+	gotoken "go/token"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dca/internal/core"
+	"dca/internal/instrument"
+	"dca/internal/interp"
+	"dca/internal/irbuild"
+	"dca/internal/parallel"
+	"dca/internal/sandbox"
+)
+
+// exampleSources are the example programs that embed their MiniC source as
+// a `const src` string literal; the table test below extracts those
+// literals so the examples stay the single source of truth.
+var exampleSources = []string{
+	"../../examples/quickstart/main.go",
+	"../../examples/linkedlist/main.go",
+	"../../examples/skeletons/main.go",
+}
+
+// extractSrc pulls the `const src = ...` MiniC literal out of an example's
+// Go source with the standard parser.
+func extractSrc(t *testing.T, path string) string {
+	t.Helper()
+	fset := gotoken.NewFileSet()
+	file, err := goparser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*goast.GenDecl)
+		if !ok || gd.Tok != gotoken.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*goast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "src" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*goast.BasicLit)
+				if !ok || lit.Kind != gotoken.STRING {
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquoting src literal in %s: %v", path, err)
+				}
+				return s
+			}
+		}
+	}
+	t.Fatalf("%s has no `const src` string literal", path)
+	return ""
+}
+
+// TestExamplesParallelOutputIdentity: for every loop DCA finds commutative
+// in the embedded example programs, running that loop through the parallel
+// executor at 1, 2, and 8 workers must reproduce the sequential output
+// byte for byte. Loops the executor refuses (unprivatizable env, e.g. a
+// max accumulator) are skipped, not failed — refusal is the executor's
+// soundness mechanism, and the test asserts the campaign still exercised
+// at least one loop per example.
+func TestExamplesParallelOutputIdentity(t *testing.T) {
+	for _, path := range exampleSources {
+		path := path
+		name := strings.TrimSuffix(strings.TrimPrefix(path, "../../examples/"), "/main.go")
+		t.Run(name, func(t *testing.T) {
+			src := extractSrc(t, path)
+			prog, err := irbuild.Compile(name+".mc", src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var ref strings.Builder
+			if oc := sandbox.Run(nil, prog, interp.Config{Out: &ref}, sandbox.Limits{MaxSteps: 50_000_000}, nil); !oc.OK() {
+				t.Fatalf("sequential reference run: %v", oc.Trap)
+			}
+			rep, err := core.Analyze(prog, core.Options{})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			checked := 0
+			for _, l := range rep.Loops {
+				if l.Verdict != core.Commutative {
+					continue
+				}
+				inst, err := instrument.Loop(prog, l.Fn, l.Index)
+				if err != nil {
+					t.Fatalf("%s/L%d: instrument: %v", l.Fn, l.Index, err)
+				}
+				refused := false
+				for _, workers := range []int{1, 2, 8} {
+					var buf strings.Builder
+					if _, err := parallel.RunLoop(inst, parallel.Options{Workers: workers, Out: &buf}); err != nil {
+						t.Logf("%s/L%d: executor refused (workers=%d): %v", l.Fn, l.Index, workers, err)
+						refused = true
+						break
+					}
+					if buf.String() != ref.String() {
+						t.Errorf("%s/L%d workers=%d: output diverged from sequential:\n%q\nvs\n%q",
+							l.Fn, l.Index, workers, buf.String(), ref.String())
+					}
+				}
+				if !refused {
+					checked++
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no commutative loop ran through the parallel executor — the identity check never fired")
+			}
+		})
+	}
+}
+
+// TestExamplesParallelSurvivesWorkerFault: an injected single-trip worker
+// fault on an example loop must surface as a structured error — never a
+// hang, never silent corruption — and an immediately following clean run
+// must still match the sequential output exactly.
+func TestExamplesParallelSurvivesWorkerFault(t *testing.T) {
+	for _, path := range exampleSources {
+		path := path
+		name := strings.TrimSuffix(strings.TrimPrefix(path, "../../examples/"), "/main.go")
+		t.Run(name, func(t *testing.T) {
+			src := extractSrc(t, path)
+			prog, err := irbuild.Compile(name+".mc", src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var ref strings.Builder
+			if oc := sandbox.Run(nil, prog, interp.Config{Out: &ref}, sandbox.Limits{MaxSteps: 50_000_000}, nil); !oc.OK() {
+				t.Fatalf("sequential reference run: %v", oc.Trap)
+			}
+			rep, err := core.Analyze(prog, core.Options{})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			for _, l := range rep.Loops {
+				if l.Verdict != core.Commutative {
+					continue
+				}
+				inst, err := instrument.Loop(prog, l.Fn, l.Index)
+				if err != nil {
+					continue
+				}
+				// Establish that the loop parallelizes cleanly at all before
+				// injecting; refusals are skipped as in the identity test.
+				var clean strings.Builder
+				if _, err := parallel.RunLoop(inst, parallel.Options{Workers: 2, Out: &clean}); err != nil {
+					continue
+				}
+				if _, err := parallel.RunLoop(inst, parallel.Options{
+					Workers: 2,
+					Out:     &strings.Builder{},
+					Inject:  sandbox.NewInjector(sandbox.Inject{AtStep: 40, Kind: sandbox.Fault, MaxTrips: 1}),
+				}); err == nil {
+					t.Errorf("%s/L%d: injected worker fault was not reported", l.Fn, l.Index)
+				}
+				var after strings.Builder
+				if _, err := parallel.RunLoop(inst, parallel.Options{Workers: 8, Out: &after}); err != nil {
+					t.Fatalf("%s/L%d: clean run after fault: %v", l.Fn, l.Index, err)
+				}
+				if after.String() != ref.String() {
+					t.Errorf("%s/L%d: post-fault run diverged from sequential:\n%q\nvs\n%q",
+						l.Fn, l.Index, after.String(), ref.String())
+				}
+				return // one faulted loop per example is enough
+			}
+			t.Skip("no parallelizable loop to fault-inject")
+		})
+	}
+}
