@@ -11,6 +11,7 @@ import (
 	"dca/internal/bench"
 	"dca/internal/cache"
 	"dca/internal/core"
+	"dca/internal/vm"
 )
 
 // benchFile is the machine-readable benchmark record. Both suite benchmarks
@@ -51,6 +52,28 @@ type CacheBench struct {
 	TablesIdentical bool    `json:"tables_identical"`
 	MemHits         uint64  `json:"cache_mem_hits"`
 	Misses          uint64  `json:"cache_misses"`
+}
+
+// VMBench is the executor benchmark record, merged into BENCH_analysis.json
+// under "vm" by BenchmarkSuiteVM: the cold suite on the bytecode VM versus
+// the tree-walking interpreter, plus where the VM run's time went and how
+// many replays the reducers skipped.
+type VMBench struct {
+	Workers          int     `json:"workers"`
+	SuiteSecondsVM   float64 `json:"suite_seconds_vm"`
+	SuiteSecondsNoVM float64 `json:"suite_seconds_no_vm"`
+	SpeedupVsInterp  float64 `json:"speedup_vs_interp"`
+	// Stage split of the VM run's DCA time (seconds).
+	SecondsStatic float64 `json:"seconds_static"`
+	SecondsGolden float64 `json:"seconds_golden"`
+	SecondsReplay float64 `json:"seconds_replay"`
+	// Replays skipped by the sequential stopping rule and the footprint
+	// fast path during the VM run.
+	SkippedStop      int  `json:"skipped_stop"`
+	SkippedFootprint int  `json:"skipped_footprint"`
+	ReplaysVM        int  `json:"replays_vm"`
+	ReplaysNoVM      int  `json:"replays_no_vm"`
+	TablesIdentical  bool `json:"tables_identical"`
 }
 
 // mergeBenchFile read-modify-writes update's top-level keys into the
@@ -167,6 +190,51 @@ func BenchmarkSuiteAnalysis(b *testing.B) {
 		if rec.Speedup > 0 {
 			b.ReportMetric(rec.Speedup, "speedup")
 		}
+	}
+}
+
+// BenchmarkSuiteVM measures the executor win: the cold NPB suite (workers=1,
+// no verdict cache) on the bytecode VM versus the same suite forced onto the
+// tree-walking interpreter with vm.SetEnabled(false). The two must produce
+// byte-identical Tables I/III/IV; the timing, the VM run's stage split, and
+// the replay-reducer skip counters are merged into BENCH_analysis.json under
+// "vm" (run via `go test -run=^$ -bench=SuiteVM -benchtime=1x .`).
+func BenchmarkSuiteVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vmSuite, vmDur, _ := timedSuite(b, 1, nil)
+		vm.SetEnabled(false)
+		noSuite, noDur, _ := timedSuite(b, 1, nil)
+		vm.SetEnabled(true)
+
+		identical := vmSuite.TableI() == noSuite.TableI() &&
+			vmSuite.TableIII() == noSuite.TableIII() &&
+			vmSuite.TableIV() == noSuite.TableIV()
+		if !identical {
+			b.Fatalf("VM suite diverged from tree-walker:\nvm TableI:\n%s\nno-vm TableI:\n%s",
+				vmSuite.TableI(), noSuite.TableI())
+		}
+		stop, fp := vmSuite.SkippedReplays()
+		static, golden, replay := vmSuite.StageSeconds()
+		rec := struct {
+			VM VMBench `json:"vm"`
+		}{VMBench{
+			Workers:          1,
+			SuiteSecondsVM:   vmDur.Seconds(),
+			SuiteSecondsNoVM: noDur.Seconds(),
+			SpeedupVsInterp:  noDur.Seconds() / vmDur.Seconds(),
+			SecondsStatic:    static,
+			SecondsGolden:    golden,
+			SecondsReplay:    replay,
+			SkippedStop:      stop,
+			SkippedFootprint: fp,
+			ReplaysVM:        vmSuite.Replays(),
+			ReplaysNoVM:      noSuite.Replays(),
+			TablesIdentical:  identical,
+		}}
+		mergeBenchFile(b, rec)
+		fmt.Fprintf(os.Stderr, "vm: %.2fs vs interp %.2fs (%.2fx); stages static %.2fs golden %.2fs replay %.2fs; skipped stop %d footprint %d\n",
+			vmDur.Seconds(), noDur.Seconds(), rec.VM.SpeedupVsInterp, static, golden, replay, stop, fp)
+		b.ReportMetric(rec.VM.SpeedupVsInterp, "speedup-vs-interp")
 	}
 }
 

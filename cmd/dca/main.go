@@ -48,6 +48,7 @@ import (
 	"dca/internal/sandbox"
 	"dca/internal/server"
 	"dca/internal/skeleton"
+	"dca/internal/vm"
 )
 
 // Exit codes by failure category, so suite drivers can triage without
@@ -133,6 +134,7 @@ func usage() {
 commands:
   analyze [-j n] [-baselines] [-schedules n] [-timeout d] [-max-steps n]
           [-retry n] [-no-prescreen] [-debug-snapshots] [-json]
+          [-stop-after n] [-no-footprint] [-no-vm]
           [-journal run.wal] [-resume] [-journal-sync n]
           [-trace out.jsonl] [-cache-dir d] [-cache-mem bytes] [-no-cache]
           [-inject-kind k -inject-at-step n|-inject-at-intrinsic n
@@ -143,7 +145,8 @@ commands:
         [-max-source-bytes n] [-drain-timeout d]
         [-trace out.jsonl]                       run the analysis service
                                                  (metrics at GET /metrics)
-  run [-opt] [-timeout d] [-max-steps n] file.mc execute the program
+  run [-opt] [-timeout d] [-max-steps n] [-no-vm] file.mc
+                                                 execute the program
   ir [-opt] file.mc                              print the IR
   parallel -fn f -loop k [-workers n] [-timeout d] [-max-steps n] file.mc
                                                  run one loop in parallel
@@ -182,6 +185,9 @@ func cmdAnalyze(args []string) error {
 	syncEvery := fs.Int("journal-sync", 0, "journal fsync batch size (0 = default, 1 = every record)")
 	tracePath := fs.String("trace", "", "append per-loop trace events to this JSONL file")
 	debugSnapshots := fs.Bool("debug-snapshots", false, "keep string snapshots alongside digests for mismatch diagnosis")
+	stopAfter := fs.Int("stop-after", 0, "stop replaying after this many consecutive agreeing schedules (0 = test all)")
+	noFootprint := fs.Bool("no-footprint", false, "disable the footprint fast path (always run schedule replays)")
+	noVM := fs.Bool("no-vm", false, "execute with the tree-walking interpreter instead of the bytecode VM")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit per execution (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "instruction budget per execution (0 = default 200M)")
 	retry := fs.Int("retry", 1, "doubled-budget retries for budget/timeout traps (negative disables)")
@@ -213,6 +219,9 @@ func cmdAnalyze(args []string) error {
 	for i := 0; i < *schedules; i++ {
 		scheds = append(scheds, dcart.Random{Seed: int64(i + 1)})
 	}
+	if *noVM {
+		vm.SetEnabled(false)
+	}
 	opts := core.Options{
 		Schedules:      scheds,
 		MaxSteps:       *maxSteps,
@@ -221,6 +230,8 @@ func cmdAnalyze(args []string) error {
 		InjectFn:       *injectFn,
 		InjectLoop:     *injectLoop,
 		DebugSnapshots: *debugSnapshots,
+		StopAfter:      *stopAfter,
+		NoFootprint:    *noFootprint,
 	}
 	if *injectKind != "" {
 		kind, err := parseInjectKind(*injectKind)
@@ -268,6 +279,8 @@ func cmdAnalyze(args []string) error {
 			Limits:         sandbox.Limits{MaxSteps: *maxSteps, Timeout: *timeout},
 			Retries:        *retry,
 			DebugSnapshots: *debugSnapshots,
+			StopAfter:      *stopAfter,
+			NoFootprint:    *noFootprint,
 		}).String()
 		j, rec, err := journal.Open(*journalPath, runKey, journal.Options{
 			Version:   core.CacheRecordVersion,
@@ -323,7 +336,7 @@ func cmdAnalyze(args []string) error {
 			return err
 		}
 		os.Stdout.Write(data)
-		return nil
+		return ctx.Err()
 	}
 	fmt.Println("== DCA ==")
 	fmt.Print(rep)
@@ -336,6 +349,12 @@ func cmdAnalyze(args []string) error {
 	}
 	if n := rep.Count(core.Cancelled); n > 0 {
 		fmt.Printf("cancelled: %d loops (analysis interrupted)\n", n)
+	}
+	// An interrupted analysis still prints its partial report, but the
+	// process must exit 5 (cancelled), not 0 — partial verdicts are not a
+	// completed run.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if !*baselines {
 		return nil
@@ -480,11 +499,15 @@ func cmdRun(args []string) error {
 	optimize := fs.Bool("opt", false, "optimize the IR before executing")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "instruction budget (0 = interpreter default)")
+	noVM := fs.Bool("no-vm", false, "execute with the tree-walking interpreter instead of the bytecode VM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run: need exactly one source file")
+	}
+	if *noVM {
+		vm.SetEnabled(false)
 	}
 	prog, err := compile(fs.Arg(0))
 	if err != nil {

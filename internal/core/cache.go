@@ -16,7 +16,7 @@ import (
 // of decoding it. The fingerprint schema needs no version here: it is
 // hashed into every key (fingerprint.Version), so key schemas can never
 // alias.
-const CacheRecordVersion uint32 = 1
+const CacheRecordVersion uint32 = 2
 
 // Verdict provenance values. Every analyzed loop records whether its
 // outcome was computed by running the dynamic stage or served from the
@@ -32,6 +32,10 @@ const (
 	// write-ahead run journal (`dca analyze -resume`); neither the static
 	// nor the dynamic stage ran in this process.
 	ProvenanceJournaled = "journaled"
+	// ProvenanceFootprint: the golden run proved the loop's iterations
+	// touch pairwise-disjoint heap cells, so the Commutative verdict was
+	// issued without running any schedule replay.
+	ProvenanceFootprint = "footprint-proved"
 )
 
 // VerdictCache is the incremental-analysis store consulted before each
@@ -56,6 +60,11 @@ type cachedVerdict struct {
 	SchedulesTested int     `json:"schedules_tested"`
 	Retries         int     `json:"retries"`
 	TrapKind        string  `json:"trap_kind,omitempty"`
+	// Replay-reduction counters: how the verdict's evidence was bounded.
+	// A footprint-proved record keeps its SkippedFootprint count so warm
+	// runs still report how much replay work the proof avoided.
+	SkippedStop      int `json:"skipped_stop,omitempty"`
+	SkippedFootprint int `json:"skipped_footprint,omitempty"`
 }
 
 // loopKey fingerprints one loop analysis under the active options.
@@ -65,6 +74,8 @@ func loopKey(prog *ir.Program, fnName string, loopIndex int, inst *instrument.In
 		Limits:         opt.Limits(),
 		Retries:        opt.Retries,
 		DebugSnapshots: opt.DebugSnapshots,
+		StopAfter:      opt.StopAfter,
+		NoFootprint:    opt.NoFootprint,
 	}).String()
 }
 
@@ -75,9 +86,11 @@ func encodeCachedVerdict(res *LoopResult) []byte {
 		Reason:          res.Reason,
 		Invocations:     res.Invocations,
 		Iterations:      res.Iterations,
-		SchedulesTested: res.SchedulesTested,
-		Retries:         res.Retries,
-		TrapKind:        res.TrapKind,
+		SchedulesTested:  res.SchedulesTested,
+		Retries:          res.Retries,
+		TrapKind:         res.TrapKind,
+		SkippedStop:      res.SkippedStop,
+		SkippedFootprint: res.SkippedFootprint,
 	})
 	if err != nil {
 		return nil // never happens for this struct; a nil record is simply not stored
@@ -109,6 +122,8 @@ func decodeCachedVerdict(data []byte, res *LoopResult) bool {
 	res.SchedulesTested = cv.SchedulesTested
 	res.Retries = cv.Retries
 	res.TrapKind = cv.TrapKind
+	res.SkippedStop = cv.SkippedStop
+	res.SkippedFootprint = cv.SkippedFootprint
 	return true
 }
 

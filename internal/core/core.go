@@ -93,6 +93,19 @@ type LoopResult struct {
 	// (doubled-budget retries are tracked separately in Retries). A cached
 	// outcome consumes none.
 	Replays int
+	// SkippedStop counts schedule replays the sequential stopping rule
+	// (Options.StopAfter) skipped after enough consecutive agreements.
+	SkippedStop int
+	// SkippedFootprint counts schedule replays the footprint fast path
+	// skipped: the golden run proved the loop's iterations touch disjoint
+	// memory, so every permutation is behaviour-preserving by construction.
+	SkippedFootprint int
+	// DurStatic/DurGolden/DurReplay split the loop's analysis wall-clock
+	// into the static stage (separation, outlining, instrumentation), the
+	// golden run, and the schedule replays. Diagnostic only, like Elapsed.
+	DurStatic time.Duration
+	DurGolden time.Duration
+	DurReplay time.Duration
 	// Elapsed is the wall-clock time this loop's analysis took, including a
 	// cache hit's lookup time. Diagnostic only: it is not part of the
 	// deterministic verdict and never compared across runs.
@@ -135,6 +148,29 @@ func (r *Report) Replays() int {
 		n += l.Replays
 	}
 	return n
+}
+
+// SkippedReplays totals the schedule replays the analysis did not run,
+// split by mechanism: the sequential stopping rule and the footprint fast
+// path.
+func (r *Report) SkippedReplays() (stop, footprint int) {
+	for _, l := range r.Loops {
+		stop += l.SkippedStop
+		footprint += l.SkippedFootprint
+	}
+	return stop, footprint
+}
+
+// StageSeconds totals the per-loop stage durations across the report:
+// static (separation/outlining/instrumentation), golden runs, and schedule
+// replays.
+func (r *Report) StageSeconds() (static, golden, replay float64) {
+	for _, l := range r.Loops {
+		static += l.DurStatic.Seconds()
+		golden += l.DurGolden.Seconds()
+		replay += l.DurReplay.Seconds()
+	}
+	return static, golden, replay
 }
 
 // CachedLoops returns how many loops were served from the verdict cache.
@@ -198,6 +234,18 @@ type Options struct {
 	// retried at a doubled budget before the loop degrades to
 	// ResourceExhausted. Default 1; negative disables retries.
 	Retries int
+	// StopAfter, when positive, is the sequential stopping rule: once
+	// StopAfter consecutive schedules agree with the golden run, the
+	// remaining schedules are skipped and the loop reports Commutative.
+	// It trades evidence for time — a skipped schedule could have diverged —
+	// so it participates in the verdict fingerprint. 0 tests every schedule.
+	StopAfter int
+	// NoFootprint disables the footprint fast path. By default the golden
+	// run records every heap cell each iteration reads and writes; when the
+	// per-iteration footprints are pairwise disjoint, reordering iterations
+	// cannot change any observable behaviour, so the replays are skipped and
+	// the loop reports Commutative with provenance ProvenanceFootprint.
+	NoFootprint bool
 	// Inject deterministically trips a trap inside the instrumented
 	// executions — the test harness for the degradation paths themselves.
 	// InjectFn/InjectLoop restrict it to one loop; InjectFn == "" applies
@@ -357,7 +405,7 @@ func runCell(ctx context.Context, prog *ir.Program, mkRT func() *dcart.Runtime, 
 	oc, retries := sandbox.RunRetry(ctx, prog, func() interp.Config {
 		rt = mkRT()
 		out.Reset()
-		return interp.Config{Out: &out, Runtime: rt}
+		return interp.Config{Out: &out, Runtime: rt, Footprint: rt.Footprint}
 	}, opt.Limits(), inj, opt.Retries)
 	return rt, out.String(), oc.Trap, retries
 }
@@ -461,7 +509,9 @@ func AnalyzeLoopInto(ctx context.Context, prog *ir.Program, fn *ir.Func, loop *c
 	}
 
 	// --- Static stage: separate, outline, instrument. ---
+	sstart := time.Now()
 	inst, err := instrument.Loop(prog, fn.Name, loop.Index)
+	res.DurStatic = time.Since(sstart)
 	if err != nil {
 		res.Verdict = NotSeparable
 		res.Reason = trimPrefixes(err.Error())
@@ -523,10 +573,24 @@ func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Opti
 	opt := *optp
 
 	// --- Dynamic stage: golden run. ---
+	// Unless disabled, the golden run doubles as the footprint-proof
+	// attempt: the runtime brackets each payload execution into a segment
+	// and the executor reports every heap cell it touches. A fresh recorder
+	// per attempt keeps doubled-budget retries from seeing a dead run's
+	// accesses. Fault injection runs without a recorder — an injected trap
+	// aborts mid-segment and the partial footprint proves nothing.
+	track := !opt.NoFootprint && inj == nil
 	gstart := time.Now()
-	golden, goldenOut, trap, retries := runCell(ctx, inst.Prog, func() *dcart.Runtime { return newRuntime(dcart.Identity{}, &opt) }, opt, inj)
+	golden, goldenOut, trap, retries := runCell(ctx, inst.Prog, func() *dcart.Runtime {
+		rt := newRuntime(dcart.Identity{}, &opt)
+		if track {
+			rt.Footprint = interp.NewFootprint()
+		}
+		return rt
+	}, opt, inj)
+	res.DurGolden = time.Since(gstart)
 	emitRun(&opt, obs.Event{Stage: obs.StageGolden, Fn: res.Fn, LoopID: res.ID,
-		DurationMS: float64(time.Since(gstart)) / float64(time.Millisecond), Retries: retries}, trap)
+		DurationMS: float64(res.DurGolden) / float64(time.Millisecond), Retries: retries}, trap)
 	res.Replays++
 	res.Retries += retries
 	if trap != nil {
@@ -569,6 +633,30 @@ func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Opti
 		return
 	}
 
+	// --- Footprint fast path: the golden run observed every heap cell each
+	// iteration reads and writes. If no cell written in one iteration is
+	// touched by another, the iterations are independent computations over
+	// disjoint state — any permutation produces the same cell values, the
+	// same live-out graphs, and (payloads being I/O-free past selection) the
+	// same output. The replays could only reconfirm that, so they are
+	// skipped. Same evidentiary standard as the replays themselves: a
+	// dynamic claim about the observed workload, not all inputs.
+	if track && golden.Footprint.Disjoint() {
+		// Cancellation wins even over an already-provable verdict: the
+		// engine's contract is that a cancelled analysis deterministically
+		// reports Cancelled for every loop whose dynamic stage had not fully
+		// concluded, and caches nothing — regardless of which fast path
+		// would have fired.
+		if cancelled(ctx) {
+			markCancelled(ctx, res)
+			return
+		}
+		res.Verdict = Commutative
+		res.Provenance = ProvenanceFootprint
+		res.SkippedFootprint = len(opt.Schedules)
+		return
+	}
+
 	// --- Dynamic stage: permuted runs + live-out verification. ---
 	// The executor decides where each replay runs; the fold below consumes
 	// outcomes strictly in schedule order and stops at the first failure, so
@@ -598,7 +686,9 @@ func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Opti
 	}
 	get := exec(len(scheds), runOne)
 	for i, sched := range scheds {
+		t0 := time.Now()
 		oc := get(i)
+		res.DurReplay += time.Since(t0)
 		res.Replays++
 		res.Retries += oc.retries
 		if oc.trap != nil {
@@ -627,6 +717,13 @@ func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Opti
 			return
 		}
 		res.SchedulesTested++
+		// Sequential stopping rule: enough consecutive agreements, stop
+		// paying for more evidence. (Any disagreement returns above, so
+		// SchedulesTested is exactly the current agreement streak.)
+		if opt.StopAfter > 0 && res.SchedulesTested >= opt.StopAfter && i+1 < len(scheds) {
+			res.SkippedStop = len(scheds) - (i + 1)
+			break
+		}
 	}
 	res.Verdict = Commutative
 }

@@ -25,7 +25,11 @@ type LoopJSON struct {
 	SchedulesTested int     `json:"schedules_tested"`
 	Retries         int     `json:"retries,omitempty"`
 	Replays         int     `json:"replays"`
-	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	// SkippedStop / SkippedFootprint count schedule replays not run thanks
+	// to the sequential stopping rule and the footprint fast path.
+	SkippedStop      int     `json:"skipped_stop,omitempty"`
+	SkippedFootprint int     `json:"skipped_footprint,omitempty"`
+	ElapsedSeconds   float64 `json:"elapsed_seconds"`
 }
 
 // ReportJSON is the machine-readable form of a whole-program Report.
@@ -68,10 +72,12 @@ func (r *Report) JSON(elapsed time.Duration) *ReportJSON {
 			Provenance:      l.Provenance,
 			Invocations:     l.Invocations,
 			Iterations:      l.Iterations,
-			SchedulesTested: l.SchedulesTested,
-			Retries:         l.Retries,
-			Replays:         l.Replays,
-			ElapsedSeconds:  l.Elapsed.Seconds(),
+			SchedulesTested:  l.SchedulesTested,
+			Retries:          l.Retries,
+			Replays:          l.Replays,
+			SkippedStop:      l.SkippedStop,
+			SkippedFootprint: l.SkippedFootprint,
+			ElapsedSeconds:   l.Elapsed.Seconds(),
 		}
 		if l.Pos.IsValid() {
 			lj.Pos = l.Pos.String()

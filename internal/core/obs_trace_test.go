@@ -96,8 +96,8 @@ func main() {
 			}
 		}
 		last := evs[len(evs)-1]
-		if last.Stage != obs.StageVerdict || last.Verdict != lr.Verdict.String() || last.Provenance != core.ProvenanceComputed {
-			t.Errorf("loop %s: verdict event %+v disagrees with report verdict %s", lr.ID, last, lr.Verdict)
+		if last.Stage != obs.StageVerdict || last.Verdict != lr.Verdict.String() || last.Provenance != lr.Provenance {
+			t.Errorf("loop %s: verdict event %+v disagrees with report verdict %s (%s)", lr.ID, last, lr.Verdict, lr.Provenance)
 		}
 	}
 }

@@ -77,6 +77,9 @@ func assertIdentical(t *testing.T, label string, seq, par *core.Report) {
 		a, b := *seq.Loops[i], *par.Loops[i]
 		a.Elapsed, b.Elapsed = 0, 0
 		a.Replays, b.Replays = 0, 0
+		a.DurStatic, b.DurStatic = 0, 0
+		a.DurGolden, b.DurGolden = 0, 0
+		a.DurReplay, b.DurReplay = 0, 0
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%s: loop %d differs:\n  seq: %+v\n  par: %+v", label, i, a, b)
 		}

@@ -51,6 +51,9 @@ func assertSameVerdicts(t *testing.T, label string, fresh, resumed *core.Report)
 		a.Elapsed, b.Elapsed = 0, 0
 		a.Replays, b.Replays = 0, 0
 		a.Provenance, b.Provenance = "", ""
+		a.DurStatic, b.DurStatic = 0, 0
+		a.DurGolden, b.DurGolden = 0, 0
+		a.DurReplay, b.DurReplay = 0, 0
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%s: loop %d differs:\n  fresh:   %+v\n  resumed: %+v", label, i, a, b)
 		}

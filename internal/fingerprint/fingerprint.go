@@ -50,7 +50,7 @@ import (
 // Version is the fingerprint schema version. Bump it whenever the token
 // walk changes (new tokens, reordered fields, different serialization), so
 // stale keys can never alias fresh ones.
-const Version = 1
+const Version = 2
 
 // Key is a 128-bit loop-analysis fingerprint.
 type Key struct{ Hi, Lo uint64 }
@@ -71,6 +71,12 @@ type Inputs struct {
 	// DebugSnapshots selects the string-snapshot mode, which changes how
 	// live-out divergence reasons are rendered.
 	DebugSnapshots bool
+	// StopAfter is the sequential stopping rule (0 = off): it bounds which
+	// schedules are actually tested, so it can reach the verdict.
+	StopAfter int
+	// NoFootprint disables the footprint fast path, which otherwise decides
+	// whether replays run at all (and the verdict's provenance).
+	NoFootprint bool
 }
 
 // Token tags. Every composite token is count- or length-prefixed, so the
@@ -275,6 +281,12 @@ func Loop(prog *ir.Program, fnName string, loopIndex int, inst *instrument.Instr
 	} else {
 		h.word(0)
 	}
+	h.word(uint64(in.StopAfter))
+	if in.NoFootprint {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
 	h.word(tagEnd)
 	return Key{Hi: h.hi, Lo: h.lo}
 }
@@ -307,6 +319,12 @@ func Run(prog *ir.Program, in Inputs) Key {
 	h.word(uint64(in.Limits.Timeout))
 	h.word(uint64(in.Retries))
 	if in.DebugSnapshots {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
+	h.word(uint64(in.StopAfter))
+	if in.NoFootprint {
 		h.word(1)
 	} else {
 		h.word(0)

@@ -46,6 +46,7 @@ import (
 	"dca/internal/parallel"
 	"dca/internal/polly"
 	"dca/internal/sandbox"
+	"dca/internal/vm"
 )
 
 // BaselineNames lists the five baseline detectors the harness runs
@@ -89,6 +90,11 @@ const (
 	KindSoundness   = "soundness"
 	KindLabel       = "label"
 	KindParallelDiv = "parallel-divergence"
+	// KindExecDiv: the bytecode VM and the tree-walking interpreter
+	// disagreed on the same program — output bytes, step count, or error.
+	// The two executors are contractually identical; any divergence is an
+	// executor bug and fails the campaign hard.
+	KindExecDiv = "exec-divergence"
 )
 
 // Violation is one hard disagreement in a checked program.
@@ -153,6 +159,17 @@ func Check(p *fuzzgen.Program, opt Options) (res *Result) {
 		res.TrapKind = "compile"
 		res.TrapDetail = err.Error()
 		return res
+	}
+
+	// Cross-check 0: the two executors themselves. Both run the whole
+	// program directly (bypassing the process-global VM toggle, which a
+	// concurrent campaign must not flip); any divergence in output, steps,
+	// or error is an executor bug, minimized and persisted like any other
+	// violation.
+	if detail := execDiverge(prog, opt.MaxSteps); detail != "" {
+		res.Violations = append(res.Violations, Violation{
+			Kind: KindExecDiv, Fn: "main", Index: 0, Verdict: "divergent", Detail: detail,
+		})
 	}
 
 	limits := sandbox.Limits{MaxSteps: opt.MaxSteps, Timeout: opt.Timeout}
@@ -222,6 +239,65 @@ func Check(p *fuzzgen.Program, opt Options) (res *Result) {
 		runBaselines(prog, opt, res)
 	}
 	return res
+}
+
+// execOutcome captures one executor's complete observable behaviour on a
+// program: output bytes, executed steps, the error (empty = clean), and a
+// recovered panic message (empty = no panic).
+type execOutcome struct {
+	out      string
+	steps    int64
+	err      string
+	trapKind string
+	panicked string
+}
+
+// stepCounter is the slice of the executor contract execDiverge needs.
+type stepCounter interface {
+	Call(fn *ir.Func, args []ir.Value, parent *interp.Frame) (ir.Value, error)
+	Steps() int64
+}
+
+// runExec runs main() to completion under one executor, converting panics
+// into a comparable outcome instead of unwinding the harness.
+func runExec(ex stepCounter, main *ir.Func, buf *strings.Builder) (oc execOutcome) {
+	defer func() {
+		oc.out = buf.String()
+		oc.steps = ex.Steps()
+		if r := recover(); r != nil {
+			oc.panicked = fmt.Sprint(r)
+		}
+	}()
+	if _, err := ex.Call(main, nil, nil); err != nil {
+		oc.err = err.Error()
+		oc.trapKind = sandbox.Classify(err).String()
+	}
+	return oc
+}
+
+// execDiverge runs the program under the tree-walking interpreter and the
+// bytecode VM and describes the first observable divergence ("" = none).
+func execDiverge(prog *ir.Program, maxSteps int64) string {
+	main := prog.Func("main")
+	if main == nil {
+		return ""
+	}
+	var bufI, bufV strings.Builder
+	oi := runExec(interp.New(prog, interp.Config{Out: &bufI, MaxSteps: maxSteps}), main, &bufI)
+	ov := runExec(vm.New(prog, interp.Config{Out: &bufV, MaxSteps: maxSteps}), main, &bufV)
+	switch {
+	case oi.panicked != ov.panicked:
+		return fmt.Sprintf("panic divergence: interp %q vs vm %q", oi.panicked, ov.panicked)
+	case oi.trapKind != ov.trapKind:
+		return fmt.Sprintf("trap-category divergence: interp %q (%s) vs vm %q (%s)", oi.trapKind, oi.err, ov.trapKind, ov.err)
+	case oi.err != ov.err:
+		return fmt.Sprintf("error divergence: interp %q vs vm %q", oi.err, ov.err)
+	case oi.out != ov.out:
+		return fmt.Sprintf("output divergence: interp %q vs vm %q", truncate(oi.out), truncate(ov.out))
+	case oi.steps != ov.steps:
+		return fmt.Sprintf("step-count divergence: interp %d vs vm %d", oi.steps, ov.steps)
+	}
+	return ""
 }
 
 // checkParallel runs one DCA-commutative loop through the goroutine
@@ -391,6 +467,7 @@ type Stats struct {
 	SoundnessViolations int                      `json:"soundness_violations"`
 	LabelViolations     int                      `json:"label_violations"`
 	ParallelDivergences int                      `json:"parallel_divergences"`
+	ExecDivergences     int                      `json:"exec_divergences"`
 	Baselines           map[string]*BaselineStat `json:"baselines,omitempty"`
 	Seconds             float64                  `json:"seconds"`
 	ProgramsPerSec      float64                  `json:"programs_per_sec"`
@@ -400,7 +477,7 @@ type Stats struct {
 
 // Violations returns the total hard-failure count.
 func (s *Stats) ViolationCount() int {
-	return s.SoundnessViolations + s.LabelViolations + s.ParallelDivergences
+	return s.SoundnessViolations + s.LabelViolations + s.ParallelDivergences + s.ExecDivergences
 }
 
 // Failure is one campaign disagreement after minimization.
@@ -500,6 +577,18 @@ func RunCampaign(ctx context.Context, opt CampaignOptions) (*Stats, []*Failure, 
 // mergeStats folds one program result into the campaign aggregate.
 // Caller holds the stats lock.
 func mergeStats(s *Stats, res *Result) {
+	for _, v := range res.Violations {
+		switch v.Kind {
+		case KindSoundness:
+			s.SoundnessViolations++
+		case KindLabel:
+			s.LabelViolations++
+		case KindParallelDiv:
+			s.ParallelDivergences++
+		case KindExecDiv:
+			s.ExecDivergences++
+		}
+	}
 	if res.Trapped {
 		s.Trapped++
 		s.TrapKinds[res.TrapKind]++
@@ -537,16 +626,6 @@ func mergeStats(s *Stats, res *Result) {
 					bs.OnNonCommutative++
 				}
 			}
-		}
-	}
-	for _, v := range res.Violations {
-		switch v.Kind {
-		case KindSoundness:
-			s.SoundnessViolations++
-		case KindLabel:
-			s.LabelViolations++
-		case KindParallelDiv:
-			s.ParallelDivergences++
 		}
 	}
 }

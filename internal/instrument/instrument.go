@@ -57,7 +57,9 @@ type Instrumented struct {
 // Loop instruments the loopIndex-th loop (in cfg.FindLoops order) of the
 // named function. The input program is not modified.
 func Loop(prog *ir.Program, fnName string, loopIndex int) (*Instrumented, error) {
-	clone := prog.Clone()
+	// Only fnName is rewritten; every other function is shared with the
+	// input program (and stays immutable), so cloning costs one function.
+	clone := prog.CloneShared(fnName)
 	fn := clone.Func(fnName)
 	if fn == nil {
 		return nil, fmt.Errorf("instrument: no function %q", fnName)
@@ -67,8 +69,16 @@ func Loop(prog *ir.Program, fnName string, loopIndex int) (*Instrumented, error)
 		return nil, fmt.Errorf("instrument: %s has %d loops, index %d out of range", fnName, len(loops), loopIndex)
 	}
 	loop := loops[loopIndex]
+	preFuncs := len(clone.Funcs)
 	pd := cfg.ComputePostDom(g)
-	pa := pointer.Analyze(clone)
+	// The clone is structurally identical to prog at this point (fn is not
+	// rewritten yet), so the interprocedural points-to solve runs once per
+	// program and is rebound — keys remapped, results shared — per loop.
+	base := prog.AnalysisCache(func() any { return pointer.Analyze(prog) }).(*pointer.Analysis)
+	pa := base.Rebind(clone, fnName)
+	if pa == nil {
+		pa = pointer.Analyze(clone)
+	}
 	lv := dataflow.ComputeLiveness(g)
 	sep := iterrec.Separate(g, pd, loop, pa, lv)
 	if !sep.OK {
@@ -104,8 +114,16 @@ func Loop(prog *ir.Program, fnName string, loopIndex int) (*Instrumented, error)
 	if err := rewrite(inst, g, effects); err != nil {
 		return nil, err
 	}
-	if err := clone.Verify(); err != nil {
+	// Only the rewritten function and the functions minted by outlining can
+	// be malformed here — the rest of the clone is a copy of an
+	// already-verified program, so re-verifying it per loop is pure waste.
+	if err := fn.Verify(); err != nil {
 		return nil, fmt.Errorf("instrument: rewritten program is malformed: %w", err)
+	}
+	for _, nf := range clone.Funcs[preFuncs:] {
+		if err := nf.Verify(); err != nil {
+			return nil, fmt.Errorf("instrument: rewritten program is malformed: %w", err)
+		}
 	}
 	return inst, nil
 }

@@ -1,0 +1,171 @@
+package interp
+
+import "dca/internal/ir"
+
+// Footprint records, during one execution, which heap cells each *segment*
+// (one driver iteration of the instrumented loop) reads and writes, and
+// whether any cell is shared between segments. If every segment's write set
+// is disjoint from every other segment's read and write sets, the loop body
+// behaves identically under any permutation of its iterations, so the
+// dynamic stage can return Commutative from the golden run alone and skip
+// the permuted replays (provenance "footprint-proved").
+//
+// The recorder is deliberately not a Tracer: it is a concrete type hooked
+// directly into both executors' load/store paths, with an early-out when no
+// segment is open (everything outside driver iterations) and a permanent
+// early-out after the first conflict, so non-disjoint loops stop paying for
+// it after their first colliding access.
+//
+// Cells are keyed by (object ID, element index). Object IDs are minted
+// sequentially per run and element indices are bounded by the 64M array
+// cap, so id<<32|idx is injective and the multiply/xor-shift mix below is a
+// bijection: distinct cells never alias in the table.
+type Footprint struct {
+	seg      int32 // current segment; -1 = not inside a driver iteration
+	epoch    int32 // current invocation; stale table entries are ignored
+	segs     int32 // total segments opened
+	conflict bool
+
+	// Open-addressed hash table, power-of-two sized, linear probing.
+	keys   []uint64 // 0 = empty slot
+	states []fpState
+	used   int
+}
+
+type fpState struct {
+	reader int32 // -1 none, -2 several segments, else the single reading segment
+	writer int32 // -1 none, else the single writing segment
+	epoch  int32
+}
+
+// NewFootprint returns an empty recorder with no open segment.
+func NewFootprint() *Footprint {
+	return &Footprint{
+		seg:    -1,
+		keys:   make([]uint64, 1024),
+		states: make([]fpState, 1024),
+	}
+}
+
+// BeginSegment opens the next segment; subsequent accesses are attributed
+// to it. The DCA runtime calls this when rt_next hands out an iteration.
+func (f *Footprint) BeginSegment() {
+	f.segs++
+	f.seg = f.segs - 1
+}
+
+// EndSegment closes the current segment; accesses are ignored until the
+// next BeginSegment. Called when rt_next reports the schedule is drained.
+func (f *Footprint) EndSegment() { f.seg = -1 }
+
+// EndInvocation closes the segment and starts a new invocation epoch:
+// sharing between iterations of *different* invocations is fine (their
+// relative order is never permuted), so earlier table entries stop
+// counting. Called from rt_verify.
+func (f *Footprint) EndInvocation() {
+	f.seg = -1
+	f.epoch++
+}
+
+// Disjoint reports whether at least one iteration ran and no heap cell was
+// shared between two iterations of the same invocation.
+func (f *Footprint) Disjoint() bool { return f.segs > 0 && !f.conflict }
+
+// Active reports whether the recorder currently wants access events — a
+// segment is open and no conflict has been found. Executors use it to skip
+// the per-store value comparison on the (frequent) accesses outside driver
+// iterations and on everything after the first conflict.
+func (f *Footprint) Active() bool { return f.seg >= 0 && !f.conflict }
+
+func cellKey(obj *ir.Object, idx int) uint64 {
+	k := uint64(obj.ID)<<32 | uint64(uint32(idx))
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// OnLoad records a heap read of obj[idx].
+func (f *Footprint) OnLoad(obj *ir.Object, idx int) {
+	if f.seg < 0 || f.conflict {
+		return
+	}
+	s := f.slot(cellKey(obj, idx))
+	if s.writer >= 0 && s.writer != f.seg {
+		f.conflict = true
+		return
+	}
+	if s.reader == -1 {
+		s.reader = f.seg
+	} else if s.reader != f.seg {
+		s.reader = -2
+	}
+}
+
+// OnStore records a heap write of obj[idx]. same reports that the stored
+// value equals (ir.Value.Equal) the cell's current content: such a silent
+// store is recorded as a read — dropping it changes nothing, so it only
+// conflicts with another segment's *real* write, exactly like a read. This
+// matters in practice: the outlined payload's epilogue writes every
+// environment field back each iteration, and for unmodified fields those
+// write-backs must not make every loop look self-conflicting.
+func (f *Footprint) OnStore(obj *ir.Object, idx int, same bool) {
+	if f.seg < 0 || f.conflict {
+		return
+	}
+	if same {
+		f.OnLoad(obj, idx)
+		return
+	}
+	s := f.slot(cellKey(obj, idx))
+	if (s.writer >= 0 && s.writer != f.seg) || (s.reader != -1 && s.reader != f.seg) {
+		f.conflict = true
+		return
+	}
+	s.writer = f.seg
+}
+
+func (f *Footprint) slot(k uint64) *fpState {
+	mask := uint64(len(f.keys) - 1)
+	i := k & mask
+	for {
+		switch f.keys[i] {
+		case k:
+			s := &f.states[i]
+			if s.epoch != f.epoch {
+				*s = fpState{reader: -1, writer: -1, epoch: f.epoch}
+			}
+			return s
+		case 0:
+			if f.used >= len(f.keys)*3/4 {
+				f.grow()
+				return f.slot(k)
+			}
+			f.used++
+			f.keys[i] = k
+			f.states[i] = fpState{reader: -1, writer: -1, epoch: f.epoch}
+			return &f.states[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (f *Footprint) grow() {
+	oldKeys, oldStates := f.keys, f.states
+	f.keys = make([]uint64, len(oldKeys)*2)
+	f.states = make([]fpState, len(oldStates)*2)
+	mask := uint64(len(f.keys) - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := k & mask
+		for f.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		f.keys[j] = k
+		f.states[j] = oldStates[i]
+	}
+}

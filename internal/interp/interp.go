@@ -84,10 +84,19 @@ type Tracer interface {
 	OnRet(fr *Frame)
 }
 
+// Env is the executor-side surface a Runtime may use while servicing an
+// intrinsic: the retired instruction count and fresh heap-object IDs. Both
+// the tree-walking interpreter and the bytecode VM (internal/vm) implement
+// it, so one Runtime serves either executor.
+type Env interface {
+	Steps() int64
+	NewObjectID() int64
+}
+
 // Runtime services Intrinsic instructions (the rt_* calls inserted by the
 // DCA instrumentation pass).
 type Runtime interface {
-	Intrinsic(it *Interp, fr *Frame, name string, args []ir.Value) (ir.Value, error)
+	Intrinsic(env Env, fr *Frame, name string, args []ir.Value) (ir.Value, error)
 }
 
 // Config controls one execution.
@@ -108,6 +117,11 @@ type Config struct {
 	// error aborts execution with it. The sandbox fault injector uses it to
 	// trip deterministic traps at a chosen instruction count.
 	StepHook func(fr *Frame, in ir.Instr, steps int64) error
+	// Footprint, when non-nil, receives every heap access so the dynamic
+	// stage can prove iteration-disjoint read/write sets from a golden run.
+	// Much cheaper than a full Tracer: a concrete type with an early-out
+	// when no segment is open, supported by both executors.
+	Footprint *Footprint
 }
 
 // Result reports what an execution did.
@@ -320,6 +334,9 @@ func (it *Interp) step(fr *Frame, b *ir.Block, in ir.Instr) error {
 		if it.cfg.Tracer != nil {
 			it.cfg.Tracer.OnLoad(fr, i, obj, idx)
 		}
+		if it.cfg.Footprint != nil {
+			it.cfg.Footprint.OnLoad(obj, idx)
+		}
 		fr.Locals[i.Dst.Index] = obj.Elems[idx]
 	case *ir.Store:
 		base := it.operand(fr, i.Base)
@@ -335,7 +352,11 @@ func (it *Interp) step(fr *Frame, b *ir.Block, in ir.Instr) error {
 		if it.cfg.Tracer != nil {
 			it.cfg.Tracer.OnStore(fr, i, obj, idx)
 		}
-		obj.Elems[idx] = it.operand(fr, i.Src)
+		v := it.operand(fr, i.Src)
+		if it.cfg.Footprint != nil && it.cfg.Footprint.Active() {
+			it.cfg.Footprint.OnStore(obj, idx, v.Equal(obj.Elems[idx]))
+		}
+		obj.Elems[idx] = v
 	case *ir.Alloc:
 		if it.cfg.MaxHeapObjects > 0 && it.nextID >= it.cfg.MaxHeapObjects {
 			return it.budgetErr("heap-objects", it.cfg.MaxHeapObjects, fr, b)
@@ -358,7 +379,7 @@ func (it *Interp) step(fr *Frame, b *ir.Block, in ir.Instr) error {
 			args[k] = it.operand(fr, a)
 		}
 		if i.Builtin {
-			v, err := evalBuiltin(i.Callee, args)
+			v, err := EvalBuiltin(i.Callee, args)
 			if err != nil {
 				return err
 			}
@@ -521,7 +542,10 @@ func EvalBinOp(op ir.BinKind, x, y ir.Value) (ir.Value, error) {
 	return ir.Value{}, fmt.Errorf("bad operands for %s: %s, %s", op, x, y)
 }
 
-func evalBuiltin(name string, args []ir.Value) (ir.Value, error) {
+// EvalBuiltin evaluates a pure builtin with exactly the interpreter's
+// semantics (shared with the bytecode VM so the two executors cannot
+// drift).
+func EvalBuiltin(name string, args []ir.Value) (ir.Value, error) {
 	switch name {
 	case "len":
 		if args[0].IsNilRef() {

@@ -8,6 +8,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"dca/internal/source"
 	"dca/internal/types"
@@ -18,6 +19,48 @@ type Program struct {
 	Name    string
 	Funcs   []*Func
 	Structs map[string]*types.StructInfo
+
+	// execCache memoizes an executor-built artifact (the bytecode VM's
+	// compiled form) so one compilation serves the golden run and every
+	// replay of the same program. See ExecCache.
+	execCache atomic.Value
+	// analysisCache memoizes a whole-program analysis artifact (the
+	// points-to analysis) under the same contract; separate from execCache
+	// so the two consumers cannot evict each other.
+	analysisCache atomic.Value
+}
+
+// ExecCache returns the memoized execution artifact for this program,
+// calling build at most effectively once to create it (concurrent first
+// callers may both build; one result wins). The artifact must be derived
+// purely from the program's IR and safe for concurrent use; callers must
+// not mutate the program after the first execution. Clone starts with an
+// empty cache, so the transform pipeline (clone → instrument → run) never
+// observes a stale artifact.
+func (p *Program) ExecCache(build func() any) any {
+	if v := p.execCache.Load(); v != nil {
+		return v
+	}
+	v := build()
+	if p.execCache.CompareAndSwap(nil, v) {
+		return v
+	}
+	return p.execCache.Load()
+}
+
+// AnalysisCache memoizes a whole-program analysis artifact, with the same
+// contract as ExecCache: built at most effectively once, derived purely
+// from the IR, safe for concurrent use, and never stale because Clone and
+// CloneShared start with an empty cache.
+func (p *Program) AnalysisCache(build func() any) any {
+	if v := p.analysisCache.Load(); v != nil {
+		return v
+	}
+	v := build()
+	if p.analysisCache.CompareAndSwap(nil, v) {
+		return v
+	}
+	return p.analysisCache.Load()
 }
 
 // Func returns the named function, or nil.
@@ -28,6 +71,35 @@ func (p *Program) Func(name string) *Func {
 		}
 	}
 	return nil
+}
+
+// CloneShared returns a copy of the program in which the named function is
+// deep-cloned and every other function is SHARED with the receiver. The
+// instrumentation pipeline rewrites exactly one function per loop; sharing
+// the rest makes cloning O(one function) instead of O(program) and lets the
+// executors reuse per-function artifacts across the clones. Callers must
+// treat the shared functions as immutable (every analysis and executor
+// already does) and may append new functions freely — the Funcs slice and
+// struct table are fresh. The shared functions keep their original Prog
+// back-pointer; only the cloned function points at the new program.
+func (p *Program) CloneShared(name string) *Program {
+	q := &Program{Name: p.Name, Funcs: make([]*Func, 0, len(p.Funcs)+2)}
+	if p.Structs != nil {
+		q.Structs = make(map[string]*types.StructInfo, len(p.Structs))
+		for n, si := range p.Structs {
+			q.Structs[n] = si
+		}
+	}
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			g := f.Clone()
+			g.Prog = q
+			q.Funcs = append(q.Funcs, g)
+		} else {
+			q.Funcs = append(q.Funcs, f)
+		}
+	}
+	return q
 }
 
 // AddFunc appends a function (used by outlining).
@@ -76,7 +148,21 @@ type Func struct {
 	Blocks []*Block
 	Prog   *Program
 	Pos    source.Pos
+
+	// execCache memoizes an executor-built artifact for this function (the
+	// bytecode VM's compiled body). Function-level rather than program-level
+	// so that programs built with CloneShared reuse the artifacts of their
+	// shared functions. See Program.ExecCache for the contract.
+	execCache atomic.Value
 }
+
+// ExecCode returns the memoized per-function execution artifact, or nil.
+func (f *Func) ExecCode() any { return f.execCache.Load() }
+
+// SetExecCode stores the per-function execution artifact. Concurrent
+// stores race benignly: each candidate must be valid on its own, and one
+// of them wins.
+func (f *Func) SetExecCode(v any) { f.execCache.Store(v) }
 
 // NewFunc creates an empty function with the given result type.
 func NewFunc(name string, result *types.Type) *Func {

@@ -9,32 +9,27 @@ import "fmt"
 //   - local indices are consistent.
 //
 // Passes run Verify after transforming IR; a failure is a compiler bug.
+// The instrumenter verifies every loop clone it produces, so this runs on
+// the analysis hot path: membership tests use Local.Index identity checks
+// and error strings are only formatted once a violation is found.
 func (f *Func) Verify() error {
-	blocks := map[*Block]bool{}
-	for _, b := range f.Blocks {
-		blocks[b] = true
-	}
-	locals := map[*Local]bool{}
 	for i, l := range f.Locals {
 		if l.Index != i {
 			return fmt.Errorf("ir: %s: local %q has index %d, want %d", f.Name, l.Name, l.Index, i)
 		}
-		locals[l] = true
 	}
-	checkOp := func(where string, o Operand) error {
-		if o.Local != nil && !locals[o.Local] {
-			return fmt.Errorf("ir: %s: %s reads foreign local %q", f.Name, where, o.Local.Name)
-		}
-		return nil
+	owns := func(l *Local) bool {
+		return l.Index >= 0 && l.Index < len(f.Locals) && f.Locals[l.Index] == l
 	}
+	var blocks map[*Block]bool
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
-			if d := in.Def(); d != nil && !locals[d] {
+			if d := in.Def(); d != nil && !owns(d) {
 				return fmt.Errorf("ir: %s: block %s: %s defines foreign local %q", f.Name, b.Name, in, d.Name)
 			}
 			for _, u := range in.Uses() {
-				if err := checkOp(fmt.Sprintf("block %s: %s", b.Name, in), u); err != nil {
-					return err
+				if u.Local != nil && !owns(u.Local) {
+					return fmt.Errorf("ir: %s: block %s: %s reads foreign local %q", f.Name, b.Name, in, u.Local.Name)
 				}
 			}
 		}
@@ -42,11 +37,17 @@ func (f *Func) Verify() error {
 			return fmt.Errorf("ir: %s: block %s has no terminator", f.Name, b.Name)
 		}
 		for _, u := range b.Term.Uses() {
-			if err := checkOp(fmt.Sprintf("block %s terminator", b.Name), u); err != nil {
-				return err
+			if u.Local != nil && !owns(u.Local) {
+				return fmt.Errorf("ir: %s: block %s terminator reads foreign local %q", f.Name, b.Name, u.Local.Name)
 			}
 		}
 		for _, s := range b.Term.Succs() {
+			if blocks == nil {
+				blocks = make(map[*Block]bool, len(f.Blocks))
+				for _, bb := range f.Blocks {
+					blocks[bb] = true
+				}
+			}
 			if !blocks[s] {
 				return fmt.Errorf("ir: %s: block %s branches to foreign block %q", f.Name, b.Name, s.Name)
 			}

@@ -186,7 +186,7 @@ func valKind(l *ir.Local) ir.ValKind {
 }
 
 // Intrinsic implements interp.Runtime.
-func (rt *rtImpl) Intrinsic(it *interp.Interp, _ *interp.Frame, name string, args []ir.Value) (ir.Value, error) {
+func (rt *rtImpl) Intrinsic(ev interp.Env, _ *interp.Frame, name string, args []ir.Value) (ir.Value, error) {
 	switch name {
 	case instrument.RTLinearize:
 		tup := make([]ir.Value, len(args))
@@ -198,7 +198,7 @@ func (rt *rtImpl) Intrinsic(it *interp.Interp, _ *interp.Frame, name string, arg
 		if env.IsNilRef() {
 			return ir.Value{}, errors.New("parallel: nil environment")
 		}
-		if err := rt.runParallel(it, env.Ref); err != nil {
+		if err := rt.runParallel(ev, env.Ref); err != nil {
 			return ir.Value{}, err
 		}
 		rt.invocations++
@@ -235,7 +235,7 @@ func firstError(errs []error) error {
 }
 
 // runParallel fans the recorded iterations out over the worker pool.
-func (rt *rtImpl) runParallel(parent *interp.Interp, env *ir.Object) error {
+func (rt *rtImpl) runParallel(parent interp.Env, env *ir.Object) error {
 	n := len(rt.records)
 	if n == 0 {
 		return nil

@@ -127,8 +127,14 @@ type Analysis struct {
 	// Summaries per function (transitive).
 	Summaries        map[*ir.Func]*ModRef
 	siteOf           map[*ir.Alloc]*Site
+	funcs            map[string]*ir.Func
 	fieldInsensitive bool
 }
+
+// callee resolves a call target by name. Program.Func is a linear scan and
+// the solvers resolve the same names on every fixed-point pass, so the table
+// is built once up front.
+func (a *Analysis) callee(name string) *ir.Func { return a.funcs[name] }
 
 // Analyze runs the field-sensitive analysis over the whole program.
 func Analyze(prog *ir.Program) *Analysis { return analyze(prog, false) }
@@ -148,6 +154,10 @@ func analyze(prog *ir.Program, fieldInsensitive bool) *Analysis {
 		heap:             map[Region]siteSet{},
 		Summaries:        map[*ir.Func]*ModRef{},
 		siteOf:           map[*ir.Alloc]*Site{},
+		funcs:            make(map[string]*ir.Func, len(prog.Funcs)),
+	}
+	for _, fn := range prog.Funcs {
+		a.funcs[fn.Name] = fn
 	}
 	// Collect allocation sites.
 	for _, fn := range prog.Funcs {
@@ -164,6 +174,83 @@ func analyze(prog *ir.Program, fieldInsensitive bool) *Analysis {
 	a.solvePointsTo()
 	a.solveModRef()
 	return a
+}
+
+// Rebind adapts the analysis to a program built with ir.Program.CloneShared
+// from a.Prog: every function is shared except fnName, which was replaced by
+// a structurally identical (not yet rewritten) copy. Flow-insensitive
+// points-to facts depend only on program structure, so the solution carries
+// over verbatim — only the keys touching the replaced function need remapping
+// (locals by index, allocation sites by traversal order, the function's
+// summary by identity). All result sets are shared with the receiver, which
+// is not mutated and stays valid; the returned view is cheap enough to build
+// per instrumented clone, replacing a full interprocedural re-solve.
+//
+// Returns nil when the clone does not line up with the receiver's program
+// (different function, local count, or alloc count); callers fall back to a
+// full Analyze then.
+func (a *Analysis) Rebind(clone *ir.Program, fnName string) *Analysis {
+	orig := a.funcs[fnName]
+	g := clone.Func(fnName)
+	if orig == nil || g == nil || g == orig ||
+		len(orig.Locals) != len(g.Locals) || len(orig.Blocks) != len(g.Blocks) {
+		return nil
+	}
+	b := &Analysis{
+		Prog:             clone,
+		Sites:            a.Sites,
+		pts:              make(map[*ir.Local]siteSet, len(a.pts)+len(g.Locals)),
+		heap:             a.heap,
+		Summaries:        make(map[*ir.Func]*ModRef, len(a.Summaries)+1),
+		siteOf:           make(map[*ir.Alloc]*Site, len(a.siteOf)*2),
+		funcs:            make(map[string]*ir.Func, len(a.funcs)),
+		fieldInsensitive: a.fieldInsensitive,
+	}
+	for k, v := range a.pts {
+		b.pts[k] = v
+	}
+	for k, v := range a.Summaries {
+		b.Summaries[k] = v
+	}
+	for k, v := range a.siteOf {
+		b.siteOf[k] = v
+	}
+	for k, v := range a.funcs {
+		b.funcs[k] = v
+	}
+	b.funcs[fnName] = g
+	b.Summaries[g] = a.Summaries[orig]
+	for i, l := range orig.Locals {
+		if s, ok := a.pts[l]; ok {
+			b.pts[g.Locals[i]] = s
+		}
+	}
+	// ir.Func.Clone preserves block and instruction order, so the two alloc
+	// streams line up one-to-one.
+	oa, ga := collectAllocs(orig), collectAllocs(g)
+	if len(oa) != len(ga) {
+		return nil
+	}
+	for i := range oa {
+		s := a.siteOf[oa[i]]
+		if s == nil {
+			return nil
+		}
+		b.siteOf[ga[i]] = s
+	}
+	return b
+}
+
+func collectAllocs(fn *ir.Func) []*ir.Alloc {
+	var out []*ir.Alloc
+	for _, blk := range fn.Blocks {
+		for _, in := range blk.Instrs {
+			if al, ok := in.(*ir.Alloc); ok {
+				out = append(out, al)
+			}
+		}
+	}
+	return out
 }
 
 func (a *Analysis) ptsOf(l *ir.Local) siteSet {
@@ -267,7 +354,7 @@ func (a *Analysis) solvePointsTo() {
 						if i.Builtin {
 							continue // builtins neither store nor return refs
 						}
-						callee := a.Prog.Func(i.Callee)
+						callee := a.callee(i.Callee)
 						if callee == nil {
 							continue
 						}
@@ -321,7 +408,7 @@ func (a *Analysis) solveModRef() {
 						if i.Builtin {
 							continue
 						}
-						callee := a.Prog.Func(i.Callee)
+						callee := a.callee(i.Callee)
 						if callee == nil {
 							continue
 						}
@@ -378,7 +465,7 @@ func (a *Analysis) CallEffects(c *ir.Call) *ModRef {
 	if c.Builtin {
 		return nil
 	}
-	callee := a.Prog.Func(c.Callee)
+	callee := a.callee(c.Callee)
 	if callee == nil {
 		return nil
 	}

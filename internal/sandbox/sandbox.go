@@ -25,6 +25,7 @@ import (
 
 	"dca/internal/interp"
 	"dca/internal/ir"
+	"dca/internal/vm"
 )
 
 // Kind classifies why a sandboxed execution stopped abnormally.
@@ -134,7 +135,7 @@ func Run(ctx context.Context, prog *ir.Program, cfg interp.Config, lim Limits, i
 			cfg.Runtime = inj.WrapRuntime(cfg.Runtime)
 		}
 	}
-	it := interp.New(prog, cfg)
+	it := newExecutor(prog, cfg)
 	defer func() {
 		if r := recover(); r != nil {
 			out = &Outcome{Trap: &Trap{
@@ -151,9 +152,48 @@ func Run(ctx context.Context, prog *ir.Program, cfg interp.Config, lim Limits, i
 	}
 	ret, err := it.Call(main, nil, nil)
 	if err != nil {
-		return &Outcome{Trap: &Trap{Kind: Classify(err), Err: err, Steps: it.Steps()}}
+		out = &Outcome{Trap: &Trap{Kind: Classify(err), Err: err, Steps: it.Steps()}}
+		release(it, ir.Value{})
+		return out
 	}
-	return &Outcome{Result: &interp.Result{Steps: it.Steps(), BlockCount: it.BlockCounts(), Ret: ret}}
+	out = &Outcome{Result: &interp.Result{Steps: it.Steps(), BlockCount: it.BlockCounts(), Ret: ret}}
+	release(it, ret)
+	return out
+}
+
+// release hands a pooling executor (the VM) its arenas back once the
+// outcome has been extracted. Nothing a sandboxed run produces outlives the
+// Outcome: traps and output are strings, verification state is digests, and
+// step/block counts are copied above — so recycling is safe unless main
+// itself returned a heap reference, in which case the machine is simply
+// dropped. Panicking runs never reach here and are dropped too.
+func release(it executor, ret ir.Value) {
+	if ret.Ref != nil {
+		return
+	}
+	if r, ok := it.(interface{ Release() }); ok {
+		r.Release()
+	}
+}
+
+// executor abstracts the two execution engines behind Run: the bytecode VM
+// (internal/vm) and the tree-walking interpreter. Both honour the same
+// contract — step counts, block counts, output, traps — so the choice is
+// invisible to callers.
+type executor interface {
+	Call(fn *ir.Func, args []ir.Value, parent *interp.Frame) (ir.Value, error)
+	Steps() int64
+	BlockCounts() map[*ir.Block]int64
+}
+
+// newExecutor picks the VM when it is enabled and the config carries no
+// per-instruction subscriptions (Tracer, StepHook) the VM cannot raise;
+// everything else runs on the tree-walker.
+func newExecutor(prog *ir.Program, cfg interp.Config) executor {
+	if vm.Enabled() && vm.Supported(cfg) {
+		return vm.New(prog, cfg)
+	}
+	return interp.New(prog, cfg)
 }
 
 // RunRetry executes Run with a fresh configuration from mkCfg, retrying
@@ -333,15 +373,15 @@ type injectRuntime struct {
 	calls int64
 }
 
-func (w *injectRuntime) Intrinsic(it *interp.Interp, fr *interp.Frame, name string, args []ir.Value) (ir.Value, error) {
+func (w *injectRuntime) Intrinsic(ev interp.Env, fr *interp.Frame, name string, args []ir.Value) (ir.Value, error) {
 	w.calls++
 	if w.calls == w.inj.spec.AtIntrinsic && w.inj.tryTrip() {
-		if err := w.inj.fire("@"+name, it.Steps()); err != nil {
+		if err := w.inj.fire("@"+name, ev.Steps()); err != nil {
 			return ir.Value{}, err
 		}
 	}
 	if w.inner == nil {
 		return ir.Value{}, fmt.Errorf("sandbox: intrinsic @%s with no runtime installed", name)
 	}
-	return w.inner.Intrinsic(it, fr, name, args)
+	return w.inner.Intrinsic(ev, fr, name, args)
 }

@@ -1,0 +1,211 @@
+package vm
+
+import (
+	"dca/internal/interp"
+	"dca/internal/ir"
+)
+
+// valArena is a LIFO arena for frame register slices: push carves a zeroed
+// window for one frame, pop releases the most recent push. Chunks are never
+// freed, so a run's peak call depth sets the footprint and steady-state
+// calls allocate nothing.
+//
+// The high-water mark (hwCi, hwUsed) tracks the deepest point any push
+// reached, so reset can clear exactly the region that may hold value
+// references — a pooled machine that once ran something deep does not pay
+// full-capacity clears forever after.
+type valArena struct {
+	chunks [][]ir.Value
+	ci     int // current chunk
+	used   int // values used in current chunk
+	marks  []valMark
+	hwCi   int
+	hwUsed int
+}
+
+type valMark struct{ ci, used int }
+
+func (a *valArena) push(n int) []ir.Value {
+	a.marks = append(a.marks, valMark{a.ci, a.used})
+	for {
+		if a.ci == len(a.chunks) {
+			// Chunks grow geometrically (512, 1024, ... capped at 8192) so a
+			// shallow run — the common case for dynamic-stage cells, which the
+			// engine creates by the thousand — costs one small allocation, not
+			// a full-size chunk.
+			sz := 512 << len(a.chunks)
+			if sz > 8192 {
+				sz = 8192
+			}
+			if n > sz {
+				sz = n
+			}
+			a.chunks = append(a.chunks, make([]ir.Value, sz))
+		}
+		c := a.chunks[a.ci]
+		if n <= len(c)-a.used {
+			s := c[a.used : a.used+n : a.used+n]
+			a.used += n
+			if a.ci > a.hwCi || (a.ci == a.hwCi && a.used > a.hwUsed) {
+				a.hwCi, a.hwUsed = a.ci, a.used
+			}
+			clear(s)
+			return s
+		}
+		a.ci++
+		a.used = 0
+	}
+}
+
+func (a *valArena) pop() {
+	mk := a.marks[len(a.marks)-1]
+	a.marks = a.marks[:len(a.marks)-1]
+	a.ci, a.used = mk.ci, mk.used
+}
+
+// reset rewinds the arena for reuse by a later run and clears everything up
+// to the high-water mark, so pooled chunks never pin a dead run's heap.
+// Chunks keep their capacity.
+func (a *valArena) reset() {
+	for i := 0; i < a.hwCi && i < len(a.chunks); i++ {
+		clear(a.chunks[i])
+	}
+	if a.hwCi < len(a.chunks) {
+		clear(a.chunks[a.hwCi][:a.hwUsed])
+	}
+	a.ci, a.used, a.hwCi, a.hwUsed = 0, 0, 0, 0
+	a.marks = a.marks[:0]
+}
+
+// frameArena is the matching LIFO arena for interp.Frame records.
+type frameArena struct {
+	chunks [][]interp.Frame
+	ci     int
+	used   int
+}
+
+func (a *frameArena) push() *interp.Frame {
+	for {
+		if a.ci == len(a.chunks) {
+			sz := 32 << len(a.chunks)
+			if sz > 256 {
+				sz = 256
+			}
+			a.chunks = append(a.chunks, make([]interp.Frame, sz))
+		}
+		c := a.chunks[a.ci]
+		if a.used < len(c) {
+			f := &c[a.used]
+			a.used++
+			return f
+		}
+		a.ci++
+		a.used = 0
+	}
+}
+
+func (a *frameArena) pop() {
+	if a.used == 0 {
+		a.ci--
+		a.used = len(a.chunks[a.ci])
+	}
+	a.used--
+}
+
+// reset drops every frame's references. Frame chunks are small (a few KB in
+// total even at full depth), so clearing them whole is cheaper than
+// high-water bookkeeping.
+func (a *frameArena) reset() {
+	for _, c := range a.chunks {
+		clear(c)
+	}
+	a.ci, a.used = 0, 0
+}
+
+// heapArena batches heap allocations: Object records and element slices are
+// carved from chunks that are retained across runs (via Machine pooling), so
+// steady-state allocation touches no garbage collector at all. Any live
+// object is reachable through the program's own references, so escaping a
+// ref is always safe.
+//
+// Callers fully initialize every carved record and element window (both
+// alloc opcodes overwrite the Object and fill the elements), so a reused
+// chunk needs no per-carve clearing: reset's bulk clear re-establishes the
+// all-zero state, and skipped chunk tails stay zero by induction.
+type heapArena struct {
+	objChunks [][]ir.Object
+	objCi     int
+	objUsed   int
+	valChunks [][]ir.Value
+	valCi     int
+	valUsed   int
+}
+
+func (h *heapArena) newObj() *ir.Object {
+	for {
+		if h.objCi == len(h.objChunks) {
+			// First chunk small: most dynamic-stage cells allocate a handful
+			// of objects (the env record plus the workload's arrays).
+			sz := 64
+			if h.objCi > 0 {
+				sz = 1024
+			}
+			h.objChunks = append(h.objChunks, make([]ir.Object, sz))
+		}
+		c := h.objChunks[h.objCi]
+		if h.objUsed < len(c) {
+			o := &c[h.objUsed]
+			h.objUsed++
+			return o
+		}
+		h.objCi++
+		h.objUsed = 0
+	}
+}
+
+func (h *heapArena) newVals(n int) []ir.Value {
+	if n > 4096 {
+		// Outsized arrays go straight to the heap rather than hollowing out
+		// the chunk progression.
+		return make([]ir.Value, n)
+	}
+	for {
+		if h.valCi == len(h.valChunks) {
+			sz := 1024
+			if h.valCi > 0 || n > 1024 {
+				sz = 8192
+			}
+			h.valChunks = append(h.valChunks, make([]ir.Value, sz))
+		}
+		c := h.valChunks[h.valCi]
+		if n <= len(c)-h.valUsed {
+			s := c[h.valUsed : h.valUsed+n : h.valUsed+n]
+			h.valUsed += n
+			return s
+		}
+		h.valCi++
+		h.valUsed = 0
+	}
+}
+
+// reset rewinds the arena and clears the written region so a pooled machine
+// never pins the previous run's objects. The arena never rewinds mid-run,
+// so the current position is its own high-water mark. Must only be called
+// when nothing outside the run references the carved objects (see
+// Machine.Release).
+func (h *heapArena) reset() {
+	for i := 0; i < h.objCi && i < len(h.objChunks); i++ {
+		clear(h.objChunks[i])
+	}
+	if h.objCi < len(h.objChunks) {
+		clear(h.objChunks[h.objCi][:h.objUsed])
+	}
+	for i := 0; i < h.valCi && i < len(h.valChunks); i++ {
+		clear(h.valChunks[i])
+	}
+	if h.valCi < len(h.valChunks) {
+		clear(h.valChunks[h.valCi][:h.valUsed])
+	}
+	h.objCi, h.objUsed = 0, 0
+	h.valCi, h.valUsed = 0, 0
+}

@@ -1,0 +1,91 @@
+package vm_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"dca/internal/interp"
+	"dca/internal/ir"
+	"dca/internal/vm"
+)
+
+// Three kernels chosen to stress the three costs that separate the two
+// executors: pure dispatch (tight arithmetic loop), heap churn (allocation
+// plus loads/stores), and call overhead (deep recursion).
+var benchKernels = []struct {
+	name string
+	src  string
+}{
+	{"dispatch", `func main() {
+		var s int = 0;
+		for (var i int = 0; i < 20000; i++) { s = s + i*3 - (i >> 1); }
+		print(s);
+	}`},
+	{"alloc", `struct N { v int; next *N; }
+	func main() {
+		var head *N = nil;
+		for (var i int = 0; i < 2000; i++) {
+			var n *N = new N; n->v = i; n->next = head; head = n;
+		}
+		var s int = 0;
+		while (head != nil) { s += head->v; head = head->next; }
+		print(s);
+	}`},
+	{"calls", `func fib(n int) int {
+		if (n < 2) { return n; }
+		return fib(n-1) + fib(n-2);
+	}
+	func main() { print(fib(18)); }`},
+}
+
+// BenchmarkVMvsInterp pits the bytecode VM against the tree-walking
+// interpreter on each kernel (run via
+// `go test ./internal/vm -run=^$ -bench=VMvsInterp`). The vm/interp
+// sub-benchmark ratio is the dispatch win the dynamic stage sees per
+// golden run or replay.
+func BenchmarkVMvsInterp(b *testing.B) {
+	for _, k := range benchKernels {
+		prog := compile(b, k.src)
+		main := prog.Func("main")
+		b.Run(k.name+"/vm", func(b *testing.B) {
+			benchExec(b, prog, main, func(cfg interp.Config) caller { return vm.New(prog, cfg) })
+		})
+		b.Run(k.name+"/interp", func(b *testing.B) {
+			benchExec(b, prog, main, func(cfg interp.Config) caller { return interp.New(prog, cfg) })
+		})
+	}
+}
+
+type caller interface {
+	Call(fn *ir.Func, args []ir.Value, parent *interp.Frame) (ir.Value, error)
+	Steps() int64
+}
+
+func benchExec(b *testing.B, prog *ir.Program, main *ir.Func, mk func(cfg interp.Config) caller) {
+	var steps int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := mk(interp.Config{Out: io.Discard})
+		if _, err := m.Call(main, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps()
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+}
+
+// BenchmarkCompile measures the one-time bytecode compilation cost that the
+// VM amortizes across every run of the same program.
+func BenchmarkCompile(b *testing.B) {
+	src := benchKernels[0].src
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog := compile(b, src)
+		var out strings.Builder
+		m := vm.New(prog, interp.Config{Out: &out})
+		if _, err := m.Call(prog.Func("main"), nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"dca/internal/bench"
+	"dca/internal/vm"
+)
+
+// TestNoVMSuiteIdentity is the executor-identity smoke: the full NPB suite
+// run on the bytecode VM and again forced onto the tree-walking interpreter
+// (the -no-vm path) must render byte-identical Tables I/III/IV. It runs the
+// tree-walker at full cost, so it is gated behind DCA_VM_IDENTITY=1 and
+// wired into CI's bench job rather than the race legs (BenchmarkSuiteVM
+// performs the same check when the bench leg runs; this test keeps the
+// guarantee testable without the benchmark harness).
+func TestNoVMSuiteIdentity(t *testing.T) {
+	if os.Getenv("DCA_VM_IDENTITY") == "" {
+		t.Skip("set DCA_VM_IDENTITY=1 to run the full-suite executor identity check")
+	}
+	workers := runtime.NumCPU()
+	vmSuite, err := bench.RunSuiteWorkers(workers)
+	if err != nil {
+		t.Fatalf("vm suite: %v", err)
+	}
+	vm.SetEnabled(false)
+	defer vm.SetEnabled(true)
+	noSuite, err := bench.RunSuiteWorkers(workers)
+	if err != nil {
+		t.Fatalf("no-vm suite: %v", err)
+	}
+	if vmSuite.TableI() != noSuite.TableI() {
+		t.Errorf("Table I diverges:\nvm:\n%s\nno-vm:\n%s", vmSuite.TableI(), noSuite.TableI())
+	}
+	if vmSuite.TableIII() != noSuite.TableIII() {
+		t.Errorf("Table III diverges:\nvm:\n%s\nno-vm:\n%s", vmSuite.TableIII(), noSuite.TableIII())
+	}
+	if vmSuite.TableIV() != noSuite.TableIV() {
+		t.Errorf("Table IV diverges:\nvm:\n%s\nno-vm:\n%s", vmSuite.TableIV(), noSuite.TableIV())
+	}
+}
