@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"dca/internal/cache"
+	"dca/internal/core"
+	"dca/internal/fleet"
+	"dca/internal/irbuild"
+	"dca/internal/obs"
+	"dca/internal/server"
+	"dca/internal/workloads/npb"
+)
+
+// fleetBlock is the "fleet" record merged into BENCH_analysis.json.
+type fleetBlock struct {
+	Nodes           int     `json:"nodes"`
+	Loops           int     `json:"loops"`
+	ColdSeconds     float64 `json:"cold_seconds"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	FailoverSeconds float64 `json:"failover_seconds"`
+	WarmReplays     int     `json:"warm_replays"`
+	PeerHits        uint64  `json:"peer_hits"`
+	PeerMisses      uint64  `json:"peer_misses"`
+	PeerErrors      uint64  `json:"peer_errors"`
+	PeerHitRate     float64 `json:"peer_hit_rate"`
+	Redispatches    uint64  `json:"redispatches"`
+	Identical       bool    `json:"identical"`
+	GoVersion       string  `json:"go_version"`
+}
+
+// cmdFleetBench measures the sharded fleet on the NPB-inspired suite: it
+// boots N in-process workers on loopback listeners with the peer cache
+// enabled, runs the suite through a coordinator cold and warm, kills one
+// worker and runs a failover pass, and asserts every pass renders the
+// same verdict table a single node does. The numbers land in the "fleet"
+// block of BENCH_analysis.json.
+func cmdFleetBench(args []string) error {
+	fs := flag.NewFlagSet("fleet-bench", flag.ExitOnError)
+	nodes := fs.Int("nodes", 3, "fleet size")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "engine workers per node")
+	benchOut := fs.String("bench-out", "BENCH_analysis.json", "merge the \"fleet\" block into this JSON file (empty = skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("fleet-bench: unexpected arguments %q", fs.Args())
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("fleet-bench: -nodes must be >= 2 (the single-node reference is built in)")
+	}
+	ctx := context.Background()
+
+	// Single-node reference: the verdict table every fleet pass must match.
+	single, err := newBenchFleet(ctx, 1, *jobs)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: %w", err)
+	}
+	defer single.stop()
+	refTable, _, _, err := single.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: reference suite: %w", err)
+	}
+	single.stop()
+
+	fl, err := newBenchFleet(ctx, *nodes, *jobs)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: %w", err)
+	}
+	defer fl.stop()
+
+	coldTable, coldDur, coldLoops, err := fl.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: cold suite: %w", err)
+	}
+	warmTable, warmDur, _, err := fl.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: warm suite: %w", err)
+	}
+	warmReplays := fl.lastReplays
+
+	// Failover: kill the last worker and run the suite again. The
+	// coordinator must re-dispatch its shard to the ring successors and
+	// still render the identical table.
+	fl.kill(*nodes - 1)
+	failTable, failDur, _, err := fl.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: failover suite: %w", err)
+	}
+
+	identical := coldTable == refTable && warmTable == refTable && failTable == refTable
+
+	// Every worker's registry counts, including the killed one: its peer
+	// traffic happened while it was alive.
+	var hits, misses, errs uint64
+	for _, w := range fl.workers {
+		if m := w.FleetMetrics(); m != nil {
+			hits += m.PeerHits.Value()
+			misses += m.PeerMisses.Value()
+			errs += m.PeerErrors.Value()
+		}
+	}
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	block := fleetBlock{
+		Nodes:           *nodes,
+		Loops:           coldLoops,
+		ColdSeconds:     coldDur.Seconds(),
+		WarmSeconds:     warmDur.Seconds(),
+		FailoverSeconds: failDur.Seconds(),
+		WarmReplays:     warmReplays,
+		PeerHits:        hits,
+		PeerMisses:      misses,
+		PeerErrors:      errs,
+		PeerHitRate:     hitRate,
+		Redispatches:    fl.cm.Redispatches.Value(),
+		Identical:       identical,
+		GoVersion:       runtime.Version(),
+	}
+	fmt.Printf("fleet-bench: %d nodes, %d loops\n", block.Nodes, block.Loops)
+	fmt.Printf("  cold %.2fs  warm %.2fs  failover %.2fs\n", block.ColdSeconds, block.WarmSeconds, block.FailoverSeconds)
+	fmt.Printf("  warm replays %d  peer hits %d / misses %d / errors %d (hit rate %.2f)\n",
+		block.WarmReplays, block.PeerHits, block.PeerMisses, block.PeerErrors, block.PeerHitRate)
+	fmt.Printf("  re-dispatches %d  tables identical to single node: %v\n", block.Redispatches, block.Identical)
+	if *benchOut != "" {
+		if err := mergeBenchBlock(*benchOut, "fleet", block); err != nil {
+			return fmt.Errorf("fleet-bench: %w", err)
+		}
+	}
+	if !identical {
+		return fmt.Errorf("fleet-bench: fleet verdict tables diverged from the single-node reference")
+	}
+	return nil
+}
+
+// benchFleet is an in-process fleet: N worker servers on loopback
+// listeners, each with a memory-only verdict cache wrapped in the peer
+// protocol, and one coordinator routing over all of them.
+type benchFleet struct {
+	workers     []*server.Server
+	cancels     []context.CancelFunc
+	urls        []string
+	coord       *fleet.Coordinator
+	cm          *fleet.Metrics
+	lastReplays int
+}
+
+func newBenchFleet(ctx context.Context, n, jobs int) (*benchFleet, error) {
+	f := &benchFleet{}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		listeners[i] = ln
+		f.urls = append(f.urls, "http://"+ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		c, err := cache.Open("", 0, core.CacheRecordVersion)
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		cfg := server.Config{
+			Workers:   jobs,
+			Cache:     c,
+			PeerNodes: f.urls,
+			PeerSelf:  f.urls[i],
+		}
+		srv := server.New(cfg)
+		wctx, cancel := context.WithCancel(ctx)
+		f.workers = append(f.workers, srv)
+		f.cancels = append(f.cancels, cancel)
+		go srv.Serve(wctx, listeners[i])
+	}
+	reg := obs.NewRegistry()
+	f.coord = fleet.NewCoordinator(fleet.CoordinatorConfig{Nodes: f.urls})
+	f.cm = fleet.NewMetrics(reg, f.coord.Ring())
+	f.coord.SetMetrics(f.cm)
+	return f, nil
+}
+
+// kill shuts one worker down; its listener closes, so subsequent
+// dispatches and peer lookups fail over.
+func (f *benchFleet) kill(i int) {
+	if i < len(f.cancels) && f.cancels[i] != nil {
+		f.cancels[i]()
+		f.cancels[i] = nil
+	}
+}
+
+func (f *benchFleet) stop() {
+	for i := range f.cancels {
+		f.kill(i)
+	}
+}
+
+// runSuite pushes every NPB spec through the coordinator and renders the
+// verdict table: one line per loop with function, index, verdict, and
+// reason — everything deterministic, nothing timing- or
+// provenance-dependent — so tables compare byte-for-byte across fleet
+// sizes and cache states.
+func (f *benchFleet) runSuite(ctx context.Context) (table string, dur time.Duration, loops int, err error) {
+	start := time.Now()
+	var b strings.Builder
+	f.lastReplays = 0
+	for _, spec := range npb.Specs() {
+		src := spec.Source()
+		name := spec.Name + ".mc"
+		prog, err := irbuild.Compile(name, src)
+		if err != nil {
+			return "", 0, 0, fmt.Errorf("%s: compile: %w", spec.Name, err)
+		}
+		rep, err := f.coord.Analyze(ctx, prog, name, src, fleet.Knobs{Schedules: 1}, nil)
+		if err != nil {
+			return "", 0, 0, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		for _, l := range rep.Loops {
+			fmt.Fprintf(&b, "%s %-40s #%-3d %-18s %s\n", spec.Name, l.Fn, l.Index, l.Verdict, l.Reason)
+			loops++
+		}
+		f.lastReplays += rep.Replays
+	}
+	return b.String(), time.Since(start), loops, nil
+}
+
+// mergeBenchBlock read-modify-writes one top-level block of the bench
+// JSON file, leaving every other section untouched.
+func mergeBenchBlock(path, key string, block any) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	enc, err := json.Marshal(block)
+	if err != nil {
+		return err
+	}
+	doc[key] = enc
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

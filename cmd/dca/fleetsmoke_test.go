@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dca/internal/core"
+	"dca/internal/fleet"
+)
+
+// fleetSmokeSrc: one quick loop first in source order (so the event stream
+// produces its first verdict early) followed by three slow loops, so a
+// worker killed after the first event dies with its shard still in flight.
+const fleetSmokeSrc = `
+func main() {
+	var a []int = new [16]int;
+	for (var i int = 0; i < 16; i++) { a[i] = i * 3; }
+	var s int = 0;
+	for (var i int = 0; i < 400; i++) {
+		for (var j int = 0; j < 400; j++) { s = s + (i ^ j); }
+	}
+	var p int = 0;
+	for (var i int = 0; i < 400; i++) {
+		for (var j int = 0; j < 400; j++) { p = p + (i & j); }
+	}
+	var q int = 0;
+	for (var i int = 0; i < 400; i++) {
+		for (var j int = 0; j < 400; j++) { q = q + i + j; }
+	}
+	print(s); print(p); print(q);
+}`
+
+// TestFleetSmokeHelper is not a test: it is the child process body for
+// TestFleetSmoke, re-executed from the test binary to run `dca serve` with
+// the argument list from the environment.
+func TestFleetSmokeHelper(t *testing.T) {
+	raw := os.Getenv("DCA_FLEET_SMOKE_ARGS")
+	if raw == "" {
+		t.Skip("helper process body; run via TestFleetSmoke")
+	}
+	if err := cmdServe(strings.Split(raw, "\x1f")); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func startServeChild(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestFleetSmokeHelper")
+	cmd.Env = append(os.Environ(), "DCA_FLEET_SMOKE_ARGS="+strings.Join(args, "\x1f"))
+	cmd.Stderr = new(bytes.Buffer)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// freeAddr reserves a loopback port and releases it for a child to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, url string, child *exec.Cmd) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became healthy; child stderr: %s", url, child.Stderr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// smokeTable renders the deterministic per-loop fields of a report.
+func smokeTable(rep *core.ReportJSON) string {
+	var b strings.Builder
+	for _, l := range rep.Loops {
+		fmt.Fprintf(&b, "%s #%d %s %s\n", l.Fn, l.Index, l.Verdict, l.Reason)
+	}
+	return b.String()
+}
+
+// TestFleetSmoke is the multi-process fleet contract: one coordinator and
+// two worker processes, a reference analysis with both workers alive, then
+// an async analysis during which one worker is SIGKILLed after the first
+// streamed verdict — and the merged report must stay byte-identical.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns helper processes")
+	}
+	w1, w2, co := freeAddr(t), freeAddr(t), freeAddr(t)
+	w1URL, w2URL, coURL := "http://"+w1, "http://"+w2, "http://"+co
+	peers := w1URL + "," + w2URL
+
+	// Workers run cacheless so the second pass recomputes and the kill
+	// lands while its shard is genuinely in flight.
+	startServeChild(t, "-addr", w1, "-no-cache", "-schedules", "1", "-peers", peers, "-self", w1URL)
+	worker2 := startServeChild(t, "-addr", w2, "-no-cache", "-schedules", "1", "-peers", peers, "-self", w2URL)
+	coord := startServeChild(t, "-addr", co, "-schedules", "1", "-fleet", peers)
+	for _, probe := range []struct {
+		url   string
+		child *exec.Cmd
+	}{{w1URL, worker2}, {w2URL, worker2}, {coURL, coord}} {
+		waitHealthy(t, probe.url, probe.child)
+	}
+
+	reqBody, _ := json.Marshal(map[string]any{"filename": "smoke.mc", "source": fleetSmokeSrc})
+
+	// Reference pass: both workers alive.
+	resp, err := http.Post(coURL+"/analyze", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref struct {
+		Report *core.ReportJSON `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ref); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ref.Report == nil {
+		t.Fatalf("reference analyze: status %d, coordinator stderr: %s", resp.StatusCode, coord.Stderr)
+	}
+	want := smokeTable(ref.Report)
+	if len(ref.Report.Loops) < 4 {
+		t.Fatalf("reference has %d loops, want >= 4", len(ref.Report.Loops))
+	}
+
+	// Kill pass: async run, SIGKILL worker 2 after the first verdict lands.
+	resp, err = http.Post(coURL+"/analyze?async=1", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handle struct {
+		EventsURL string `json:"events_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&handle); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async analyze: status %d", resp.StatusCode)
+	}
+
+	events, err := http.Get(coURL + handle.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	killed := false
+	var final fleet.Status
+	sc := bufio.NewScanner(events.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.State != "" {
+			if err := json.Unmarshal(line, &final); err != nil {
+				t.Fatalf("decode terminal status: %v\n%s", err, line)
+			}
+			break
+		}
+		if !killed {
+			killed = true
+			if err := worker2.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("stream ended before any verdict; kill never landed mid-suite")
+	}
+	if final.State != "done" || final.Report == nil {
+		t.Fatalf("run after worker kill = %+v, want done with report; coordinator stderr: %s",
+			final, coord.Stderr)
+	}
+	if got := smokeTable(final.Report); got != want {
+		t.Errorf("report after mid-suite worker kill diverged:\n-- reference --\n%s-- killed --\n%s", want, got)
+	}
+}

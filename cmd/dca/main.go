@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -110,6 +111,8 @@ func main() {
 		err = cmdFuzz(args)
 	case "serve":
 		err = cmdServe(args)
+	case "fleet-bench":
+		err = cmdFleetBench(args)
 	case "skeletons":
 		err = cmdSkeletons(args)
 	case "contexts":
@@ -142,9 +145,15 @@ commands:
   serve [-addr host:port] [-j n] [-max-concurrent n] [-max-queue n]
         [-queue-timeout d] [-cache-dir d] [-cache-mem bytes] [-no-cache]
         [-schedules n] [-timeout d] [-max-steps n] [-retry n]
-        [-max-source-bytes n] [-drain-timeout d]
+        [-max-source-bytes n] [-drain-timeout d] [-run-dir d]
+        [-fleet url1,url2,...] [-peers url1,url2,... -self url]
         [-trace out.jsonl]                       run the analysis service
-                                                 (metrics at GET /metrics)
+                                                 (metrics at GET /metrics;
+                                                 -fleet = coordinator mode,
+                                                 -peers = peer verdict cache)
+  fleet-bench [-nodes n] [-j n] [-bench-out f.json]
+                                                 benchmark an in-process fleet
+                                                 against a single node
   run [-opt] [-timeout d] [-max-steps n] [-no-vm] file.mc
                                                  execute the program
   ir [-opt] file.mc                              print the IR
@@ -449,6 +458,10 @@ func cmdServe(args []string) error {
 	queueTimeout := fs.Duration("queue-timeout", 0, "max wait for an analysis slot before shedding (0 = 10s)")
 	drain := fs.Duration("drain-timeout", 15*time.Second, "in-flight drain window on shutdown")
 	tracePath := fs.String("trace", "", "append per-loop trace events to this JSONL file")
+	fleetNodes := fs.String("fleet", "", "comma-separated worker base URLs; coordinator mode: /analyze shards loops across them")
+	peers := fs.String("peers", "", "comma-separated fleet member base URLs (identical on every member); enables the peer verdict-cache protocol")
+	self := fs.String("self", "", "this node's own base URL within -peers")
+	runDir := fs.String("run-dir", "", "directory for async-run write-ahead journals (empty = no journals)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -466,6 +479,13 @@ func cmdServe(args []string) error {
 		Retries:        *retry,
 		Schedules:      *schedules,
 		DrainTimeout:   *drain,
+		Fleet:          splitNodes(*fleetNodes),
+		PeerNodes:      splitNodes(*peers),
+		PeerSelf:       *self,
+		RunDir:         *runDir,
+	}
+	if len(cfg.PeerNodes) > 0 && cfg.PeerSelf == "" {
+		return fmt.Errorf("serve: -peers requires -self (this node's own URL in the list)")
 	}
 	if *tracePath != "" {
 		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -486,12 +506,33 @@ func cmdServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "dca serve: listening on %s (%d workers)\n", *addr, *jobs)
+	role := "standalone"
+	switch {
+	case len(cfg.Fleet) > 0:
+		role = fmt.Sprintf("coordinator over %d workers", len(cfg.Fleet))
+	case len(cfg.PeerNodes) > 0:
+		role = fmt.Sprintf("fleet worker (%d peers)", len(cfg.PeerNodes))
+	}
+	fmt.Fprintf(os.Stderr, "dca serve: listening on %s (%d workers, %s)\n", *addr, *jobs, role)
 	if err := server.New(cfg).ListenAndServe(ctx, *addr); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "dca serve: drained, bye")
 	return nil
+}
+
+// splitNodes parses a comma-separated node list, dropping empty entries
+// and trailing slashes so "http://a:1," and "http://a:1/" both name the
+// same ring member.
+func splitNodes(s string) []string {
+	var nodes []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimRight(strings.TrimSpace(n), "/")
+		if n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
 }
 
 func cmdRun(args []string) error {

@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trippedBreaker returns a breaker tripped open at a fixed instant, with an
+// injected clock the test controls.
+func trippedBreaker(clock *time.Time) *breaker {
+	b := newBreaker()
+	b.now = func() time.Time { return *clock }
+	for i := 0; i < b.threshold; i++ {
+		b.failure()
+	}
+	return b
+}
+
+// TestBreakerHalfOpenSingleProbe: once the cooldown elapses, exactly one of
+// many concurrent callers is admitted as the half-open probe; every loser
+// sees the breaker as still denying.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := trippedBreaker(&clock)
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state after %d failures = %s, want open", b.threshold, st)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a caller before the cooldown")
+	}
+
+	clock = clock.Add(b.cooldown) // cooldown elapses
+
+	const callers = 64
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("%d concurrent callers admitted past the cooldown, want exactly 1 probe", n)
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state during probe = %s, want half-open", st)
+	}
+	// While the probe is in flight, later arrivals are still denied.
+	if b.allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+}
+
+// TestBreakerProbeSuccessCloses: the probe's success closes the breaker and
+// traffic flows again.
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := trippedBreaker(&clock)
+	clock = clock.Add(b.cooldown)
+	if !b.allow() {
+		t.Fatal("probe denied after cooldown")
+	}
+	b.success()
+	st, trips := b.snapshot()
+	if st != BreakerClosed {
+		t.Fatalf("state after probe success = %s, want closed", st)
+	}
+	if trips != 1 {
+		t.Fatalf("trips = %d, want 1", trips)
+	}
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatal("closed breaker denied a caller")
+		}
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe re-opens the breaker for a
+// fresh cooldown, and the next cooldown admits a new probe.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := trippedBreaker(&clock)
+	clock = clock.Add(b.cooldown)
+	if !b.allow() {
+		t.Fatal("probe denied after cooldown")
+	}
+	b.failure()
+	st, trips := b.snapshot()
+	if st != BreakerOpen {
+		t.Fatalf("state after probe failure = %s, want open", st)
+	}
+	if trips != 2 {
+		t.Fatalf("trips = %d, want 2 (initial trip + failed probe)", trips)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a caller inside the new cooldown")
+	}
+	clock = clock.Add(b.cooldown)
+	if !b.allow() {
+		t.Fatal("no probe admitted after the second cooldown")
+	}
+}

@@ -246,6 +246,12 @@ type Options struct {
 	// cannot change any observable behaviour, so the replays are skipped and
 	// the loop reports Commutative with provenance ProvenanceFootprint.
 	NoFootprint bool
+	// NoVM runs every execution of this analysis on the tree-walking
+	// interpreter instead of the bytecode VM. The two executors are
+	// trap-and-output parity-verified, so the knob cannot reach a verdict
+	// and is deliberately NOT part of the fingerprint: a VM run may serve a
+	// tree-walker run's cached verdict and vice versa.
+	NoVM bool
 	// Inject deterministically trips a trap inside the instrumented
 	// executions — the test harness for the degradation paths themselves.
 	// InjectFn/InjectLoop restrict it to one loop; InjectFn == "" applies
@@ -341,7 +347,7 @@ func Analyze(prog *ir.Program, opt Options) (*Report, error) {
 	// compare any loop's replays against.
 	var refOut strings.Builder
 	refStart := time.Now()
-	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.Limits(), nil); !oc.OK() {
+	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut, NoVM: opt.NoVM}, opt.Limits(), nil); !oc.OK() {
 		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
 	opt.emit(obs.Event{Stage: obs.StageReference, Outcome: obs.OutcomeOK,
@@ -385,7 +391,7 @@ func AnalyzeLoop(prog *ir.Program, fnName string, loopIndex int, opt Options) (*
 	}
 	loop := loops[loopIndex]
 	var refOut strings.Builder
-	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut}, opt.Limits(), nil); !oc.OK() {
+	if oc := sandbox.Run(nil, prog, interp.Config{Out: &refOut, NoVM: opt.NoVM}, opt.Limits(), nil); !oc.OK() {
 		return nil, fmt.Errorf("core: reference execution failed (%s): %w", oc.Trap.Kind, oc.Trap)
 	}
 	res := &LoopResult{Fn: fnName, Index: loopIndex, ID: loop.ID(), Pos: loop.Header.Pos, Depth: loop.Depth}
@@ -405,7 +411,7 @@ func runCell(ctx context.Context, prog *ir.Program, mkRT func() *dcart.Runtime, 
 	oc, retries := sandbox.RunRetry(ctx, prog, func() interp.Config {
 		rt = mkRT()
 		out.Reset()
-		return interp.Config{Out: &out, Runtime: rt, Footprint: rt.Footprint}
+		return interp.Config{Out: &out, Runtime: rt, Footprint: rt.Footprint, NoVM: opt.NoVM}
 	}, opt.Limits(), inj, opt.Retries)
 	return rt, out.String(), oc.Trap, retries
 }

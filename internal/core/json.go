@@ -60,32 +60,38 @@ func (r *Report) JSON(elapsed time.Duration) *ReportJSON {
 		ElapsedSeconds: elapsed.Seconds(),
 	}
 	for _, l := range r.Loops {
-		lj := LoopJSON{
-			ID:              l.ID,
-			Fn:              l.Fn,
-			Index:           l.Index,
-			Depth:           l.Depth,
-			Verdict:         l.Verdict.String(),
-			Parallelizable:  l.Verdict.IsParallelizable(),
-			Category:        l.TrapKind,
-			Reason:          l.Reason,
-			Provenance:      l.Provenance,
-			Invocations:     l.Invocations,
-			Iterations:      l.Iterations,
-			SchedulesTested:  l.SchedulesTested,
-			Retries:          l.Retries,
-			Replays:          l.Replays,
-			SkippedStop:      l.SkippedStop,
-			SkippedFootprint: l.SkippedFootprint,
-			ElapsedSeconds:   l.Elapsed.Seconds(),
-		}
-		if l.Pos.IsValid() {
-			lj.Pos = l.Pos.String()
-		}
 		rep.Summary[l.Verdict.String()]++
-		rep.Loops = append(rep.Loops, lj)
+		rep.Loops = append(rep.Loops, l.JSON())
 	}
 	return rep
+}
+
+// JSON converts one loop result to its machine-readable form — the same
+// record Report.JSON emits, also streamed per-loop by `GET /runs/{id}/events`.
+func (l *LoopResult) JSON() LoopJSON {
+	lj := LoopJSON{
+		ID:               l.ID,
+		Fn:               l.Fn,
+		Index:            l.Index,
+		Depth:            l.Depth,
+		Verdict:          l.Verdict.String(),
+		Parallelizable:   l.Verdict.IsParallelizable(),
+		Category:         l.TrapKind,
+		Reason:           l.Reason,
+		Provenance:       l.Provenance,
+		Invocations:      l.Invocations,
+		Iterations:       l.Iterations,
+		SchedulesTested:  l.SchedulesTested,
+		Retries:          l.Retries,
+		Replays:          l.Replays,
+		SkippedStop:      l.SkippedStop,
+		SkippedFootprint: l.SkippedFootprint,
+		ElapsedSeconds:   l.Elapsed.Seconds(),
+	}
+	if l.Pos.IsValid() {
+		lj.Pos = l.Pos.String()
+	}
+	return lj
 }
 
 // MarshalIndentJSON renders the report as indented JSON with a trailing

@@ -130,6 +130,18 @@ type Options struct {
 	// reports the recovered outcome with ProvenanceJournaled; a record that
 	// fails to decode falls through to a fresh analysis.
 	Resume map[LoopKey][]byte
+	// Only, when non-nil, restricts the analysis to the listed loops: loops
+	// outside the set are neither analyzed nor reported. This is the fleet's
+	// shard filter — a worker handed one batch of a program's loops runs the
+	// reference execution once and analyzes just its share. nil means every
+	// loop, exactly as before.
+	Only map[LoopKey]bool
+	// OnLoop, when non-nil, is called once per loop as its analysis
+	// completes (including cached, journaled, and cancelled outcomes), from
+	// the worker goroutine that finished it — completion order, not report
+	// order. The result must be treated as read-only. Run registries use it
+	// to stream per-loop verdicts while the analysis is still running.
+	OnLoop func(res *core.LoopResult)
 }
 
 // Analyze runs DCA over every loop of every function, like core.Analyze,
@@ -157,7 +169,7 @@ func Analyze(ctx context.Context, prog *ir.Program, opt Options) (*core.Report, 
 	// including the trap a cancelled ctx converts it into.
 	var refBuf strings.Builder
 	refStart := time.Now()
-	oc := sandbox.Run(ctx, prog, interp.Config{Out: &refBuf, CountBlocks: true}, copt.Limits(), nil)
+	oc := sandbox.Run(ctx, prog, interp.Config{Out: &refBuf, CountBlocks: true, NoVM: copt.NoVM}, copt.Limits(), nil)
 	if !oc.OK() {
 		if copt.Trace != nil {
 			copt.Trace.Emit(obs.Event{Stage: obs.StageReference, Outcome: obs.OutcomeTrap,
@@ -190,6 +202,9 @@ func Analyze(ctx context.Context, prog *ir.Program, opt Options) (*core.Report, 
 	for _, fn := range prog.Funcs {
 		_, loops := cfg.LoopsOf(fn)
 		for _, loop := range loops {
+			if opt.Only != nil && !opt.Only[LoopKey{Fn: fn.Name, Index: loop.Index}] {
+				continue
+			}
 			res := &core.LoopResult{
 				Fn:    fn.Name,
 				Index: loop.Index,
@@ -253,6 +268,9 @@ func Analyze(ctx context.Context, prog *ir.Program, opt Options) (*core.Report, 
 				// A record that fails to decode degrades to a fresh analysis.
 				if data, ok := resume[LoopKey{Fn: j.fn.Name, Index: j.loop.Index}]; ok &&
 					replayJournaled(&copt, data, j.res) {
+					if opt.OnLoop != nil {
+						opt.OnLoop(j.res)
+					}
 					continue
 				}
 				held := pool.acquireCtx(ctx)
@@ -271,6 +289,9 @@ func Analyze(ctx context.Context, prog *ir.Program, opt Options) (*core.Report, 
 							})
 						}
 					}
+				}
+				if opt.OnLoop != nil {
+					opt.OnLoop(j.res)
 				}
 			}
 		}()

@@ -1,0 +1,376 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"dca/internal/cfg"
+	"dca/internal/core"
+	"dca/internal/fingerprint"
+	"dca/internal/ir"
+	"dca/internal/obs"
+)
+
+// Knobs are the per-request analysis options the coordinator forwards
+// verbatim to every worker, so a sharded analysis runs under exactly the
+// configuration a single node would have used.
+type Knobs struct {
+	Schedules   int
+	MaxSteps    int64
+	TimeoutMS   int64
+	NoCache     bool
+	StopAfter   int
+	NoFootprint bool
+	NoVM        bool
+}
+
+// workerRequest is the worker-side /analyze body. JSON tags mirror the
+// server's AnalyzeRequest; the type is redeclared here so fleet never
+// imports internal/server (the server imports fleet).
+type workerRequest struct {
+	Filename    string    `json:"filename,omitempty"`
+	Source      string    `json:"source"`
+	Schedules   int       `json:"schedules,omitempty"`
+	MaxSteps    int64     `json:"max_steps,omitempty"`
+	TimeoutMS   int64     `json:"timeout_ms,omitempty"`
+	NoCache     bool      `json:"no_cache,omitempty"`
+	StopAfter   int       `json:"stop_after,omitempty"`
+	NoFootprint bool      `json:"no_footprint,omitempty"`
+	NoVM        bool      `json:"no_vm,omitempty"`
+	Loops       []LoopRef `json:"loops,omitempty"`
+}
+
+type workerResponse struct {
+	Report *core.ReportJSON `json:"report"`
+	Error  string           `json:"error"`
+}
+
+// maxWorkerResponse caps a worker response body (reports are bounded by
+// the loop count, but a confused peer must not balloon memory).
+const maxWorkerResponse = 64 << 20
+
+// Coordinator shards a program's loops across the fleet's workers and
+// merges their verdicts back into one deterministic report.
+type Coordinator struct {
+	ring   *Ring
+	client *http.Client
+	m      *Metrics
+	trace  obs.Sink
+}
+
+// CoordinatorConfig assembles a Coordinator.
+type CoordinatorConfig struct {
+	// Nodes are the worker base URLs ("http://host:port"). Required.
+	Nodes []string
+	// Client overrides the HTTP client used for dispatch; nil means a
+	// client with no overall timeout (batches are bounded by the request
+	// context, not a fixed clock — suites can run for minutes).
+	Client *http.Client
+	// Metrics, when non-nil, receives dispatch and re-dispatch counts.
+	Metrics *Metrics
+	// Trace, when non-nil, receives one StageFleet event per batch
+	// dispatch outcome.
+	Trace obs.Sink
+}
+
+// NewCoordinator builds a coordinator over the given worker nodes.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{
+		ring:   NewRing(cfg.Nodes),
+		client: client,
+		m:      cfg.Metrics,
+		trace:  cfg.Trace,
+	}
+}
+
+// Ring exposes the coordinator's dispatch ring (shared with metrics and
+// the peer cache when the process is both coordinator and worker).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// SetMetrics attaches the fleet instruments after construction — the
+// server builds the coordinator first so the ring-size gauge can sample
+// its ring, then hands the registered metrics back. Call before Analyze.
+func (c *Coordinator) SetMetrics(m *Metrics) { c.m = m }
+
+// EnumerateLoops lists a program's loops in report order — sorted by
+// function name, then loop index, exactly like core.Analyze's output. The
+// registry seeds its source-ordered stream from this list, and the
+// coordinator merges worker verdicts back into it.
+func EnumerateLoops(prog *ir.Program) []LoopRef {
+	var refs []LoopRef
+	for _, fn := range prog.Funcs {
+		_, loops := cfg.LoopsOf(fn)
+		for _, loop := range loops {
+			refs = append(refs, LoopRef{Fn: fn.Name, Index: loop.Index})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Fn != refs[j].Fn {
+			return refs[i].Fn < refs[j].Fn
+		}
+		return refs[i].Index < refs[j].Index
+	})
+	return refs
+}
+
+// Health probes every node's /healthz, returning the nodes that failed
+// (missing entries are healthy). The coordinator seeds a run's dead set
+// with it so a down worker costs one cheap probe instead of a full batch
+// dispatch and re-dispatch.
+func (c *Coordinator) Health(ctx context.Context) map[string]error {
+	bad := make(map[string]error)
+	for _, n := range c.ring.Nodes() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n+"/healthz", nil)
+		if err != nil {
+			bad[n] = err
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			bad[n] = err
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			bad[n] = fmt.Errorf("healthz: %s", resp.Status)
+		}
+	}
+	return bad
+}
+
+// ProgramError is a worker's 4xx verdict on the dispatched program itself
+// (compile failure, reference-execution trap, invalid knobs). It is the
+// program's fault, not the worker's: re-dispatching to another node would
+// fail identically, so the coordinator aborts the run instead of marking
+// nodes dead one by one.
+type ProgramError struct {
+	Node string
+	Msg  string
+}
+
+func (e *ProgramError) Error() string { return e.Msg }
+
+// batchResult is one dispatch outcome, drained by the merge loop.
+type batchResult struct {
+	node string
+	refs []LoopRef
+	rep  *core.ReportJSON
+	err  error
+}
+
+// Analyze shards prog's loops across the fleet, dispatches per-worker
+// batches concurrently, and merges the verdicts into one report whose
+// loop order, summary, and totals are byte-identical (modulo timing) to a
+// single node analyzing the whole program.
+//
+// Failures re-dispatch: a batch whose worker is unreachable, shedding
+// (503), or otherwise failing marks that node dead for the rest of the
+// run and re-routes the batch's loops to their ring successors. Semantics
+// are at-least-once — a loop may execute on two nodes across a failover —
+// and safe: verdicts are deterministic and fingerprint-keyed, and the
+// first result wins on merge. onLoop, when non-nil, receives every merged
+// loop verdict exactly once, as its batch arrives.
+func (c *Coordinator) Analyze(ctx context.Context, prog *ir.Program, filename, source string, knobs Knobs, onLoop func(core.LoopJSON)) (*core.ReportJSON, error) {
+	start := time.Now()
+	refs := EnumerateLoops(prog)
+	router := fingerprint.NewRouter(prog)
+	route := make(map[LoopRef]string, len(refs))
+	for _, ref := range refs {
+		route[ref] = router.Route(ref.Fn, ref.Index).String()
+	}
+
+	results := make(map[LoopRef]core.LoopJSON, len(refs))
+	dead := make(map[string]bool)
+	pending := refs
+
+	for len(results) < len(refs) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fleet: analysis cancelled: %w", context.Cause(ctx))
+		}
+		// Route the still-pending loops onto the live ring.
+		batches := make(map[string][]LoopRef)
+		for _, ref := range pending {
+			owner := c.ring.Owner(route[ref], dead)
+			if owner == "" {
+				return nil, fmt.Errorf("fleet: no live workers (%d/%d nodes dead)", len(dead), c.ring.Size())
+			}
+			batches[owner] = append(batches[owner], ref)
+		}
+
+		// Dispatch every batch concurrently; drain outcomes as they land.
+		out := make(chan batchResult, len(batches))
+		for node, batch := range batches {
+			if c.m != nil {
+				c.m.Dispatches.Inc(node)
+			}
+			go func(node string, batch []LoopRef) {
+				rep, err := c.dispatch(ctx, node, filename, source, knobs, batch)
+				out <- batchResult{node: node, refs: batch, rep: rep, err: err}
+			}(node, batch)
+		}
+
+		progress := false
+		var fatal error
+		for range batches {
+			br := <-out
+			var perr *ProgramError
+			if errors.As(br.err, &perr) {
+				// Keep draining so no dispatch goroutine leaks, then abort.
+				if fatal == nil {
+					fatal = br.err
+				}
+				continue
+			}
+			if br.err != nil {
+				// The node failed this run; its loops stay pending and the
+				// next round routes them to the ring successor.
+				dead[br.node] = true
+				if c.m != nil {
+					c.m.Redispatches.Inc()
+				}
+				if c.trace != nil {
+					c.trace.Emit(obs.Event{Stage: obs.StageFleet, Outcome: obs.OutcomeError, Err: br.err.Error()})
+				}
+				continue
+			}
+			if c.trace != nil {
+				c.trace.Emit(obs.Event{Stage: obs.StageFleet, Outcome: obs.OutcomeOK})
+			}
+			want := make(map[LoopRef]bool, len(br.refs))
+			for _, ref := range br.refs {
+				want[ref] = true
+			}
+			for _, lj := range br.rep.Loops {
+				ref := LoopRef{Fn: lj.Fn, Index: lj.Index}
+				if !want[ref] {
+					continue // a worker may never widen its batch
+				}
+				if _, dup := results[ref]; dup {
+					continue // at-least-once: first result wins
+				}
+				results[ref] = lj
+				progress = true
+				if onLoop != nil {
+					onLoop(lj)
+				}
+			}
+		}
+
+		if fatal != nil {
+			return nil, fatal
+		}
+
+		var still []LoopRef
+		for _, ref := range pending {
+			if _, ok := results[ref]; !ok {
+				still = append(still, ref)
+			}
+		}
+		pending = still
+		if len(pending) > 0 && !progress && len(dead) == 0 {
+			// Every batch "succeeded" yet loops are missing: a worker is
+			// answering but not analyzing its share. Re-dispatching the same
+			// batches would loop forever.
+			return nil, fmt.Errorf("fleet: %d loops missing from worker reports", len(pending))
+		}
+	}
+
+	return mergeReport(refs, results, time.Since(start)), nil
+}
+
+// dispatch sends one batch to one worker and decodes its report. Any
+// non-200 status — including a 503 shed — is a batch failure; the caller
+// re-routes.
+func (c *Coordinator) dispatch(ctx context.Context, node, filename, source string, knobs Knobs, batch []LoopRef) (*core.ReportJSON, error) {
+	body, err := json.Marshal(workerRequest{
+		Filename:    filename,
+		Source:      source,
+		Schedules:   knobs.Schedules,
+		MaxSteps:    knobs.MaxSteps,
+		TimeoutMS:   knobs.TimeoutMS,
+		NoCache:     knobs.NoCache,
+		StopAfter:   knobs.StopAfter,
+		NoFootprint: knobs.NoFootprint,
+		NoVM:        knobs.NoVM,
+		Loops:       batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWorkerResponse))
+	if err != nil {
+		return nil, fmt.Errorf("%s: read response: %w", node, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var wr workerResponse
+		msg := resp.Status
+		if json.Unmarshal(data, &wr) == nil && wr.Error != "" {
+			msg = wr.Error
+		}
+		// 4xx means the program (or the forwarded knobs) is at fault and
+		// every node would agree; 5xx and transport errors mean this node is.
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &ProgramError{Node: node, Msg: msg}
+		}
+		return nil, fmt.Errorf("%s: %s: %s", node, resp.Status, msg)
+	}
+	var wr workerResponse
+	if err := json.Unmarshal(data, &wr); err != nil {
+		return nil, fmt.Errorf("%s: decode response: %w", node, err)
+	}
+	if wr.Report == nil {
+		return nil, fmt.Errorf("%s: response carried no report", node)
+	}
+	return wr.Report, nil
+}
+
+// mergeReport assembles the fleet report: loops in report order, summary
+// and totals recomputed from the merged loops — the same arithmetic
+// core.Report.JSON applies, so N workers and one worker render the same
+// bytes (timing aside).
+func mergeReport(refs []LoopRef, results map[LoopRef]core.LoopJSON, elapsed time.Duration) *core.ReportJSON {
+	rep := &core.ReportJSON{
+		Loops:          make([]core.LoopJSON, 0, len(refs)),
+		Summary:        map[string]int{},
+		TotalLoops:     len(refs),
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	for _, ref := range refs {
+		lj := results[ref]
+		rep.Loops = append(rep.Loops, lj)
+		rep.Summary[lj.Verdict]++
+		if lj.Verdict == core.Commutative.String() {
+			rep.Commutative++
+		}
+		switch lj.Provenance {
+		case core.ProvenanceCached:
+			rep.CachedLoops++
+		case core.ProvenanceJournaled:
+			rep.ResumedLoops++
+		}
+		rep.Replays += lj.Replays
+	}
+	return rep
+}

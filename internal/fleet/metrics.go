@@ -1,0 +1,47 @@
+package fleet
+
+import "dca/internal/obs"
+
+// Metrics are the fleet's instruments, registered next to the server's on
+// one shared registry so /metrics and /stats cover dispatch and peer-cache
+// behaviour without a second scrape target.
+type Metrics struct {
+	// Dispatches counts batches sent to each worker node (label "node" is
+	// bounded by the configured fleet size, within the registry's
+	// cardinality policy).
+	Dispatches *obs.CounterVec
+	// Redispatches counts batches re-routed to a ring successor after
+	// their owner failed mid-run.
+	Redispatches *obs.Counter
+	// PeerHits / PeerMisses / PeerErrors / PeerWrites count peer
+	// verdict-cache traffic: hits served by a ring owner, owner lookups
+	// that missed, transport or protocol failures (degraded to local
+	// misses), and write-throughs on fresh verdicts.
+	PeerHits   *obs.Counter
+	PeerMisses *obs.Counter
+	PeerErrors *obs.Counter
+	PeerWrites *obs.Counter
+}
+
+// NewMetrics registers the fleet instruments on reg, plus a ring-size
+// gauge sampling the given ring.
+func NewMetrics(reg *obs.Registry, ring *Ring) *Metrics {
+	m := &Metrics{
+		Dispatches: reg.CounterVec("dca_fleet_dispatch_total",
+			"Loop batches dispatched, by worker node.", "node"),
+		Redispatches: reg.Counter("dca_fleet_redispatch_total",
+			"Batches re-routed to a ring successor after a worker failure."),
+		PeerHits: reg.Counter("dca_fleet_peer_hits_total",
+			"Peer verdict-cache lookups served by a ring owner."),
+		PeerMisses: reg.Counter("dca_fleet_peer_misses_total",
+			"Peer verdict-cache lookups the ring owner missed too."),
+		PeerErrors: reg.Counter("dca_fleet_peer_errors_total",
+			"Peer verdict-cache requests that failed (degraded to local misses)."),
+		PeerWrites: reg.Counter("dca_fleet_peer_writes_total",
+			"Fresh verdicts written through to their ring owner."),
+	}
+	reg.GaugeFunc("dca_fleet_ring_nodes",
+		"Distinct nodes on the consistent-hash ring.",
+		func() float64 { return float64(ring.Size()) })
+	return m
+}

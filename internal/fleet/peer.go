@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"dca/internal/cache"
+	"dca/internal/core"
+	"dca/internal/obs"
+)
+
+// MaxPeerRecord caps how many bytes a peer-cache response (or write-through
+// body) may carry. Verdict records are a few hundred bytes; the cap only
+// exists so a confused or malicious peer cannot balloon memory. The
+// server's /cache/{key} handlers enforce the same bound on inbound bodies.
+const MaxPeerRecord = 1 << 20
+
+// defaultPeerTimeout bounds one peer-cache HTTP round trip. The peer
+// protocol is an optimization: a slow peer must degrade to a local miss
+// (recomputation) long before it stalls the analysis it was meant to speed
+// up.
+const defaultPeerTimeout = 5 * time.Second
+
+// PeerCache implements core.VerdictCache over a node-local cache plus the
+// fleet's cache ring. Lookups consult the local cache first, then the
+// key's ring owner over HTTP; fresh verdicts are written through to the
+// owner so any node's computation becomes every node's warm start.
+//
+// Every failure mode — unreachable owner, non-200 status, oversized or
+// syntactically corrupt body — degrades to a local miss: the analysis
+// recomputes the verdict exactly as if no fleet existed. (Bodies that are
+// valid JSON but semantically wrong are rejected one layer up by the
+// verdict decoder, with the same recomputation outcome.)
+type PeerCache struct {
+	local  core.VerdictCache
+	ring   *Ring
+	self   string // this node's own ring name; owner==self short-circuits
+	client *http.Client
+	m      *Metrics
+	trace  obs.Sink
+}
+
+// PeerConfig assembles a PeerCache.
+type PeerConfig struct {
+	// Local is the node's own verdict cache (required).
+	Local core.VerdictCache
+	// Ring is the fleet's cache ring (required).
+	Ring *Ring
+	// Self is this node's own name on the ring; lookups it owns itself
+	// never leave the process.
+	Self string
+	// Client overrides the HTTP client (nil means a client with
+	// defaultPeerTimeout).
+	Client *http.Client
+	// Metrics, when non-nil, receives peer hit/miss/error/write counts.
+	Metrics *Metrics
+	// Trace, when non-nil, receives one StagePeer event per remote lookup.
+	Trace obs.Sink
+}
+
+// NewPeerCache builds the peer-aware verdict cache.
+func NewPeerCache(cfg PeerConfig) *PeerCache {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: defaultPeerTimeout}
+	}
+	return &PeerCache{
+		local:  cfg.Local,
+		ring:   cfg.Ring,
+		self:   cfg.Self,
+		client: client,
+		m:      cfg.Metrics,
+		trace:  cfg.Trace,
+	}
+}
+
+func (p *PeerCache) emit(outcome, errText string) {
+	if p.trace != nil {
+		p.trace.Emit(obs.Event{Stage: obs.StagePeer, Outcome: outcome, Err: errText})
+	}
+}
+
+// Get consults the local cache, then the key's ring owner. A peer hit is
+// inserted into the local cache before returning, so the next lookup for
+// the same fingerprint never leaves the node again.
+func (p *PeerCache) Get(key string) ([]byte, bool) {
+	if data, ok := p.local.Get(key); ok {
+		return data, true
+	}
+	owner := p.owner(key)
+	if owner == "" {
+		return nil, false
+	}
+	resp, err := p.client.Get(owner + "/cache/" + key)
+	if err != nil {
+		if p.m != nil {
+			p.m.PeerErrors.Inc()
+		}
+		p.emit(obs.OutcomeError, err.Error())
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		if p.m != nil {
+			p.m.PeerMisses.Inc()
+		}
+		p.emit(obs.OutcomeMiss, "")
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		if p.m != nil {
+			p.m.PeerErrors.Inc()
+		}
+		p.emit(obs.OutcomeError, resp.Status)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxPeerRecord+1))
+	// A transport error, an oversized body, or bytes that are not even
+	// JSON all mean the peer record cannot be trusted; none of them may
+	// reach the local cache or the caller. Recomputation is always correct.
+	if err != nil || len(data) > MaxPeerRecord || !json.Valid(data) {
+		if p.m != nil {
+			p.m.PeerErrors.Inc()
+		}
+		p.emit(obs.OutcomeError, "corrupt peer record")
+		return nil, false
+	}
+	if p.m != nil {
+		p.m.PeerHits.Inc()
+	}
+	p.emit(obs.OutcomeHit, "")
+	p.local.Put(key, data)
+	return data, true
+}
+
+// Put stores the verdict locally and writes it through to the key's ring
+// owner. Write-through failures are counted and dropped: the verdict is
+// durable on this node either way, and the owner will be repopulated by
+// the next analysis that computes it.
+func (p *PeerCache) Put(key string, val []byte) {
+	p.local.Put(key, val)
+	owner := p.owner(key)
+	if owner == "" {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, owner+"/cache/"+key, bytes.NewReader(val))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		if p.m != nil {
+			p.m.PeerErrors.Inc()
+		}
+		p.emit(obs.OutcomeError, err.Error())
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, MaxPeerRecord))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		if p.m != nil {
+			p.m.PeerErrors.Inc()
+		}
+		p.emit(obs.OutcomeError, resp.Status)
+		return
+	}
+	if p.m != nil {
+		p.m.PeerWrites.Inc()
+	}
+}
+
+// owner resolves the remote ring owner for key, or "" when the lookup
+// must stay local: a malformed key, an empty ring, or this node owning
+// the key itself.
+func (p *PeerCache) owner(key string) string {
+	if !cache.ValidKey(key) {
+		return ""
+	}
+	owner := p.ring.Owner(key, nil)
+	if owner == p.self {
+		return ""
+	}
+	return owner
+}

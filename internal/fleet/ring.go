@@ -1,0 +1,126 @@
+// Package fleet is the sharded analysis fleet: a coordinator that splits a
+// program's loops across fingerprint-routed workers, a peer verdict-cache
+// protocol that lets any node serve any node's previously computed
+// verdicts, and an ordered run registry that streams per-loop verdicts for
+// asynchronous batch runs.
+//
+// The fleet is built on three invariants:
+//
+//   - Routing is deterministic. Loops and cache keys hash onto one
+//     consistent-hash ring (virtual nodes smooth the load), so every node
+//     in a fleet agrees on ownership without any coordination traffic.
+//   - The merged report is byte-identical to a single node's. The
+//     coordinator merges per-loop verdicts back into source order (function
+//     name, then loop index — exactly core.Analyze's sort) and recomputes
+//     the summary from the merged loops, so N workers and 1 worker render
+//     the same tables.
+//   - Re-dispatch is at-least-once and safe. A dead worker's batch is
+//     re-routed to its ring successors; because every loop's verdict is
+//     keyed by a 128-bit analysis fingerprint, re-executing a loop on a
+//     second node either hits the peer cache or recomputes the identical
+//     deterministic verdict. First result wins on merge.
+//
+// The package deliberately does not import internal/server: wire types are
+// declared here with JSON tags matching the server's schema, and the server
+// imports fleet for its coordinator mode.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per physical node. 64 points per
+// node keeps the worst/best load ratio within a few percent for small
+// fleets without making ring construction or lookup noticeable.
+const defaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (worker base URLs in the fleet). Construction sorts the virtual-node
+// points once; lookups are a binary search plus a dead-node walk. Because
+// the ring is pure data derived from the node list, every fleet member
+// builds an identical ring from the same configuration — ownership needs
+// no coordination protocol.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over nodes with the default virtual-node count.
+// Duplicate nodes are collapsed; an empty node list yields an empty ring
+// whose lookups return "".
+func NewRing(nodes []string) *Ring { return NewRingVnodes(nodes, defaultVnodes) }
+
+// NewRingVnodes builds a ring with an explicit virtual-node count
+// (vnodes < 1 is clamped to 1).
+func NewRingVnodes(nodes []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hashString(fmt.Sprintf("%s#%d", n, v)), n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on node name so equal hashes (vanishingly rare but
+		// possible) still order deterministically across fleet members.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the distinct nodes on the ring, in insertion order.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Size returns the number of distinct nodes on the ring.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// hashString is the ring's point hash: 64-bit FNV-1a. The stdlib-only
+// choice matters less than every node agreeing on it.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Owner returns the node owning key: the first virtual node clockwise from
+// the key's hash whose physical node is not in dead. It returns "" when
+// the ring is empty or every node is dead.
+func (r *Ring) Owner(key string, dead map[string]bool) string {
+	return r.successor(hashString(key), dead)
+}
+
+// successor walks the ring clockwise from hash h, skipping virtual nodes
+// whose physical node is dead. Visiting len(points) entries guarantees
+// termination even when everything is dead.
+func (r *Ring) successor(h uint64, dead map[string]bool) string {
+	n := len(r.points)
+	if n == 0 {
+		return ""
+	}
+	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < n; k++ {
+		p := r.points[(i+k)%n]
+		if !dead[p.node] {
+			return p.node
+		}
+	}
+	return ""
+}

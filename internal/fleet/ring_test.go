@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: two rings built from the same node list agree on
+// every key — the property that lets fleet members route without talking
+// to each other.
+func TestRingDeterminism(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, r2 := NewRing(nodes), NewRing(nodes)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if o1, o2 := r1.Owner(key, nil), r2.Owner(key, nil); o1 != o2 {
+			t.Fatalf("ring disagreement on %q: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes spread keys across the fleet — no node
+// owns everything, every node owns something.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(nodes)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i), nil)]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Errorf("node %s owns no keys out of %d", n, keys)
+		}
+		if counts[n] > keys*2/3 {
+			t.Errorf("node %s owns %d/%d keys; virtual nodes are not spreading load", n, counts[n], keys)
+		}
+	}
+}
+
+// TestRingFailover: killing a node re-routes only its keys — every key the
+// dead node did not own keeps its owner, and the dead node's keys land on
+// live successors.
+func TestRingFailover(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(nodes)
+	const victim = "http://b:2"
+	dead := map[string]bool{victim: true}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := r.Owner(key, nil), r.Owner(key, dead)
+		if after == victim {
+			t.Fatalf("key %q routed to the dead node", key)
+		}
+		if before != victim && before != after {
+			t.Fatalf("key %q moved from live node %q to %q when an unrelated node died", key, before, after)
+		}
+		if before == victim {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; failover untested")
+	}
+}
+
+// TestRingEdgeCases: empty rings and all-dead rings return "", duplicate
+// nodes collapse.
+func TestRingEdgeCases(t *testing.T) {
+	if got := NewRing(nil).Owner("k", nil); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	r := NewRing([]string{"http://a:1", "http://a:1", ""})
+	if r.Size() != 1 {
+		t.Errorf("ring size = %d, want 1 (duplicates and empties collapse)", r.Size())
+	}
+	if got := r.Owner("k", map[string]bool{"http://a:1": true}); got != "" {
+		t.Errorf("all-dead ring owner = %q, want \"\"", got)
+	}
+}

@@ -122,6 +122,11 @@ type Config struct {
 	// Much cheaper than a full Tracer: a concrete type with an early-out
 	// when no segment is open, supported by both executors.
 	Footprint *Footprint
+	// NoVM forces this execution onto the tree-walking interpreter even
+	// when the bytecode VM is enabled process-wide. It is a per-execution
+	// request (the server's `no_vm` knob), so concurrent analyses with
+	// different executor preferences never fight over a global switch.
+	NoVM bool
 }
 
 // Result reports what an execution did.

@@ -28,6 +28,15 @@ const (
 	// loop's verdict was replayed from the journal (skipping both stages),
 	// "error" when appending a fresh verdict failed.
 	StageJournal = "journal"
+	// StagePeer: peer verdict-cache activity in the analysis fleet —
+	// outcome "hit" when a ring-owner served a verdict this node did not
+	// have, "miss" when the owner had nothing either, "error" when the peer
+	// was unreachable or returned garbage (both degrade to a local miss).
+	StagePeer = "peer"
+	// StageFleet: coordinator dispatch activity — outcome "ok" for a batch
+	// served by its ring owner, "error" for a dead or shedding worker whose
+	// loops were re-dispatched to the ring successor.
+	StageFleet = "fleet"
 	// StageGolden: the instrumented golden run (outcome "ok" or "trap").
 	StageGolden = "golden"
 	// StageReplay: one permuted schedule replay (outcome "ok" or "trap").

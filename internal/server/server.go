@@ -36,7 +36,29 @@
 // text format, and GET /stats re-expresses the same instruments as JSON —
 // the three views can never disagree about what happened.
 //
-// Endpoints: POST /analyze, GET /healthz, GET /stats, GET /metrics.
+// The server is also the fleet's building block (internal/fleet). The same
+// process can serve three roles, chosen by configuration:
+//
+//   - Worker: Config.PeerNodes wraps the verdict cache in the fleet's peer
+//     protocol — misses consult the key's ring owner over GET /cache/{key},
+//     fresh verdicts write through — and the /cache/{key} handlers serve
+//     this node's local tier to its peers.
+//   - Coordinator: Config.Fleet routes /analyze through a
+//     fleet.Coordinator, which shards the program's loops across the worker
+//     nodes by fingerprint and merges their verdicts into one report that
+//     is identical (timing aside) to a single node's.
+//   - Batch front end: POST /analyze?async=1 registers a run, answers 202
+//     with a handle, and finishes the analysis in the background on a
+//     context the client's disconnect cannot cancel. GET /runs/{id} is the
+//     status; GET /runs/{id}/events streams per-loop verdicts in source
+//     order as NDJSON (or SSE under Accept: text/event-stream). With
+//     Config.RunDir set, every async run also appends to a write-ahead
+//     journal (internal/journal), the same machinery `dca analyze -journal`
+//     uses.
+//
+// Endpoints: POST /analyze (sync or ?async=1), GET /runs/{id},
+// GET /runs/{id}/events, GET /cache/{key}, PUT /cache/{key}, GET /healthz,
+// GET /stats, GET /metrics.
 package server
 
 import (
@@ -44,11 +66,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,7 +83,11 @@ import (
 	"dca/internal/core"
 	"dca/internal/dcart"
 	"dca/internal/engine"
+	"dca/internal/fingerprint"
+	"dca/internal/fleet"
+	"dca/internal/ir"
 	"dca/internal/irbuild"
+	"dca/internal/journal"
 	"dca/internal/obs"
 )
 
@@ -121,6 +151,26 @@ type Config struct {
 	// event the analyses emit (e.g. an obs.JSONL sink). The server always
 	// folds events into its /metrics registry regardless.
 	Trace obs.Sink
+	// Fleet, when non-empty, puts the server in coordinator mode: /analyze
+	// shards the program's loops across these worker base URLs by
+	// fingerprint and merges their verdicts instead of analyzing locally.
+	Fleet []string
+	// PeerNodes, when non-empty (and Cache is set), wraps the verdict
+	// cache in the fleet's peer protocol: misses consult the key's ring
+	// owner among these base URLs, fresh verdicts write through. The list
+	// must be identical on every fleet member (it defines the ring) and
+	// include this node itself.
+	PeerNodes []string
+	// PeerSelf is this node's own base URL within PeerNodes, so keys it
+	// owns itself never leave the process.
+	PeerSelf string
+	// RunDir, when non-empty, backs every async run (/analyze?async=1)
+	// with a write-ahead journal in this directory, one file per run.
+	RunDir string
+	// RetryJitter overrides the Retry-After jitter source: it returns a
+	// uniform value in [0, max). nil means math/rand. Tests inject a
+	// deterministic source.
+	RetryJitter func(max int64) int64
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +225,18 @@ type Server struct {
 	inFlight     *obs.Gauge
 	admitted     atomic.Int64 // requests inside /analyze (waiting + in flight)
 
+	// Fleet wiring. localCache is the node's own cache, before any peer
+	// wrapping — the /cache/{key} handlers serve it directly so a peer
+	// lookup can never recurse back onto the ring. coord is non-nil in
+	// coordinator mode. runs registers async analyses; bg tracks their
+	// background goroutines so a drain can wait for them.
+	localCache core.VerdictCache
+	coord      *fleet.Coordinator
+	fleetM     *fleet.Metrics
+	runs       *fleet.Registry
+	bg         sync.WaitGroup
+	jitter     func(max int64) int64
+
 	logEncodeOnce sync.Once
 }
 
@@ -182,17 +244,44 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  engine.NewPool(cfg.Workers),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		reg:   obs.NewRegistry(),
+		cfg:        cfg,
+		pool:       engine.NewPool(cfg.Workers),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		reg:        obs.NewRegistry(),
+		localCache: cfg.Cache,
+		runs:       fleet.NewRegistry(),
+		jitter:     cfg.RetryJitter,
+	}
+	if s.jitter == nil {
+		s.jitter = rand.Int63n
 	}
 	s.metrics = obs.NewAnalysisMetrics(s.reg)
 	s.sink = obs.Sink(s.metrics)
 	if cfg.Trace != nil {
 		s.sink = obs.Multi{s.metrics, cfg.Trace}
+	}
+	// Fleet roles. The metrics are registered once, on whichever ring this
+	// node uses first (dispatch ring in coordinator mode, cache ring as a
+	// worker); both rings hash identically, so the gauge is equally honest.
+	if len(cfg.Fleet) > 0 {
+		s.coord = fleet.NewCoordinator(fleet.CoordinatorConfig{Nodes: cfg.Fleet, Trace: s.sink})
+		s.fleetM = fleet.NewMetrics(s.reg, s.coord.Ring())
+		s.coord.SetMetrics(s.fleetM)
+	}
+	if len(cfg.PeerNodes) > 0 && cfg.Cache != nil {
+		ring := fleet.NewRing(cfg.PeerNodes)
+		if s.fleetM == nil {
+			s.fleetM = fleet.NewMetrics(s.reg, ring)
+		}
+		s.cfg.Cache = fleet.NewPeerCache(fleet.PeerConfig{
+			Local:   cfg.Cache,
+			Ring:    ring,
+			Self:    cfg.PeerSelf,
+			Metrics: s.fleetM,
+			Trace:   s.sink,
+		})
 	}
 	s.requests = s.reg.Counter("dca_requests_total",
 		"Analyze requests accepted for processing.")
@@ -268,6 +357,10 @@ func New(cfg Config) *Server {
 		c.SetTrace(s.sink)
 	}
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleRunStatus)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
@@ -281,6 +374,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the server's metrics registry, so embedders can add
 // their own instruments next to the service's.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// FleetMetrics exposes the fleet instruments — nil outside fleet roles —
+// so embedders like `dca fleet-bench` can read peer-cache hit rates and
+// dispatch counts without scraping /metrics.
+func (s *Server) FleetMetrics() *fleet.Metrics { return s.fleetM }
 
 // ListenAndServe serves on addr until ctx is cancelled, then drains
 // gracefully. It returns nil after a clean drain.
@@ -310,7 +408,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.beginDrain()
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
-		return srv.Shutdown(drainCtx)
+		err := srv.Shutdown(drainCtx)
+		// Async runs outlive their HTTP handlers; give them the rest of the
+		// drain window too, so a SIGTERM doesn't silently abandon a run the
+		// journal would otherwise have made resumable right up to its tail.
+		done := make(chan struct{})
+		go func() { s.bg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-drainCtx.Done():
+		}
+		return err
 	}
 }
 
@@ -330,6 +438,21 @@ type AnalyzeRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache forces a fresh computation for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// StopAfter enables the sequential stopping rule: once this many
+	// consecutive schedules agree with the golden run, the rest are
+	// skipped. 0 tests every schedule; negative is rejected with 400.
+	StopAfter int `json:"stop_after,omitempty"`
+	// NoFootprint disables the footprint fast path for this request.
+	NoFootprint bool `json:"no_footprint,omitempty"`
+	// NoVM runs this request's executions on the tree-walking interpreter
+	// instead of the bytecode VM. Unlike the CLI's process-wide -no-vm
+	// flag, this is per-request: concurrent requests with different
+	// settings never interfere.
+	NoVM bool `json:"no_vm,omitempty"`
+	// Loops, when non-empty, restricts the analysis to the listed loops —
+	// the fleet's shard filter. The reference execution still runs once;
+	// only the listed loops are analyzed and reported.
+	Loops []fleet.LoopRef `json:"loops,omitempty"`
 }
 
 // AnalyzeResponse is the /analyze response body.
@@ -391,6 +514,9 @@ func (req *AnalyzeRequest) validate() error {
 	if req.TimeoutMS > maxTimeoutMS {
 		return fmt.Errorf("\"timeout_ms\" %d overflows the nanosecond clock (max %d)", req.TimeoutMS, maxTimeoutMS)
 	}
+	if req.StopAfter < 0 {
+		return fmt.Errorf("\"stop_after\" must be >= 0, got %d", req.StopAfter)
+	}
 	return nil
 }
 
@@ -412,17 +538,49 @@ func (s *Server) options(req *AnalyzeRequest) engine.Options {
 		MaxHeapObjects: s.cfg.MaxHeapObjects,
 		MaxOutput:      s.cfg.MaxOutput,
 		Retries:        s.cfg.Retries,
+		StopAfter:      req.StopAfter,
+		NoFootprint:    req.NoFootprint,
+		NoVM:           req.NoVM,
 		Trace:          s.sink,
 	}
 	if !req.NoCache {
 		copt.Cache = s.cfg.Cache
 	}
-	return engine.Options{Core: copt, Pool: s.pool}
+	eopt := engine.Options{Core: copt, Pool: s.pool}
+	if len(req.Loops) > 0 {
+		only := make(map[engine.LoopKey]bool, len(req.Loops))
+		for _, ref := range req.Loops {
+			only[engine.LoopKey{Fn: ref.Fn, Index: ref.Index}] = true
+		}
+		eopt.Only = only
+	}
+	return eopt
+}
+
+// knobs re-expresses the request's analysis options for fleet dispatch, so
+// workers run under exactly this request's configuration.
+func (s *Server) knobs(req *AnalyzeRequest) fleet.Knobs {
+	return fleet.Knobs{
+		Schedules:   req.Schedules,
+		MaxSteps:    req.MaxSteps,
+		TimeoutMS:   req.TimeoutMS,
+		NoCache:     req.NoCache,
+		StopAfter:   req.StopAfter,
+		NoFootprint: req.NoFootprint,
+		NoVM:        req.NoVM,
+	}
 }
 
 // shedRequest turns one request away with 503, a Retry-After hint, and the
 // shed accounting: load balancers and well-behaved clients back off instead
 // of retrying into the same overload.
+//
+// The hint is jittered across [base, 2*base): a fixed value synchronizes
+// every turned-away client onto the same retry instant — and in a fleet,
+// where one overloaded worker sheds a coordinator's whole batch and the
+// coordinator re-dispatches on the same clock, a fixed hint would march
+// thundering herds from node to node. The uniform spread decorrelates them;
+// tests inject a deterministic jitter source via Config.RetryJitter.
 func (s *Server) shedRequest(w http.ResponseWriter, reason, msg string) {
 	s.outcomes.Inc(outcomeRejected)
 	s.shed.Inc(reason)
@@ -438,6 +596,7 @@ func (s *Server) shedRequest(w http.ResponseWriter, reason, msg string) {
 			retry = 1
 		}
 	}
+	retry += s.jitter(retry)
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
 	s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{msg})
 }
@@ -482,11 +641,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// Concurrency bound: wait for a slot, but only as long as the client
 	// stays and the queue timeout allows — a slow drain of the backlog must
 	// turn into fast 503s, not requests parked until their sockets rot.
+	// Async runs keep their slot past the handler's return; the background
+	// goroutine releases it, so MaxConcurrent bounds sync and async work
+	// uniformly.
 	queueTimer := time.NewTimer(s.cfg.QueueTimeout)
 	defer queueTimer.Stop()
+	release := func() { <-s.sem }
 	select {
 	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
 	case <-queueTimer.C:
 		s.shedRequest(w, shedQueueTimeout, "server at capacity: queue wait exceeded")
 		return
@@ -497,7 +659,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Inc()
 	s.inFlight.Inc()
-	defer s.inFlight.Dec()
 
 	filename := req.Filename
 	if filename == "" {
@@ -505,15 +666,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	prog, err := irbuild.Compile(filename, req.Source)
 	if err != nil {
+		release()
+		s.inFlight.Dec()
 		s.outcomes.Inc(outcomeErrored)
 		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{"compile: " + err.Error()})
 		return
 	}
 
+	if r.URL.Query().Get("async") != "" {
+		s.startAsync(w, prog, &req)
+		return
+	}
+	defer release()
+	defer s.inFlight.Dec()
+
 	// The analysis is scoped to the request: a disconnected client cancels
 	// every interpreter run it still owns and frees the pool promptly.
 	start := time.Now()
-	rep, err := engine.Analyze(r.Context(), prog, s.options(&req))
+	rep, err := s.analyze(r.Context(), prog, filename, &req, nil)
 	if r.Context().Err() != nil {
 		// The client is gone; whatever the engine salvaged (Cancelled
 		// verdicts were never cached) has no reader. This is load shed,
@@ -523,6 +693,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		var perr *fleet.ProgramError
+		if s.coord != nil && !errors.As(err, &perr) {
+			// The fleet failed the request, not the program: every worker
+			// the ring offered was dead or shedding.
+			s.outcomes.Inc(outcomeErrored)
+			s.writeJSON(w, http.StatusBadGateway, errorResponse{"fleet: " + err.Error()})
+			return
+		}
 		// The reference execution failed: the program is analyzable by
 		// nobody, which is the request's fault, not the server's.
 		s.outcomes.Inc(outcomeErrored)
@@ -531,7 +709,271 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.outcomes.Inc(outcomeAnalyzed)
 	s.loopsDone.Add(uint64(len(rep.Loops)))
-	s.writeJSON(w, http.StatusOK, AnalyzeResponse{Report: rep.JSON(time.Since(start))})
+	rep.ElapsedSeconds = time.Since(start).Seconds()
+	s.writeJSON(w, http.StatusOK, AnalyzeResponse{Report: rep})
+}
+
+// analyze runs one request's analysis — locally through the engine, or
+// sharded across the fleet in coordinator mode — and returns the report in
+// wire form. onLoop, when non-nil, receives every loop verdict exactly
+// once as it completes (the async path feeds the run registry with it).
+func (s *Server) analyze(ctx context.Context, prog *ir.Program, filename string, req *AnalyzeRequest, onLoop func(core.LoopJSON)) (*core.ReportJSON, error) {
+	if s.coord != nil {
+		return s.coord.Analyze(ctx, prog, filename, req.Source, s.knobs(req), onLoop)
+	}
+	eopt := s.options(req)
+	if onLoop != nil {
+		eopt.OnLoop = func(res *core.LoopResult) { onLoop(res.JSON()) }
+	}
+	start := time.Now()
+	rep, err := engine.Analyze(ctx, prog, eopt)
+	if err != nil {
+		return nil, err
+	}
+	return rep.JSON(time.Since(start)), nil
+}
+
+// runHandle is the 202 response to POST /analyze?async=1.
+type runHandle struct {
+	RunID      string `json:"run_id"`
+	StatusURL  string `json:"status_url"`
+	EventsURL  string `json:"events_url"`
+	TotalLoops int    `json:"total_loops"`
+}
+
+// asyncJournal adapts the write-ahead journal to the engine's sink.
+type asyncJournal struct{ j *journal.Journal }
+
+func (a asyncJournal) Record(fn string, index int, data []byte) error {
+	return a.j.Append(fn, index, data)
+}
+
+// runKey fingerprints an async run's program + configuration — the run
+// handle's suffix and the journal's header key, so a journal can never be
+// replayed into a run with different semantics.
+func (s *Server) runKey(prog *ir.Program, req *AnalyzeRequest) string {
+	copt := s.options(req).Core
+	return fingerprint.Run(prog, fingerprint.Inputs{
+		Schedules:   copt.Schedules,
+		Limits:      copt.Limits(),
+		Retries:     copt.Retries,
+		StopAfter:   copt.StopAfter,
+		NoFootprint: copt.NoFootprint,
+	}).String()
+}
+
+// startAsync registers the analysis as a run and finishes it in the
+// background: the response is an immediate 202 with the run handle, and
+// the analysis itself runs on a context the client's disconnect cannot
+// touch. The caller's semaphore slot travels with the goroutine, so
+// MaxConcurrent bounds async and sync analyses together.
+func (s *Server) startAsync(w http.ResponseWriter, prog *ir.Program, req *AnalyzeRequest) {
+	refs := fleet.EnumerateLoops(prog)
+	if len(req.Loops) > 0 {
+		only := make(map[fleet.LoopRef]bool, len(req.Loops))
+		for _, ref := range req.Loops {
+			only[ref] = true
+		}
+		kept := refs[:0]
+		for _, ref := range refs {
+			if only[ref] {
+				kept = append(kept, ref)
+			}
+		}
+		refs = kept
+	}
+	run := s.runs.NewRun(s.runKey(prog, req), refs)
+	s.bg.Add(1)
+	go s.runAsync(run, prog, req)
+	s.writeJSON(w, http.StatusAccepted, runHandle{
+		RunID:      run.ID(),
+		StatusURL:  "/runs/" + run.ID(),
+		EventsURL:  "/runs/" + run.ID() + "/events",
+		TotalLoops: len(refs),
+	})
+}
+
+// runAsync is the background half of an async run. It owns the semaphore
+// slot and in-flight accounting its handler left behind, feeds the run's
+// event stream as loops complete, and seals the run with the merged
+// report. With RunDir set, every completed loop is also journaled, so a
+// crashed server leaves a resumable record behind.
+func (s *Server) runAsync(run *fleet.Run, prog *ir.Program, req *AnalyzeRequest) {
+	defer s.bg.Done()
+	defer func() { <-s.sem; s.inFlight.Dec() }()
+
+	filename := req.Filename
+	if filename == "" {
+		filename = "request.mc"
+	}
+	ctx := context.Background()
+	start := time.Now()
+	var j *journal.Journal
+	if s.cfg.RunDir != "" {
+		path := filepath.Join(s.cfg.RunDir, run.ID()+".journal")
+		jj, _, jerr := journal.Open(path, s.runKey(prog, req), journal.Options{Version: core.CacheRecordVersion})
+		if jerr != nil {
+			// The run proceeds without durability; the failure is visible
+			// in the trace stream rather than silently swallowed.
+			s.sink.Emit(obs.Event{Stage: obs.StageJournal, Outcome: obs.OutcomeError, Err: jerr.Error()})
+		} else {
+			j = jj
+			defer j.Close()
+		}
+	}
+	var rep *core.ReportJSON
+	var err error
+	if s.coord != nil {
+		// The coordinator journals the merged rows it streams: worker
+		// verdicts land as framed LoopJSON records, so a crashed
+		// coordinator still leaves a per-loop account of the run.
+		onLoop := run.Complete
+		if j != nil {
+			onLoop = func(lj core.LoopJSON) {
+				if data, merr := json.Marshal(lj); merr == nil {
+					j.Append(lj.Fn, lj.Index, data)
+				}
+				run.Complete(lj)
+			}
+		}
+		rep, err = s.coord.Analyze(ctx, prog, filename, req.Source, s.knobs(req), onLoop)
+	} else {
+		eopt := s.options(req)
+		eopt.OnLoop = func(res *core.LoopResult) { run.Complete(res.JSON()) }
+		if j != nil {
+			eopt.Journal = asyncJournal{j}
+		}
+		var engineRep *core.Report
+		engineRep, err = engine.Analyze(ctx, prog, eopt)
+		if err == nil {
+			rep = engineRep.JSON(time.Since(start))
+		}
+	}
+	if err != nil {
+		s.outcomes.Inc(outcomeErrored)
+	} else {
+		s.outcomes.Inc(outcomeAnalyzed)
+		s.loopsDone.Add(uint64(len(rep.Loops)))
+	}
+	run.Finish(rep, err)
+}
+
+func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
+	run := s.runs.Get(r.PathValue("id"))
+	if run == nil {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{"unknown run"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, run.Status())
+}
+
+// handleRunEvents streams a run's per-loop verdicts — every verdict
+// exactly once, in source order, no matter when the subscriber attaches
+// (late subscribers replay the released prefix first). The default format
+// is NDJSON: one core.LoopJSON object per line, terminated by the run's
+// final Status object (recognizable by its "state" field). With
+// Accept: text/event-stream the same payloads arrive as SSE "loop" events
+// followed by one "done" event. A disconnect ends the stream only; the
+// run itself continues on its background context.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	run := s.runs.Get(r.PathValue("id"))
+	if run == nil {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{"unknown run"})
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	write := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for i := 0; ; {
+		ev, ok, done := run.Next(r.Context(), i)
+		switch {
+		case ok:
+			if !write("loop", ev) {
+				return
+			}
+			i++
+		case done:
+			write("done", run.Status())
+			return
+		default:
+			// Client gone; the run continues without this subscriber.
+			return
+		}
+	}
+}
+
+// handleCacheGet serves this node's local verdict-cache tier to its fleet
+// peers. Deliberately the local cache, never the peer-wrapped one: a peer
+// lookup answered by another peer lookup would chase the ring in circles.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.localCache == nil {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{"no verdict cache configured"})
+		return
+	}
+	key := r.PathValue("key")
+	if !cache.ValidKey(key) {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{"malformed cache key"})
+		return
+	}
+	data, ok := s.localCache.Get(key)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{"cache miss"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleCachePut accepts a peer's write-through. The body is size-capped
+// and syntax-checked before it may enter the store; a corrupt record is
+// the writer's problem, never this node's.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	if s.localCache == nil {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{"no verdict cache configured"})
+		return
+	}
+	key := r.PathValue("key")
+	if !cache.ValidKey(key) {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{"malformed cache key"})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, fleet.MaxPeerRecord))
+	if err != nil {
+		s.writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{fmt.Sprintf("record exceeds %d bytes", fleet.MaxPeerRecord)})
+		return
+	}
+	if !json.Valid(data) {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{"record is not valid JSON"})
+		return
+	}
+	s.localCache.Put(key, data)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // healthz is the liveness payload.

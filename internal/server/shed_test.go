@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"sync"
 	"testing"
@@ -10,22 +11,59 @@ import (
 )
 
 // TestShedDraining: a request arriving during the drain window is shed with
-// 503 + Retry-After before its body is read, and counted by reason.
+// 503 + Retry-After before its body is read, and counted by reason. The
+// jitter source is pinned so the header is exact: base (7s drain timeout)
+// plus the injected 3.
 func TestShedDraining(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1, DrainTimeout: 7 * time.Second})
+	s, ts := newTestServer(t, Config{
+		Workers: 1, DrainTimeout: 7 * time.Second,
+		RetryJitter: func(max int64) int64 { return 3 },
+	})
 	s.beginDrain()
 	resp, body := postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "7" {
-		t.Errorf("Retry-After = %q, want %q (the drain timeout)", ra, "7")
+	if ra := resp.Header.Get("Retry-After"); ra != "10" {
+		t.Errorf("Retry-After = %q, want %q (drain timeout 7 + jitter 3)", ra, "10")
 	}
 	if got := s.shed.Value(shedDraining); got != 1 {
 		t.Errorf("shed draining = %d, want 1", got)
 	}
 	if got := s.outcomes.Value(outcomeRejected); got != 1 {
 		t.Errorf("rejected = %d, want 1", got)
+	}
+}
+
+// TestShedRetryAfterJitter: shed responses spread their Retry-After hints
+// across [base, 2*base) instead of synchronizing every turned-away client
+// (and every fleet coordinator re-dispatch) onto one retry instant. The
+// default jitter source must actually vary; each observed value must stay
+// inside the window.
+func TestShedRetryAfterJitter(t *testing.T) {
+	const base = 20 // QueueTimeout in seconds; window is [20, 40)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueTimeout: base * time.Second})
+	s.beginDrain() // draining sheds use the same jittered path; DrainTimeout defaults to 15s
+	s.cfg.DrainTimeout = base * time.Second
+
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		resp, body := postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+		}
+		ra := resp.Header.Get("Retry-After")
+		var secs int64
+		if _, err := fmt.Sscanf(ra, "%d", &secs); err != nil {
+			t.Fatalf("unparsable Retry-After %q: %v", ra, err)
+		}
+		if secs < base || secs >= 2*base {
+			t.Fatalf("Retry-After %d outside jitter window [%d, %d)", secs, base, 2*base)
+		}
+		seen[ra] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("32 shed responses produced %d distinct Retry-After values; jitter is not spreading retries", len(seen))
 	}
 }
 

@@ -50,8 +50,12 @@ func SetEnabled(v bool) { disabled.Store(!v) }
 
 // Supported reports whether cfg can run on the VM. Tracer and StepHook
 // subscribe to per-instruction events the VM does not raise; those runs
-// stay on the tree-walker.
-func Supported(cfg interp.Config) bool { return cfg.Tracer == nil && cfg.StepHook == nil }
+// stay on the tree-walker. A config carrying NoVM opted out per execution
+// (the server's per-request `no_vm`), without touching the process-wide
+// preference other requests share.
+func Supported(cfg interp.Config) bool {
+	return cfg.Tracer == nil && cfg.StepHook == nil && !cfg.NoVM
+}
 
 // Machine executes one program. Not safe for concurrent use; distinct
 // machines may share the program's compiled code freely.
