@@ -76,6 +76,28 @@ type VMBench struct {
 	TablesIdentical  bool `json:"tables_identical"`
 }
 
+// ProveBench is the static-prover benchmark record, merged into
+// BENCH_analysis.json under "prove" by BenchmarkSuiteProve: the cold NPB
+// suite with the prover on versus forced through the dynamic stage, the
+// share of loops the prover decided, and the executions its proofs skipped.
+type ProveBench struct {
+	Workers             int     `json:"workers"`
+	SuiteSecondsProve   float64 `json:"suite_seconds_prove"`
+	SuiteSecondsNoProve float64 `json:"suite_seconds_no_prove"`
+	// ProvedLoops / TotalLoops: how many suite loops the prover decided.
+	ProvedLoops      int     `json:"proved_loops"`
+	TotalLoops       int     `json:"total_loops"`
+	StaticProvedRate float64 `json:"static_proved_rate"`
+	// Replay delta: dynamic-stage executions with and without the prover;
+	// SkippedProveRuns is the schedule-replay count the proofs made
+	// unnecessary as accounted per proved loop (golden runs still execute
+	// as each proved loop's coverage witness).
+	ReplaysProve     int  `json:"replays_prove"`
+	ReplaysNoProve   int  `json:"replays_no_prove"`
+	SkippedProveRuns int  `json:"skipped_prove_runs"`
+	TablesIdentical  bool `json:"tables_identical"`
+}
+
 // mergeBenchFile read-modify-writes update's top-level keys into the
 // benchmark record, preserving keys written by the other benchmark. Keys in
 // remove are deleted — omitempty fields would otherwise leave a stale value
@@ -235,6 +257,61 @@ func BenchmarkSuiteVM(b *testing.B) {
 		fmt.Fprintf(os.Stderr, "vm: %.2fs vs interp %.2fs (%.2fx); stages static %.2fs golden %.2fs replay %.2fs; skipped stop %d footprint %d\n",
 			vmDur.Seconds(), noDur.Seconds(), rec.VM.SpeedupVsInterp, static, golden, replay, stop, fp)
 		b.ReportMetric(rec.VM.SpeedupVsInterp, "speedup-vs-interp")
+	}
+}
+
+// BenchmarkSuiteProve measures the static-prover win: the cold NPB suite
+// (workers=1, no verdict cache) with the prover on versus the same suite
+// forced through the dynamic stage with -no-prove. The two must produce
+// byte-identical Tables I/III/IV — a static proof may only remove work,
+// never change a verdict — and the prover must decide a nonzero share of
+// the suite's loops. The rate and the replay delta are merged into
+// BENCH_analysis.json under "prove" (run via `go test -run=^$
+// -bench=SuiteProve -benchtime=1x .`).
+func BenchmarkSuiteProve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pvSuite, pvDur, _ := timedSuite(b, 1, nil)
+		start := time.Now()
+		npSuite, err := bench.RunSuiteConfig(1, nil, true)
+		npDur := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		identical := pvSuite.TableI() == npSuite.TableI() &&
+			pvSuite.TableIII() == npSuite.TableIII() &&
+			pvSuite.TableIV() == npSuite.TableIV()
+		if !identical {
+			b.Fatalf("prover suite diverged from dynamic-only:\nprove TableI:\n%s\nno-prove TableI:\n%s",
+				pvSuite.TableI(), npSuite.TableI())
+		}
+		proved := pvSuite.ProvedLoops()
+		if proved == 0 {
+			b.Fatal("prover decided no loops across the whole NPB suite")
+		}
+		total := 0
+		for _, r := range pvSuite.Results {
+			total += len(r.DCA.Loops)
+		}
+		rec := struct {
+			Prove ProveBench `json:"prove"`
+		}{ProveBench{
+			Workers:             1,
+			SuiteSecondsProve:   pvDur.Seconds(),
+			SuiteSecondsNoProve: npDur.Seconds(),
+			ProvedLoops:         proved,
+			TotalLoops:          total,
+			StaticProvedRate:    float64(proved) / float64(total),
+			ReplaysProve:        pvSuite.Replays(),
+			ReplaysNoProve:      npSuite.Replays(),
+			SkippedProveRuns:    pvSuite.SkippedProveRuns(),
+			TablesIdentical:     identical,
+		}}
+		mergeBenchFile(b, rec)
+		fmt.Fprintf(os.Stderr, "prove: %.2fs vs no-prove %.2fs; proved %d/%d loops (%.0f%%), replays %d -> %d (skipped %d runs)\n",
+			pvDur.Seconds(), npDur.Seconds(), proved, total, 100*rec.Prove.StaticProvedRate,
+			npSuite.Replays(), pvSuite.Replays(), rec.Prove.SkippedProveRuns)
+		b.ReportMetric(rec.Prove.StaticProvedRate, "static-proved-rate")
 	}
 }
 

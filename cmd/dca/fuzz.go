@@ -121,8 +121,9 @@ func printFuzzSummary(s *diff.Stats, verbose bool) {
 	fmt.Printf("verdicts: %s\n", sortedCounts(s.Verdicts))
 	fmt.Printf("labeled loops: %s\n", sortedCounts(s.Labels))
 	fmt.Printf("parallel oracle: %d loops checked, %d refused\n", s.ParallelChecked, s.ParallelRefused)
-	fmt.Printf("violations: %d soundness, %d label, %d parallel-divergence, %d exec-divergence\n",
-		s.SoundnessViolations, s.LabelViolations, s.ParallelDivergences, s.ExecDivergences)
+	fmt.Printf("prover: %d loops static-proved (each cross-checked dynamically)\n", s.ProvedLoops)
+	fmt.Printf("violations: %d soundness, %d label, %d parallel-divergence, %d exec-divergence, %d prover-divergence\n",
+		s.SoundnessViolations, s.LabelViolations, s.ParallelDivergences, s.ExecDivergences, s.ProverDivergences)
 	if verbose {
 		fmt.Printf("label/verdict: %s\n", sortedCounts(s.LabelVerdicts))
 		names := make([]string, 0, len(s.Baselines))

@@ -137,7 +137,7 @@ func usage() {
 commands:
   analyze [-j n] [-baselines] [-schedules n] [-timeout d] [-max-steps n]
           [-retry n] [-no-prescreen] [-debug-snapshots] [-json]
-          [-stop-after n] [-no-footprint] [-no-vm]
+          [-stop-after n] [-no-footprint] [-no-prove] [-no-vm]
           [-journal run.wal] [-resume] [-journal-sync n]
           [-trace out.jsonl] [-cache-dir d] [-cache-mem bytes] [-no-cache]
           [-inject-kind k -inject-at-step n|-inject-at-intrinsic n
@@ -196,6 +196,7 @@ func cmdAnalyze(args []string) error {
 	debugSnapshots := fs.Bool("debug-snapshots", false, "keep string snapshots alongside digests for mismatch diagnosis")
 	stopAfter := fs.Int("stop-after", 0, "stop replaying after this many consecutive agreeing schedules (0 = test all)")
 	noFootprint := fs.Bool("no-footprint", false, "disable the footprint fast path (always run schedule replays)")
+	noProve := fs.Bool("no-prove", false, "disable the static commutativity prover (every verdict comes from the dynamic stage)")
 	noVM := fs.Bool("no-vm", false, "execute with the tree-walking interpreter instead of the bytecode VM")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit per execution (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "instruction budget per execution (0 = default 200M)")
@@ -241,6 +242,7 @@ func cmdAnalyze(args []string) error {
 		DebugSnapshots: *debugSnapshots,
 		StopAfter:      *stopAfter,
 		NoFootprint:    *noFootprint,
+		NoProve:        *noProve,
 	}
 	if *injectKind != "" {
 		kind, err := parseInjectKind(*injectKind)
@@ -290,6 +292,7 @@ func cmdAnalyze(args []string) error {
 			DebugSnapshots: *debugSnapshots,
 			StopAfter:      *stopAfter,
 			NoFootprint:    *noFootprint,
+			NoProve:        *noProve,
 		}).String()
 		j, rec, err := journal.Open(*journalPath, runKey, journal.Options{
 			Version:   core.CacheRecordVersion,

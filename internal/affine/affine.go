@@ -6,6 +6,7 @@ package affine
 
 import (
 	"fmt"
+	"math"
 
 	"dca/internal/cfg"
 	"dca/internal/ir"
@@ -408,6 +409,12 @@ func (env *Env) Carried(a, b Access, loop *cfg.Loop) bool {
 		return true
 	}
 	iv := info.IV
+	// |MinInt64| is not representable; every derived quantity below (gcd,
+	// division bounds) would silently use a wrong magnitude. Bail out to
+	// "assume dependence" rather than reason with a saturated coefficient.
+	if a.Sub.Coeff(iv) == math.MinInt64 || b.Sub.Coeff(iv) == math.MinInt64 {
+		return true
+	}
 	// delta = b.Sub - a.Sub.
 	delta := b.Sub.add(a.Sub, -1)
 	ai := a.Sub.Coeff(iv)
@@ -437,8 +444,19 @@ func (env *Env) Carried(a, b Access, loop *cfg.Loop) bool {
 				if cb := absInt(b.Sub.Coeff(t)); cb > c {
 					c = cb
 				}
-				r := c * absInt(inner.Step) * (inner.Trip - 1)
-				rng += r
+				// Residual extent c*|step|*(trip-1), saturating: a silently
+				// wrapped product here can flip "dependence" into
+				// "independent", so overflow bails to "assume dependence".
+				r, ok := satMul(c, absInt(inner.Step))
+				if ok {
+					r, ok = satMul(r, inner.Trip-1)
+				}
+				if ok {
+					rng, ok = satAdd(rng, r)
+				}
+				if !ok {
+					return true
+				}
 				continue
 			}
 			return true // inner IV with unknown extent
@@ -448,6 +466,13 @@ func (env *Env) Carried(a, b Access, loop *cfg.Loop) bool {
 		}
 	}
 	d := delta.Const
+	// Both tests below reason about the interval [d-rng, d+rng]; if either
+	// endpoint is not representable, assume dependence.
+	lo, okLo := satAdd(d, -rng)
+	hi, okHi := satAdd(d, rng)
+	if !okLo || !okHi {
+		return true
+	}
 	switch {
 	case ai == bi:
 		aa := ai
@@ -456,43 +481,114 @@ func (env *Env) Carried(a, b Access, loop *cfg.Loop) bool {
 			// can coincide at all (then every iteration conflicts).
 			return absInt(d) <= rng
 		}
-		// Solutions need aa*k ∈ [d-rng, d+rng] for k ≠ 0.
-		lo, hi := d-rng, d+rng
+		// Solutions need aa*k ∈ [lo, hi] for k ≠ 0.
 		if aa < 0 {
+			if lo == math.MinInt64 || hi == math.MinInt64 {
+				return true
+			}
 			aa = -aa
 			lo, hi = -hi, -lo
 		}
-		klo := ceilDiv(lo, aa)
-		khi := floorDiv(hi, aa)
-		for k := klo; k <= khi; k++ {
-			if k != 0 {
-				if info.Trip < 0 || absInt(k) < info.Trip {
-					return true
-				}
-			}
-		}
-		return false
+		return hasCarriedK(ceilDiv(lo, aa), floorDiv(hi, aa), info.Trip)
 	default:
 		// GCD test on bi*i2 - ai*i1 = -d (+rng slack): if gcd(ai,bi) does
-		// not divide any value in [d-rng, d+rng], no dependence.
+		// not divide any value in [lo, hi], no dependence.
 		gg := gcd(absInt(ai), absInt(bi))
 		if gg == 0 {
 			return true
 		}
-		for v := d - rng; v <= d+rng; v++ {
-			if v%gg == 0 {
-				return true
-			}
-		}
-		return false
+		return hasMultipleInRange(lo, hi, gg)
 	}
 }
 
+// hasMultipleInRange reports whether [lo, hi] contains a multiple of g,
+// for g > 0: one exists iff floor(hi/g) >= ceil(lo/g). Closed form of the
+// former O(hi-lo) scan, whose iteration count was proportional to the
+// residual range — billions of probes for large inner trip counts.
+func hasMultipleInRange(lo, hi, g int64) bool {
+	return floorDiv(hi, g) >= ceilDiv(lo, g)
+}
+
+// hasCarriedK reports whether [klo, khi] contains a nonzero iteration
+// distance k with |k| < trip; trip < 0 means the trip count is unknown and
+// any nonzero k qualifies. Closed form of the former O(khi-klo) scan.
+func hasCarriedK(klo, khi, trip int64) bool {
+	if klo > khi {
+		return false
+	}
+	if trip < 0 {
+		return klo < 0 || khi > 0
+	}
+	if minInt(khi, trip-1) >= maxInt(klo, 1) {
+		return true // positive k
+	}
+	if minInt(khi, -1) >= maxInt(klo, 1-trip) {
+		return true // negative k
+	}
+	return false
+}
+
+// absInt returns |x|, saturating at MaxInt64: |MinInt64| is not
+// representable, and the negation would silently return MinInt64 itself.
+// Saturation is conservative everywhere absInt feeds a range or magnitude
+// comparison (a larger residual range only adds dependences); the exact
+// tests that need a true magnitude (the IV coefficients) reject MinInt64
+// before calling it.
 func absInt(x int64) int64 {
+	if x == math.MinInt64 {
+		return math.MaxInt64
+	}
 	if x < 0 {
 		return -x
 	}
 	return x
+}
+
+// satAdd returns a+b, reporting false when the exact sum overflows int64.
+func satAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// satMul returns a*b, reporting false when the exact product overflows
+// int64.
+func satMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// MinInt64 * anything but 1 overflows; the division check below
+		// would panic on MinInt64 / -1.
+		if a == 1 {
+			return b, true
+		}
+		if b == 1 {
+			return a, true
+		}
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func minInt(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func gcd(a, b int64) int64 {

@@ -1,0 +1,241 @@
+package affine
+
+import (
+	"math"
+	"testing"
+
+	"dca/internal/cfg"
+	"dca/internal/irbuild"
+)
+
+func TestAbsInt(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{5, 5},
+		{-5, 5},
+		{math.MaxInt64, math.MaxInt64},
+		{-math.MaxInt64, math.MaxInt64},
+		// Regression: -MinInt64 overflows back to MinInt64, so the old
+		// absInt returned a negative value here.
+		{math.MinInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := absInt(c.in); got != c.want {
+			t.Errorf("absInt(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got := absInt(c.in); got < 0 {
+			t.Errorf("absInt(%d) = %d is negative", c.in, got)
+		}
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{1, 2, 3, true},
+		{-1, -2, -3, true},
+		{math.MaxInt64, 0, math.MaxInt64, true},
+		{math.MaxInt64, 1, 0, false},
+		{math.MaxInt64, math.MaxInt64, 0, false},
+		{math.MinInt64, 0, math.MinInt64, true},
+		{math.MinInt64, -1, 0, false},
+		{math.MinInt64, math.MinInt64, 0, false},
+		{math.MinInt64, math.MaxInt64, -1, true},
+	}
+	for _, c := range cases {
+		got, ok := satAdd(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("satAdd(%d, %d) = (%d, %v), want (%d, %v)", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSatMul(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{0, math.MinInt64, 0, true},
+		{math.MinInt64, 0, 0, true},
+		{1, math.MinInt64, math.MinInt64, true},
+		{math.MinInt64, 1, math.MinInt64, true},
+		// Regression: the p/b != a overflow probe would panic on
+		// MinInt64 / -1 without the explicit MinInt64 guard.
+		{math.MinInt64, -1, 0, false},
+		{-1, math.MinInt64, 0, false},
+		{math.MinInt64, 2, 0, false},
+		{3, 4, 12, true},
+		{-3, 4, -12, true},
+		{math.MaxInt64, 2, 0, false},
+		{1 << 32, 1 << 32, 0, false},
+		{1 << 31, 1 << 31, 1 << 62, true},
+	}
+	for _, c := range cases {
+		got, ok := satMul(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("satMul(%d, %d) = (%d, %v), want (%d, %v)", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestHasMultipleInRangeDifferential checks the closed-form residue test
+// against the old O(hi-lo) scan it replaced, over small ranges.
+func TestHasMultipleInRangeDifferential(t *testing.T) {
+	scan := func(lo, hi, g int64) bool {
+		for v := lo; v <= hi; v++ {
+			if v%g == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for lo := int64(-15); lo <= 15; lo++ {
+		for hi := lo; hi <= 15; hi++ {
+			for g := int64(1); g <= 12; g++ {
+				want := scan(lo, hi, g)
+				if got := hasMultipleInRange(lo, hi, g); got != want {
+					t.Fatalf("hasMultipleInRange(%d, %d, %d) = %v, scan = %v", lo, hi, g, got, want)
+				}
+			}
+		}
+	}
+	// Empty interval.
+	if hasMultipleInRange(3, 2, 1) {
+		t.Error("empty interval must have no multiples")
+	}
+}
+
+// TestHasCarriedKDifferential checks the closed-form iteration-distance test
+// against the old O(khi-klo) scan: a nonzero k in [klo, khi] with |k| < trip
+// (any nonzero k when trip < 0, i.e. the trip count is unknown).
+func TestHasCarriedKDifferential(t *testing.T) {
+	scan := func(klo, khi, trip int64) bool {
+		for k := klo; k <= khi; k++ {
+			if k == 0 {
+				continue
+			}
+			if trip >= 0 && absInt(k) >= trip {
+				continue
+			}
+			return true
+		}
+		return false
+	}
+	trips := []int64{-1, 0, 1, 2, 3, 5, 8, 40}
+	for klo := int64(-12); klo <= 12; klo++ {
+		for khi := klo - 1; khi <= 12; khi++ { // khi = klo-1 covers empty intervals
+			for _, trip := range trips {
+				want := scan(klo, khi, trip)
+				if got := hasCarriedK(klo, khi, trip); got != want {
+					t.Fatalf("hasCarriedK(%d, %d, trip=%d) = %v, scan = %v", klo, khi, trip, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCarriedClosedFormLargeRange exercises the interval endpoints the old
+// scan could never finish: a huge inner trip count makes the residual range
+// span ~2^61 values, which the closed form must decide instantly.
+func TestCarriedClosedFormLargeRange(t *testing.T) {
+	env, loop, store := compileOuterStore(t, `
+func main() {
+	var m []int = new [64]int;
+	for (var i int = 0; i < 8; i++) {
+		for (var j int = 0; j < 2305843009213693951; j++) { m[4*i + j] = i; }
+	}
+	print(m[0]);
+}`)
+	if !env.Carried(store, store, loop) {
+		t.Error("4i+j with a huge j range overlaps across i: carried dependence")
+	}
+}
+
+// TestCarriedResidualRangeOverflow is the overflow regression for the rng
+// accumulation: c * |step| * (trip-1) wraps int64 (the old code computed a
+// garbage range), so Carried must bail to "assume dependence".
+func TestCarriedResidualRangeOverflow(t *testing.T) {
+	// 4 * 1 * (4611686018427387903 - 1) > MaxInt64.
+	env, loop, store := compileOuterStore(t, `
+func main() {
+	var m []int = new [64]int;
+	for (var i int = 0; i < 8; i++) {
+		for (var j int = 0; j < 4611686018427387903; j++) { m[i + 4*j] = i; }
+	}
+	print(m[0]);
+}`)
+	if !env.Carried(store, store, loop) {
+		t.Error("overflowing residual range must assume dependence")
+	}
+}
+
+// TestCarriedIntervalEndpointOverflow drives d ± rng past int64: a large
+// constant offset between the two subscripts plus a large residual range.
+func TestCarriedIntervalEndpointOverflow(t *testing.T) {
+	env, loop, _ := compileOuterStore(t, `
+func main() {
+	var m []int = new [64]int;
+	for (var i int = 0; i < 8; i++) {
+		for (var j int = 0; j < 2305843009213693951; j++) { m[4*i + j] = i; }
+	}
+	print(m[0]);
+}`)
+	var store Access
+	for _, a := range env.Accesses(loop) {
+		if a.IsWrite {
+			store = a
+		}
+	}
+	// Synthesize a partner access offset by a huge constant so that
+	// d + rng overflows.
+	far := store
+	far.Sub = store.Sub.clone()
+	far.Sub.Const += math.MaxInt64 - 100
+	if !env.Carried(store, far, loop) {
+		t.Error("overflowing interval endpoint must assume dependence")
+	}
+}
+
+// TestCarriedMinInt64Coefficient: a MinInt64 IV coefficient has no
+// representable magnitude; gcd/division reasoning over its saturated |x|
+// could wrongly prove independence, so Carried must assume dependence.
+func TestCarriedMinInt64Coefficient(t *testing.T) {
+	env, loop, store := compileOuterStore(t, `
+func main() {
+	var m []int = new [64]int;
+	for (var i int = 0; i < 8; i++) { m[2*i] = i; }
+	print(m[0]);
+}`)
+	bad := store
+	bad.Sub = store.Sub.clone()
+	iv := env.Info[loop].IV
+	bad.Sub.Coeffs[iv] = math.MinInt64
+	if !env.Carried(bad, store, loop) || !env.Carried(store, bad, loop) {
+		t.Error("MinInt64 IV coefficient must assume dependence")
+	}
+}
+
+// compileOuterStore compiles src and returns the outermost loop of main and
+// its (single) affine store access.
+func compileOuterStore(t *testing.T, src string) (*Env, *cfg.Loop, Access) {
+	t.Helper()
+	prog, err := irbuild.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	env := NewEnv(prog.Func("main"))
+	loop := env.Loops[0]
+	var store Access
+	found := false
+	for _, a := range env.Accesses(loop) {
+		if a.IsWrite {
+			store, found = a, true
+		}
+	}
+	if !found {
+		t.Fatal("no store access found")
+	}
+	return env, loop, store
+}

@@ -79,6 +79,12 @@ func RunNPBEngine(spec *npb.Spec, pool *engine.Pool) (*NPBResult, error) {
 // replays drawn from pool (nil = sequential) and its verdicts served from
 // vc (nil = always computed).
 func RunNPBOptions(spec *npb.Spec, pool *engine.Pool, vc core.VerdictCache) (*NPBResult, error) {
+	return RunNPBConfig(spec, pool, vc, false)
+}
+
+// RunNPBConfig additionally controls the static commutativity prover:
+// noProve forces every DCA verdict through the dynamic stage.
+func RunNPBConfig(spec *npb.Spec, pool *engine.Pool, vc core.VerdictCache, noProve bool) (*NPBResult, error) {
 	prog, err := spec.Compile()
 	if err != nil {
 		return nil, err
@@ -94,7 +100,7 @@ func RunNPBOptions(spec *npb.Spec, pool *engine.Pool, vc core.VerdictCache) (*NP
 	r.ID = idioms.Analyze(prog)
 	r.PO = polly.Analyze(prog)
 	r.IC = icc.Analyze(prog)
-	eopt := engine.Options{Core: core.Options{Schedules: npbSchedules(), Cache: vc}, Workers: 1, Pool: pool}
+	eopt := engine.Options{Core: core.Options{Schedules: npbSchedules(), Cache: vc, NoProve: noProve}, Workers: 1, Pool: pool}
 	if r.DCA, err = engine.Analyze(context.Background(), prog, eopt); err != nil {
 		return nil, fmt.Errorf("%s: dca: %w", spec.Name, err)
 	}

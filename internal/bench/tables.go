@@ -44,6 +44,12 @@ func RunSuiteWorkers(workers int) (*Suite, error) {
 // suite: a warm cache serves every previously analyzed loop without
 // re-running its dynamic stage.
 func RunSuiteOptions(workers int, vc core.VerdictCache) (*Suite, error) {
+	return RunSuiteConfig(workers, vc, false)
+}
+
+// RunSuiteConfig additionally controls the static commutativity prover:
+// noProve forces every DCA verdict through the dynamic stage.
+func RunSuiteConfig(workers int, vc core.VerdictCache, noProve bool) (*Suite, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -62,7 +68,7 @@ func RunSuiteOptions(workers int, vc core.VerdictCache) (*Suite, error) {
 			defer wg.Done()
 			gate <- struct{}{}
 			defer func() { <-gate }()
-			results[i], errs[i] = RunNPBOptions(spec, pool, vc)
+			results[i], errs[i] = RunNPBConfig(spec, pool, vc, noProve)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -93,6 +99,26 @@ func (s *Suite) SkippedReplays() (stop, footprint int) {
 		footprint += fp
 	}
 	return stop, footprint
+}
+
+// ProvedLoops counts the loops across the suite whose verdicts the static
+// commutativity prover decided without any execution.
+func (s *Suite) ProvedLoops() int {
+	n := 0
+	for _, r := range s.Results {
+		n += r.DCA.ProvedLoops()
+	}
+	return n
+}
+
+// SkippedProveRuns sums the dynamic-stage executions (golden run plus every
+// schedule replay) that static proofs made unnecessary across the suite.
+func (s *Suite) SkippedProveRuns() int {
+	n := 0
+	for _, r := range s.Results {
+		n += r.DCA.SkippedProveRuns()
+	}
+	return n
 }
 
 // StageSeconds sums the per-loop DCA stage durations across the suite:

@@ -36,6 +36,10 @@ const (
 	// touch pairwise-disjoint heap cells, so the Commutative verdict was
 	// issued without running any schedule replay.
 	ProvenanceFootprint = "footprint-proved"
+	// ProvenanceProved: the static commutativity prover (internal/prove)
+	// closed a symbolic proof, so the Commutative verdict was issued after
+	// the golden run (the coverage witness) without any schedule replay.
+	ProvenanceProved = "static-proved"
 )
 
 // VerdictCache is the incremental-analysis store consulted before each
@@ -62,9 +66,11 @@ type cachedVerdict struct {
 	TrapKind        string  `json:"trap_kind,omitempty"`
 	// Replay-reduction counters: how the verdict's evidence was bounded.
 	// A footprint-proved record keeps its SkippedFootprint count so warm
-	// runs still report how much replay work the proof avoided.
+	// runs still report how much replay work the proof avoided; likewise a
+	// static-proved record keeps SkippedProve (the skipped replays).
 	SkippedStop      int `json:"skipped_stop,omitempty"`
 	SkippedFootprint int `json:"skipped_footprint,omitempty"`
+	SkippedProve     int `json:"skipped_prove,omitempty"`
 }
 
 // loopKey fingerprints one loop analysis under the active options.
@@ -76,21 +82,23 @@ func loopKey(prog *ir.Program, fnName string, loopIndex int, inst *instrument.In
 		DebugSnapshots: opt.DebugSnapshots,
 		StopAfter:      opt.StopAfter,
 		NoFootprint:    opt.NoFootprint,
+		NoProve:        opt.NoProve,
 	}).String()
 }
 
 // encodeCachedVerdict serializes a freshly computed dynamic-stage outcome.
 func encodeCachedVerdict(res *LoopResult) []byte {
 	data, err := json.Marshal(cachedVerdict{
-		Verdict:         res.Verdict,
-		Reason:          res.Reason,
-		Invocations:     res.Invocations,
-		Iterations:      res.Iterations,
+		Verdict:          res.Verdict,
+		Reason:           res.Reason,
+		Invocations:      res.Invocations,
+		Iterations:       res.Iterations,
 		SchedulesTested:  res.SchedulesTested,
 		Retries:          res.Retries,
 		TrapKind:         res.TrapKind,
 		SkippedStop:      res.SkippedStop,
 		SkippedFootprint: res.SkippedFootprint,
+		SkippedProve:     res.SkippedProve,
 	})
 	if err != nil {
 		return nil // never happens for this struct; a nil record is simply not stored
@@ -124,6 +132,7 @@ func decodeCachedVerdict(data []byte, res *LoopResult) bool {
 	res.TrapKind = cv.TrapKind
 	res.SkippedStop = cv.SkippedStop
 	res.SkippedFootprint = cv.SkippedFootprint
+	res.SkippedProve = cv.SkippedProve
 	return true
 }
 

@@ -18,6 +18,7 @@ import (
 	"dca/internal/interp"
 	"dca/internal/ir"
 	"dca/internal/obs"
+	"dca/internal/prove"
 	"dca/internal/purity"
 	"dca/internal/sandbox"
 	"dca/internal/source"
@@ -100,6 +101,11 @@ type LoopResult struct {
 	// skipped: the golden run proved the loop's iterations touch disjoint
 	// memory, so every permutation is behaviour-preserving by construction.
 	SkippedFootprint int
+	// SkippedProve counts the schedule replays the static commutativity
+	// prover skipped by closing a symbolic proof before the dynamic stage:
+	// the golden run still executes as the coverage witness, but every
+	// permuted replay could only reconfirm the proof.
+	SkippedProve int
 	// DurStatic/DurGolden/DurReplay split the loop's analysis wall-clock
 	// into the static stage (separation, outlining, instrumentation), the
 	// golden run, and the schedule replays. Diagnostic only, like Elapsed.
@@ -171,6 +177,28 @@ func (r *Report) StageSeconds() (static, golden, replay float64) {
 		replay += l.DurReplay.Seconds()
 	}
 	return static, golden, replay
+}
+
+// ProvedLoops returns how many loops the static commutativity prover
+// decided without any schedule replay (provenance ProvenanceProved).
+func (r *Report) ProvedLoops() int {
+	n := 0
+	for _, l := range r.Loops {
+		if l.Provenance == ProvenanceProved {
+			n++
+		}
+	}
+	return n
+}
+
+// SkippedProveRuns totals the schedule replays the static prover skipped
+// across the report, including counts preserved through cached records.
+func (r *Report) SkippedProveRuns() int {
+	n := 0
+	for _, l := range r.Loops {
+		n += l.SkippedProve
+	}
+	return n
 }
 
 // CachedLoops returns how many loops were served from the verdict cache.
@@ -246,6 +274,19 @@ type Options struct {
 	// cannot change any observable behaviour, so the replays are skipped and
 	// the loop reports Commutative with provenance ProvenanceFootprint.
 	NoFootprint bool
+	// NoProve disables the static commutativity prover. By default the
+	// prover (internal/prove) runs between the static and dynamic stages and
+	// attempts a symbolic proof — affine-disjoint accesses, pure payloads
+	// over disjoint footprints, or closed reduction/min-max/histogram
+	// recurrences — that every iteration order is behaviour-preserving. A
+	// proved loop still runs the golden run (the proof cannot witness
+	// coverage: a never-exercised loop must keep its NotExecuted verdict)
+	// but skips every schedule replay, reporting Commutative with provenance
+	// ProvenanceProved; a failed proof falls through to the dynamic stage
+	// unchanged. Disabling the prover turns the dynamic stage back into a
+	// differential oracle for it: verdicts are identical either way, the
+	// prover only removes replay work.
+	NoProve bool
 	// NoVM runs every execution of this analysis on the tree-walking
 	// interpreter instead of the bytecode VM. The two executors are
 	// trap-and-output parity-verified, so the knob cannot reach a verdict
@@ -527,17 +568,6 @@ func AnalyzeLoopInto(ctx context.Context, prog *ir.Program, fn *ir.Func, loop *c
 	}
 	opt.emit(obs.Event{Stage: obs.StageStatic, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeOK})
 
-	// --- Coverage prescreen: the reference run proved the loop header never
-	// executes, so the golden run could only confirm zero iterations. Skip
-	// every replay. (Placed after the static stage on purpose: selection and
-	// separability verdicts must not depend on coverage.)
-	if prescreened {
-		res.Verdict = NotExecuted
-		res.Reason = "workload never executes this loop's payload"
-		opt.emit(obs.Event{Stage: obs.StagePrescreen, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeSkipped})
-		return
-	}
-
 	inj := opt.InjectorFor(fn.Name, loop.Index)
 
 	// --- Incremental analysis: consult the verdict cache. The fingerprint
@@ -557,7 +587,56 @@ func AnalyzeLoopInto(ctx context.Context, prog *ir.Program, fn *ir.Func, loop *c
 		opt.emit(obs.Event{Stage: obs.StageCache, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeMiss})
 	}
 
-	dynamicStage(ctx, inst, &opt, refOut, res, inj, exec)
+	// --- Coverage prescreen: the reference run proved the loop header never
+	// executes, so the golden run could only confirm zero iterations. Skip
+	// it and every replay. (Placed after the static stage on purpose —
+	// selection and separability verdicts must not depend on coverage — and
+	// BEFORE the prover: execution evidence outranks a symbolic proof, so a
+	// never-reached loop keeps the NotExecuted verdict the golden run would
+	// have produced, and the prover's work is saved.)
+	if prescreened {
+		res.Verdict = NotExecuted
+		res.Reason = "workload never executes this loop's payload"
+		opt.emit(obs.Event{Stage: obs.StagePrescreen, Fn: res.Fn, LoopID: res.ID, Outcome: obs.OutcomeSkipped})
+		return
+	}
+
+	// --- Static commutativity prover: attempt a symbolic proof that every
+	// iteration order is behaviour-preserving. A successful proof skips
+	// every schedule replay — but NOT the golden run, which stays as the
+	// coverage witness: a proof quantifies over iteration orders, it cannot
+	// tell whether the workload exercises the loop at all, and a
+	// never-exercised loop must report NotExecuted exactly as it would with
+	// the prover off. The proved verdict is cached like a dynamic one
+	// (NoProve participates in the fingerprint, so proved and
+	// dynamically-tested records never alias); a failed attempt falls
+	// through to the dynamic stage unchanged. Armed fault injection
+	// bypasses the prover: injected traps are dynamic-stage harness
+	// behaviour a proof would silently suppress.
+	proved := false
+	if !opt.NoProve && inj == nil {
+		pstart := time.Now()
+		pr := prove.Loop(prog, fn.Name, loop.Index, pur)
+		dur := float64(time.Since(pstart)) / float64(time.Millisecond)
+		if pr.Proved {
+			// Cancellation wins even over an already-closed proof: the
+			// engine's contract is that a cancelled analysis reports
+			// Cancelled for every loop whose dynamic stage had not fully
+			// concluded, and caches nothing.
+			if cancelled(ctx) {
+				markCancelled(ctx, res)
+				return
+			}
+			proved = true
+			opt.emit(obs.Event{Stage: obs.StageProve, Fn: res.Fn, LoopID: res.ID,
+				Outcome: obs.OutcomeProved, Reason: pr.Argument, DurationMS: dur})
+		} else {
+			opt.emit(obs.Event{Stage: obs.StageProve, Fn: res.Fn, LoopID: res.ID,
+				Outcome: obs.OutcomeMiss, Reason: pr.Reason, DurationMS: dur})
+		}
+	}
+
+	dynamicStage(ctx, inst, &opt, refOut, res, inj, exec, proved)
 
 	// Store the freshly computed outcome for future runs. Reached only on
 	// normal completion: a panic unwinds past this into the recover above,
@@ -574,8 +653,10 @@ func AnalyzeLoopInto(ctx context.Context, prog *ir.Program, fn *ir.Func, loop *c
 // dynamicStage runs the golden execution and the permuted replays for one
 // instrumented loop and writes the verdict into res. Split from
 // AnalyzeLoopInto so the cache layer wraps exactly the replay work and
-// nothing else.
-func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Options, refOut string, res *LoopResult, inj *sandbox.Injector, exec ScheduleExecutor) {
+// nothing else. proved reports that the static prover already closed a
+// commutativity proof: the golden run still executes (coverage and
+// behaviour-preservation evidence), but every schedule replay is skipped.
+func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Options, refOut string, res *LoopResult, inj *sandbox.Injector, exec ScheduleExecutor, proved bool) {
 	opt := *optp
 
 	// --- Dynamic stage: golden run. ---
@@ -584,8 +665,10 @@ func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Opti
 	// and the executor reports every heap cell it touches. A fresh recorder
 	// per attempt keeps doubled-budget retries from seeing a dead run's
 	// accesses. Fault injection runs without a recorder — an injected trap
-	// aborts mid-segment and the partial footprint proves nothing.
-	track := !opt.NoFootprint && inj == nil
+	// aborts mid-segment and the partial footprint proves nothing. A static
+	// proof already decided the replays, so the recorder's evidence would go
+	// unused — skip the tracking cost.
+	track := !opt.NoFootprint && inj == nil && !proved
 	gstart := time.Now()
 	golden, goldenOut, trap, retries := runCell(ctx, inst.Prog, func() *dcart.Runtime {
 		rt := newRuntime(dcart.Identity{}, &opt)
@@ -636,6 +719,22 @@ func dynamicStage(ctx context.Context, inst *instrument.Instrumented, optp *Opti
 		// before the payload runs: no dynamic evidence either way.
 		res.Verdict = NotExecuted
 		res.Reason = "workload never executes this loop's payload"
+		return
+	}
+
+	// --- Static proof short-circuit: the prover closed a commutativity
+	// proof over every iteration order, and the golden run above supplied
+	// what no symbolic argument can — the workload exercises the payload,
+	// and the transformation preserves original-order behaviour. The
+	// replays could only reconfirm the proof, so they are skipped.
+	if proved {
+		if cancelled(ctx) {
+			markCancelled(ctx, res)
+			return
+		}
+		res.Verdict = Commutative
+		res.Provenance = ProvenanceProved
+		res.SkippedProve = len(opt.Schedules)
 		return
 	}
 

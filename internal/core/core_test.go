@@ -113,6 +113,10 @@ func main() {
 	expectVerdict(t, rep, "main", 1, core.ExcludedIO)
 }
 
+// TestNotExecutedLoop: the loop body is provably disjoint, but the workload
+// never runs it — coverage evidence outranks the static proof, so the
+// golden run's NotExecuted verdict stands exactly as it would with the
+// prover off.
 func TestNotExecutedLoop(t *testing.T) {
 	rep := analyze(t, `
 func main() {
@@ -122,6 +126,9 @@ func main() {
 	print(a[0]);
 }`)
 	expectVerdict(t, rep, "main", 0, core.NotExecuted)
+	if res := rep.Result("main", 0); res.Provenance == core.ProvenanceProved {
+		t.Errorf("dead loop carries static-proved provenance: %+v", res)
+	}
 }
 
 // TestScalarReduction: s += a[i] is commutative (integer addition).
@@ -157,7 +164,8 @@ func main() {
 }
 
 // TestLoopInsideCalledFunction: loops in callees are analyzed too, across
-// multiple invocations.
+// multiple invocations — the golden run records them even when the prover
+// decides the loop, since a proof only skips the replays.
 func TestLoopInsideCalledFunction(t *testing.T) {
 	rep := analyze(t, `
 func bump(a []int, n int) {

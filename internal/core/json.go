@@ -17,18 +17,22 @@ type LoopJSON struct {
 	Parallelizable bool   `json:"parallelizable"`
 	// Category is the sandbox trap category ("fault", "budget", "timeout",
 	// "panic") behind a trap-derived verdict; empty when no trap fired.
-	Category        string  `json:"category,omitempty"`
-	Reason          string  `json:"reason,omitempty"`
-	Provenance      string  `json:"provenance,omitempty"`
-	Invocations     int     `json:"invocations"`
-	Iterations      int64   `json:"iterations"`
-	SchedulesTested int     `json:"schedules_tested"`
-	Retries         int     `json:"retries,omitempty"`
-	Replays         int     `json:"replays"`
+	Category        string `json:"category,omitempty"`
+	Reason          string `json:"reason,omitempty"`
+	Provenance      string `json:"provenance,omitempty"`
+	Invocations     int    `json:"invocations"`
+	Iterations      int64  `json:"iterations"`
+	SchedulesTested int    `json:"schedules_tested"`
+	Retries         int    `json:"retries,omitempty"`
+	Replays         int    `json:"replays"`
 	// SkippedStop / SkippedFootprint count schedule replays not run thanks
-	// to the sequential stopping rule and the footprint fast path.
+	// to the sequential stopping rule and the footprint fast path;
+	// SkippedProve counts the schedule replays the static commutativity
+	// prover skipped (the golden run still executes as the coverage
+	// witness).
 	SkippedStop      int     `json:"skipped_stop,omitempty"`
 	SkippedFootprint int     `json:"skipped_footprint,omitempty"`
+	SkippedProve     int     `json:"skipped_prove,omitempty"`
 	ElapsedSeconds   float64 `json:"elapsed_seconds"`
 }
 
@@ -41,6 +45,7 @@ type ReportJSON struct {
 	Commutative    int            `json:"commutative"`
 	CachedLoops    int            `json:"cached_loops"`
 	ResumedLoops   int            `json:"resumed_loops,omitempty"`
+	ProvedLoops    int            `json:"proved_loops,omitempty"`
 	Replays        int            `json:"replays"`
 	ElapsedSeconds float64        `json:"elapsed_seconds"`
 }
@@ -56,6 +61,7 @@ func (r *Report) JSON(elapsed time.Duration) *ReportJSON {
 		Commutative:    r.Count(Commutative),
 		CachedLoops:    r.CachedLoops(),
 		ResumedLoops:   r.ResumedLoops(),
+		ProvedLoops:    r.ProvedLoops(),
 		Replays:        r.Replays(),
 		ElapsedSeconds: elapsed.Seconds(),
 	}
@@ -86,6 +92,7 @@ func (l *LoopResult) JSON() LoopJSON {
 		Replays:          l.Replays,
 		SkippedStop:      l.SkippedStop,
 		SkippedFootprint: l.SkippedFootprint,
+		SkippedProve:     l.SkippedProve,
 		ElapsedSeconds:   l.Elapsed.Seconds(),
 	}
 	if l.Pos.IsValid() {

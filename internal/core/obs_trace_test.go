@@ -39,9 +39,10 @@ func loopEvents(events []obs.Event) map[string][]obs.Event {
 	return byLoop
 }
 
-// TestTraceEventLifecycle: one analysis emits a reference event and, per
-// loop, static → cache miss → golden → one replay per schedule → verdict,
-// in that order, with the verdict events agreeing with the report.
+// TestTraceEventLifecycle: one analysis (prover off, so the dynamic stage
+// runs) emits a reference event and, per loop, static → cache miss →
+// golden → one replay per schedule → verdict, in that order, with the
+// verdict events agreeing with the report.
 func TestTraceEventLifecycle(t *testing.T) {
 	prog, err := irbuild.Compile("trace.mc", `
 func main() {
@@ -59,7 +60,7 @@ func main() {
 		t.Fatal(err)
 	}
 	col := &obs.Collector{}
-	rep, err := core.Analyze(prog, core.Options{Trace: col, Cache: newMapCache()})
+	rep, err := core.Analyze(prog, core.Options{Trace: col, Cache: newMapCache(), NoProve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,5 +146,71 @@ func main() {
 	}
 	if runs != 0 {
 		t.Errorf("warm analysis emitted %d golden/replay events, want 0", runs)
+	}
+}
+
+// TestTraceProvedLifecycle: a loop the static commutativity prover decides
+// emits static → cache miss → prove(proved, argument in Reason) → golden
+// (the coverage witness) → verdict, with no schedule replay, and the
+// verdict carries static-proved provenance. A second run serves the proved
+// record from the cache.
+func TestTraceProvedLifecycle(t *testing.T) {
+	prog, err := irbuild.Compile("trace.mc", `
+func main() {
+	var a []int = new [8]int;
+	for (var i int = 0; i < 8; i++) {
+		a[i] = i * 2;
+	}
+	print(a[0]);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := newMapCache()
+	col := &obs.Collector{}
+	rep, err := core.Analyze(prog, core.Options{Trace: col, Cache: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := rep.Loops[0]
+	if lr.Verdict != core.Commutative || lr.Provenance != core.ProvenanceProved {
+		t.Fatalf("verdict %s (%s), want commutative static-proved", lr.Verdict, lr.Provenance)
+	}
+	if lr.Replays != 1 || lr.SkippedProve == 0 {
+		t.Errorf("proved loop ran %d executions, skipped %d, want exactly the golden run and >0 skipped replays", lr.Replays, lr.SkippedProve)
+	}
+	if lr.Invocations == 0 || lr.Iterations == 0 {
+		t.Errorf("proved loop invocations/iterations = %d/%d, want golden-run coverage evidence", lr.Invocations, lr.Iterations)
+	}
+	evs := loopEvents(col.Events()[1:])[lr.ID]
+	stages := make([]string, len(evs))
+	for i, ev := range evs {
+		stages[i] = ev.Stage
+	}
+	want := []string{obs.StageStatic, obs.StageCache, obs.StageProve, obs.StageGolden, obs.StageVerdict}
+	if len(stages) != len(want) {
+		t.Fatalf("proved loop events %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("proved loop events %v, want %v", stages, want)
+		}
+	}
+	if evs[2].Outcome != obs.OutcomeProved || evs[2].Reason == "" {
+		t.Errorf("prove event %+v, want proved outcome with an argument name", evs[2])
+	}
+
+	// Warm run: the proved record is served from the cache, preserving the
+	// skipped-execution count.
+	rep2, err := core.Analyze(prog, core.Options{Cache: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr2 := rep2.Loops[0]
+	if lr2.Provenance != core.ProvenanceCached || lr2.Verdict != core.Commutative {
+		t.Errorf("warm verdict %s (%s), want cached commutative", lr2.Verdict, lr2.Provenance)
+	}
+	if lr2.SkippedProve != lr.SkippedProve {
+		t.Errorf("warm SkippedProve = %d, want %d", lr2.SkippedProve, lr.SkippedProve)
 	}
 }

@@ -155,6 +155,50 @@ func main() {
 	}
 }
 
+// TestInjectionBypassesProver: fault injection exists to test the dynamic
+// machinery, so a loop targeted by an injector must never be decided by the
+// static prover — even when it trivially proves. The trip point here is far
+// past the end of every run, so the analysis completes normally and the
+// bypass is visible as dynamic provenance with real execution evidence.
+func TestInjectionBypassesProver(t *testing.T) {
+	prog, err := irbuild.Compile("t.mc", `
+func main() {
+	var a []int = new [8]int;
+	for (var i int = 0; i < 8; i++) { a[i] = i * 2; }
+	print(a[7]);
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opt := core.Options{
+		Schedules:  []dcart.Schedule{dcart.Reverse{}},
+		Inject:     sandbox.Inject{AtStep: 1 << 40, Kind: sandbox.Fault},
+		InjectFn:   "main",
+		InjectLoop: 0,
+	}
+	res, err := core.AnalyzeLoop(prog, "main", 0, opt)
+	if err != nil {
+		t.Fatalf("AnalyzeLoop: %v", err)
+	}
+	if res.Verdict != core.Commutative {
+		t.Fatalf("verdict = %s (%s), want commutative", res.Verdict, res.Reason)
+	}
+	if res.Provenance == core.ProvenanceProved {
+		t.Error("injected loop was decided by the static prover")
+	}
+	if res.Invocations == 0 {
+		t.Error("injected loop has no dynamic evidence; the golden run must execute")
+	}
+	// The same loop without the injector IS prover territory.
+	res, err = core.AnalyzeLoop(prog, "main", 0, core.Options{Schedules: opt.Schedules})
+	if err != nil {
+		t.Fatalf("AnalyzeLoop: %v", err)
+	}
+	if res.Provenance != core.ProvenanceProved {
+		t.Errorf("uninjected provenance = %q, want static-proved", res.Provenance)
+	}
+}
+
 // TestNoRetryDegradesImmediately: with retries disabled (Retries < 0) a
 // budget trap degrades the loop to resource-exhausted without any retry.
 func TestNoRetryDegradesImmediately(t *testing.T) {

@@ -69,6 +69,9 @@ func TestAnalyzeCancelledMidFlight(t *testing.T) {
 	opt := testOptions()
 	opt.Trace = sink
 	opt.Cache = spy
+	// Prover off: the cancel trigger is the first golden run, which a
+	// static proof of these loops would skip entirely.
+	opt.NoProve = true
 	// One worker: loops run in order, so the cancel lands during loop 0's
 	// dynamic stage and every later loop sees a dead context at entry.
 	rep, err := engine.Analyze(ctx, prog, engine.Options{Core: opt, Workers: 1})
@@ -100,6 +103,50 @@ func TestAnalyzeCancelledMidFlight(t *testing.T) {
 	}
 	if verdicts != 3 {
 		t.Errorf("got %d verdict events, want 3", verdicts)
+	}
+}
+
+// TestAnalyzeCancelledBeforeProofLands: a cancellation that arrives while
+// the static prover is deciding a loop wins over the proof — the loop
+// reports Cancelled, never static-proved, and nothing reaches the verdict
+// cache. The trigger is the cache-miss event, which fires immediately
+// before the prover runs.
+func TestAnalyzeCancelledBeforeProofLands(t *testing.T) {
+	prog, err := irbuild.Compile("cancel.mc", cancelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	col := &obs.Collector{}
+	sink := obs.Multi{col, obs.SinkFunc(func(ev obs.Event) {
+		if ev.Stage == obs.StageCache && ev.Outcome == obs.OutcomeMiss {
+			cancel()
+		}
+	})}
+	spy := &spyCache{}
+	opt := testOptions()
+	opt.Trace = sink
+	opt.Cache = spy
+	rep, err := engine.Analyze(ctx, prog, engine.Options{Core: opt, Workers: 1})
+	if err != nil {
+		t.Fatalf("cancelled analysis must still return its report, got %v", err)
+	}
+	for _, lr := range rep.Loops {
+		if lr.Verdict != core.Cancelled {
+			t.Errorf("loop %s: verdict %s (%s), want cancelled", lr.ID, lr.Verdict, lr.Provenance)
+		}
+		if lr.Provenance == core.ProvenanceProved {
+			t.Errorf("loop %s: proof landed after cancellation", lr.ID)
+		}
+	}
+	if n := spy.Puts(); n != 0 {
+		t.Errorf("cancelled analysis stored %d cache entries, want 0", n)
+	}
+	for _, ev := range col.Events() {
+		if ev.Stage == obs.StageProve && ev.Outcome == obs.OutcomeProved {
+			t.Errorf("cancelled loop %s emitted a proved event", ev.LoopID)
+		}
 	}
 }
 

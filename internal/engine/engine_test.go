@@ -206,20 +206,42 @@ func TestPrescreenSoundness(t *testing.T) {
 	}
 	assertIdentical(t, "prescreen", seq, par)
 
-	// The never-called function's loop short-circuits via the prescreen.
+	// The never-called function's loop is provable, but execution evidence
+	// outranks a symbolic proof: the prescreen (parallel path) and the
+	// golden run's zero-iteration exit (sequential path) both land on
+	// NotExecuted, never static-proved — identical to the -no-prove path.
 	deadRes := par.Result("dead", 0)
 	if deadRes == nil || deadRes.Verdict != core.NotExecuted {
 		t.Fatalf("dead loop: %+v", deadRes)
 	}
-	if deadRes.Invocations != 0 || deadRes.Iterations != 0 {
-		t.Errorf("dead loop should have no dynamic evidence: %+v", deadRes)
+	if deadRes.Provenance == core.ProvenanceProved {
+		t.Errorf("dead loop carries static-proved provenance: %+v", deadRes)
+	}
+
+	// With the prover off the verdicts must be the same.
+	opt.NoProve = true
+	seq, err = core.Analyze(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err = engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "prescreen (no-prove)", seq, par)
+	deadRes = par.Result("dead", 0)
+	if deadRes == nil || deadRes.Verdict != core.NotExecuted {
+		t.Fatalf("dead loop without prover: %+v", deadRes)
 	}
 }
 
 // zeroTripSrc isolates the header-executes/payload-never case: the only
 // call runs the loop with a zero trip count, so the header executes (the
 // prescreen must NOT claim it) but the golden run observes zero iterations
-// and reaches NotExecuted through the dynamic stage.
+// and reaches NotExecuted through the dynamic stage. The loop's symbolic
+// bound makes it provable, and the proved path must reach the very same
+// verdict: the golden run stays as the coverage witness, so the proof is
+// discarded when the payload never runs.
 const zeroTripSrc = `
 func work(a []int, n int) {
 	for (var i int = 0; i < n; i++) {
@@ -239,6 +261,7 @@ func TestPrescreenZeroTripGoesThroughGoldenRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := testOptions()
+	opt.NoProve = true
 	par, err := engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -260,6 +283,27 @@ func TestPrescreenZeroTripGoesThroughGoldenRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertIdentical(t, "zerotrip", seq, par)
+
+	// Prover on: the proof closes, but the golden run observes zero
+	// iterations, so NotExecuted still wins on both engine paths — the
+	// verdict is byte-identical to the -no-prove run.
+	opt.NoProve = false
+	seq, err = core.Analyze(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err = engine.Analyze(context.Background(), prog, engine.Options{Core: opt, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "zerotrip (prove)", seq, par)
+	res = par.Result("work", 0)
+	if res == nil || res.Verdict != core.NotExecuted {
+		t.Fatalf("zero-trip loop with prover: %+v", res)
+	}
+	if res.Provenance == core.ProvenanceProved {
+		t.Errorf("zero-trip loop carries static-proved provenance: %+v", res)
+	}
 }
 
 // TestNoPrescreen: disabling the prescreen must not change reports either.

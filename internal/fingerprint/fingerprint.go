@@ -50,7 +50,7 @@ import (
 // Version is the fingerprint schema version. Bump it whenever the token
 // walk changes (new tokens, reordered fields, different serialization), so
 // stale keys can never alias fresh ones.
-const Version = 2
+const Version = 3
 
 // Key is a 128-bit loop-analysis fingerprint.
 type Key struct{ Hi, Lo uint64 }
@@ -77,6 +77,10 @@ type Inputs struct {
 	// NoFootprint disables the footprint fast path, which otherwise decides
 	// whether replays run at all (and the verdict's provenance).
 	NoFootprint bool
+	// NoProve disables the static commutativity prover, which otherwise
+	// decides whether the dynamic stage runs at all (and the verdict's
+	// provenance).
+	NoProve bool
 }
 
 // Token tags. Every composite token is count- or length-prefixed, so the
@@ -291,6 +295,11 @@ func Loop(prog *ir.Program, fnName string, loopIndex int, inst *instrument.Instr
 	} else {
 		h.word(0)
 	}
+	if in.NoProve {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
 	h.word(tagEnd)
 	return Key{Hi: h.hi, Lo: h.lo}
 }
@@ -365,6 +374,11 @@ func Run(prog *ir.Program, in Inputs) Key {
 	}
 	h.word(uint64(in.StopAfter))
 	if in.NoFootprint {
+		h.word(1)
+	} else {
+		h.word(0)
+	}
+	if in.NoProve {
 		h.word(1)
 	} else {
 		h.word(0)

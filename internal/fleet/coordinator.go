@@ -28,6 +28,7 @@ type Knobs struct {
 	NoCache     bool
 	StopAfter   int
 	NoFootprint bool
+	NoProve     bool
 	NoVM        bool
 }
 
@@ -43,6 +44,7 @@ type workerRequest struct {
 	NoCache     bool      `json:"no_cache,omitempty"`
 	StopAfter   int       `json:"stop_after,omitempty"`
 	NoFootprint bool      `json:"no_footprint,omitempty"`
+	NoProve     bool      `json:"no_prove,omitempty"`
 	NoVM        bool      `json:"no_vm,omitempty"`
 	Loops       []LoopRef `json:"loops,omitempty"`
 }
@@ -303,6 +305,7 @@ func (c *Coordinator) dispatch(ctx context.Context, node, filename, source strin
 		NoCache:     knobs.NoCache,
 		StopAfter:   knobs.StopAfter,
 		NoFootprint: knobs.NoFootprint,
+		NoProve:     knobs.NoProve,
 		NoVM:        knobs.NoVM,
 		Loops:       batch,
 	})

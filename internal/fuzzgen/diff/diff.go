@@ -95,6 +95,12 @@ const (
 	// The two executors are contractually identical; any divergence is an
 	// executor bug and fails the campaign hard.
 	KindExecDiv = "exec-divergence"
+	// KindProverDiv: the static commutativity prover declared a loop
+	// commutative but the dynamic stage (prover disabled) produced
+	// divergence evidence on the same loop. The proof and the evidence
+	// cannot both be right; either way the prover is unsound and the
+	// campaign fails hard.
+	KindProverDiv = "prover-divergence"
 )
 
 // Violation is one hard disagreement in a checked program.
@@ -115,6 +121,10 @@ type LoopOutcome struct {
 	Label   fuzzgen.Label
 	Verdict core.Verdict
 	Reason  string
+	// Proved marks a verdict decided by the static commutativity prover
+	// (no execution evidence); these loops are re-analyzed with the prover
+	// disabled and cross-checked against the dynamic verdict.
+	Proved bool
 	// ParallelChecked/ParallelRefused report the end-to-end oracle: checked
 	// means at least one worker-count ran to completion and was compared;
 	// refused means the executor declined (unprivatizable env) or trapped.
@@ -195,7 +205,8 @@ func Check(p *fuzzgen.Program, opt Options) (res *Result) {
 
 	labels := p.Labels()
 	for _, lr := range rep.Loops {
-		out := LoopOutcome{Fn: lr.Fn, Index: lr.Index, Verdict: lr.Verdict, Reason: lr.Reason}
+		out := LoopOutcome{Fn: lr.Fn, Index: lr.Index, Verdict: lr.Verdict, Reason: lr.Reason,
+			Proved: lr.Provenance == core.ProvenanceProved}
 		if label, ok := labels[lr.Fn]; ok {
 			out.Labeled = true
 			out.Label = label
@@ -205,10 +216,14 @@ func Check(p *fuzzgen.Program, opt Options) (res *Result) {
 			// not evidence.
 			switch {
 			case label == fuzzgen.LabelNonCommutative && lr.Verdict == core.Commutative:
+				detail := "DCA reported a provably order-dependent loop commutative"
+				if out.Proved {
+					detail = "the static prover declared a provably order-dependent loop commutative"
+				}
 				res.Violations = append(res.Violations, Violation{
 					Kind: KindSoundness, Fn: lr.Fn, Index: lr.Index, Label: label,
 					Verdict: lr.Verdict.String(),
-					Detail:  "DCA reported a provably order-dependent loop commutative",
+					Detail:  detail,
 				})
 			case label == fuzzgen.LabelCommutative && lr.Verdict == core.NonCommutative:
 				res.Violations = append(res.Violations, Violation{
@@ -219,6 +234,43 @@ func Check(p *fuzzgen.Program, opt Options) (res *Result) {
 			}
 		}
 		res.Loops = append(res.Loops, out)
+	}
+
+	// Cross-check 4: every statically proved verdict against the dynamic
+	// oracle. Re-analyze with the prover disabled and demand that no proved
+	// loop comes back NonCommutative — divergence evidence against a proof
+	// means the prover is unsound. Coverage-loss verdicts (not-executed,
+	// resource-exhausted, failed) are not disagreement: the proof needs no
+	// execution evidence, which is the point of having it.
+	anyProved := false
+	for _, out := range res.Loops {
+		if out.Proved {
+			anyProved = true
+			break
+		}
+	}
+	if anyProved {
+		dyn, err := core.Analyze(prog, core.Options{
+			Schedules: opt.Schedules,
+			MaxSteps:  opt.MaxSteps,
+			Timeout:   opt.Timeout,
+			NoProve:   true,
+		})
+		if err == nil {
+			for _, out := range res.Loops {
+				if !out.Proved {
+					continue
+				}
+				dr := dyn.Result(out.Fn, out.Index)
+				if dr != nil && dr.Verdict == core.NonCommutative {
+					res.Violations = append(res.Violations, Violation{
+						Kind: KindProverDiv, Fn: out.Fn, Index: out.Index, Label: out.Label,
+						Verdict: out.Verdict.String(),
+						Detail:  "dynamic stage (prover disabled) found divergence on a static-proved loop: " + dr.Reason,
+					})
+				}
+			}
+		}
 	}
 
 	// Cross-check 3: the end-to-end parallel oracle.
@@ -463,11 +515,15 @@ type Stats struct {
 	// Parallel oracle counters.
 	ParallelChecked int `json:"parallel_checked"`
 	ParallelRefused int `json:"parallel_refused"`
+	// ProvedLoops counts loops the static commutativity prover decided
+	// (each one cross-checked against the prover-disabled dynamic verdict).
+	ProvedLoops int `json:"proved_loops"`
 	// Hard-failure counters (must all be zero for a healthy campaign).
 	SoundnessViolations int                      `json:"soundness_violations"`
 	LabelViolations     int                      `json:"label_violations"`
 	ParallelDivergences int                      `json:"parallel_divergences"`
 	ExecDivergences     int                      `json:"exec_divergences"`
+	ProverDivergences   int                      `json:"prover_divergences"`
 	Baselines           map[string]*BaselineStat `json:"baselines,omitempty"`
 	Seconds             float64                  `json:"seconds"`
 	ProgramsPerSec      float64                  `json:"programs_per_sec"`
@@ -477,7 +533,8 @@ type Stats struct {
 
 // Violations returns the total hard-failure count.
 func (s *Stats) ViolationCount() int {
-	return s.SoundnessViolations + s.LabelViolations + s.ParallelDivergences + s.ExecDivergences
+	return s.SoundnessViolations + s.LabelViolations + s.ParallelDivergences +
+		s.ExecDivergences + s.ProverDivergences
 }
 
 // Failure is one campaign disagreement after minimization.
@@ -587,6 +644,8 @@ func mergeStats(s *Stats, res *Result) {
 			s.ParallelDivergences++
 		case KindExecDiv:
 			s.ExecDivergences++
+		case KindProverDiv:
+			s.ProverDivergences++
 		}
 	}
 	if res.Trapped {
@@ -597,6 +656,9 @@ func mergeStats(s *Stats, res *Result) {
 	s.Completed++
 	for _, lo := range res.Loops {
 		s.Verdicts[lo.Verdict.String()]++
+		if lo.Proved {
+			s.ProvedLoops++
+		}
 		if !lo.Labeled {
 			continue
 		}

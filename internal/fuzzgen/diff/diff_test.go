@@ -55,6 +55,9 @@ func TestCampaignHealthy(t *testing.T) {
 	if stats.ParallelChecked == 0 {
 		t.Error("parallel oracle never ran to completion on any loop")
 	}
+	if stats.ProvedLoops == 0 {
+		t.Error("static prover never decided a loop — prover-divergence check never exercised")
+	}
 	for _, name := range BaselineNames {
 		if stats.Baselines[name] == nil {
 			t.Errorf("baseline %s produced no stats", name)
@@ -119,12 +122,14 @@ func TestMergeStatsCountsViolations(t *testing.T) {
 		Labels: map[string]int{}, LabelVerdicts: map[string]int{}, Baselines: map[string]*BaselineStat{}}
 	mergeStats(s, &Result{Violations: []Violation{
 		{Kind: KindSoundness}, {Kind: KindLabel}, {Kind: KindParallelDiv}, {Kind: KindSoundness},
+		{Kind: KindProverDiv},
 	}})
-	if s.SoundnessViolations != 2 || s.LabelViolations != 1 || s.ParallelDivergences != 1 {
-		t.Errorf("got soundness=%d label=%d pardiv=%d", s.SoundnessViolations, s.LabelViolations, s.ParallelDivergences)
+	if s.SoundnessViolations != 2 || s.LabelViolations != 1 || s.ParallelDivergences != 1 || s.ProverDivergences != 1 {
+		t.Errorf("got soundness=%d label=%d pardiv=%d provdiv=%d",
+			s.SoundnessViolations, s.LabelViolations, s.ParallelDivergences, s.ProverDivergences)
 	}
-	if s.ViolationCount() != 4 {
-		t.Errorf("ViolationCount = %d, want 4", s.ViolationCount())
+	if s.ViolationCount() != 5 {
+		t.Errorf("ViolationCount = %d, want 5", s.ViolationCount())
 	}
 }
 

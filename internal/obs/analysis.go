@@ -30,6 +30,11 @@ type AnalysisMetrics struct {
 	// write-ahead run journal; JournalErrors counts failed journal appends.
 	JournalResumed *Counter
 	JournalErrors  *Counter
+	// ProvedLoops counts loops the static commutativity prover decided
+	// (skipping their dynamic stage); ProveMisses counts prover attempts
+	// that fell through to the dynamic stage.
+	ProvedLoops *Counter
+	ProveMisses *Counter
 }
 
 // NewAnalysisMetrics registers the analysis instrument set on r.
@@ -55,6 +60,10 @@ func NewAnalysisMetrics(r *Registry) *AnalysisMetrics {
 			"Loops whose verdict was replayed from the write-ahead run journal."),
 		JournalErrors: r.Counter("dca_journal_append_errors_total",
 			"Run-journal appends that failed; the run continues non-resumable."),
+		ProvedLoops: r.Counter("dca_proved_loops_total",
+			"Loops decided by the static commutativity prover (dynamic stage skipped)."),
+		ProveMisses: r.Counter("dca_prove_misses_total",
+			"Static-prover attempts that fell through to the dynamic stage."),
 	}
 }
 
@@ -86,6 +95,13 @@ func (m *AnalysisMetrics) Emit(ev Event) {
 			m.JournalResumed.Inc()
 		case OutcomeError:
 			m.JournalErrors.Inc()
+		}
+	case StageProve:
+		switch ev.Outcome {
+		case OutcomeProved:
+			m.ProvedLoops.Inc()
+		case OutcomeMiss:
+			m.ProveMisses.Inc()
 		}
 	case StageVerdict:
 		m.Verdicts.Inc(ev.Verdict)

@@ -37,6 +37,11 @@ const (
 	// served by its ring owner, "error" for a dead or shedding worker whose
 	// loops were re-dispatched to the ring successor.
 	StageFleet = "fleet"
+	// StageProve: the static commutativity prover's attempt for one loop —
+	// outcome "proved" (Reason names the closing argument) when the loop's
+	// dynamic stage was skipped, "miss" (Reason lists the per-argument
+	// obstructions) when it fell through to the dynamic stage.
+	StageProve = "prove"
 	// StageGolden: the instrumented golden run (outcome "ok" or "trap").
 	StageGolden = "golden"
 	// StageReplay: one permuted schedule replay (outcome "ok" or "trap").
@@ -53,6 +58,7 @@ const (
 	OutcomeMiss    = "miss"
 	OutcomeSkipped = "skipped"
 	OutcomeError   = "error"
+	OutcomeProved  = "proved"
 )
 
 // Event is one structured record in a loop's analysis lifecycle. Fields

@@ -1,0 +1,380 @@
+package prove
+
+import (
+	"fmt"
+
+	"dca/internal/affine"
+	"dca/internal/ir"
+	"dca/internal/polly"
+	"dca/internal/scalar"
+	"dca/internal/types"
+)
+
+// minmax guard directions.
+const (
+	dirMin = 1
+	dirMax = 2
+)
+
+// reduction is the scalar-reduction / min-max / histogram argument. It is
+// deliberately stricter than the Idioms baseline detector: beyond "an idiom
+// is present and the rest of the loop is clean", it closes every channel
+// through which an intermediate (order-dependent) value of the recurrence
+// could leak into observable state:
+//
+//   - reduction temporaries feed only the move back into the accumulator;
+//   - min-max comparison results feed only their guard branches, guard
+//     blocks contain only the guarded moves, and all guards of one local
+//     agree on a direction (min or max) and move the compared value;
+//   - histogram loads feed only the combining op, whose result feeds only
+//     the store back to the same location (accumulator on the left for
+//     subtraction);
+//   - all recurrences are integer-typed (float folds are order-sensitive
+//     bit-for-bit, which is exactly what the dynamic stage compares);
+//   - control flow is the header exit plus verified guard diamonds only.
+func (p *prover) reduction(carried []scalar.Carried) string {
+	reds := map[*ir.Local]bool{}
+	minmax := map[*ir.Local]bool{}
+	idioms := 0
+	for _, c := range carried {
+		switch c.Class {
+		case scalar.Induction:
+			if c.Local != p.info.IV {
+				return fmt.Sprintf("secondary induction %q", c.Local.Name)
+			}
+		case scalar.Reduction:
+			if c.Local.Type == nil || c.Local.Type.Kind != types.Int {
+				return fmt.Sprintf("non-integer reduction %q", c.Local.Name)
+			}
+			reds[c.Local] = true
+			idioms++
+		case scalar.MinMax:
+			if c.Local.Type == nil || c.Local.Type.Kind != types.Int {
+				return fmt.Sprintf("non-integer minmax %q", c.Local.Name)
+			}
+			minmax[c.Local] = true
+			idioms++
+		default:
+			return fmt.Sprintf("loop-carried scalar %q (%s)", c.Local.Name, c.Class)
+		}
+	}
+
+	// In-loop memory-reduction groups.
+	groups := affine.MemReductionGroups(p.fn)
+	gInstr := map[ir.Instr]int{}
+	groupIDs := map[int]bool{}
+	for _, b := range p.blocks {
+		for _, in := range b.Instrs {
+			if id, ok := groups[in]; ok {
+				gInstr[in] = id
+				groupIDs[id] = true
+			}
+		}
+	}
+	if idioms == 0 && len(groupIDs) == 0 {
+		return "no reduction, minmax, or histogram idiom in loop"
+	}
+
+	// Instruction restrictions.
+	for _, b := range p.blocks {
+		for _, in := range b.Instrs {
+			switch i := in.(type) {
+			case *ir.Load:
+				if i.FieldName != "" {
+					return "pointer field access"
+				}
+			case *ir.Store:
+				if i.FieldName != "" {
+					return "pointer field access"
+				}
+			case *ir.Call:
+				if !i.Builtin && !p.hermeticFn(i.Callee) {
+					return fmt.Sprintf("call to non-hermetic function %q", i.Callee)
+				}
+			}
+		}
+	}
+
+	if why := p.checkReductionLeaks(reds); why != "" {
+		return why
+	}
+	carriedSet := map[*ir.Local]bool{p.info.IV: true}
+	for s := range reds {
+		carriedSet[s] = true
+	}
+	for m := range minmax {
+		carriedSet[m] = true
+	}
+	guardIfs, why := p.checkMinMax(minmax, carriedSet)
+	if why != "" {
+		return why
+	}
+	// Control-flow closure: the only conditional branches are the header's
+	// exit test and the verified min-max guards. Everything else (inner
+	// loops included) falls through to the dynamic stage.
+	for _, b := range p.blocks {
+		if _, ok := b.Term.(*ir.If); ok && b != p.loop.Header && !guardIfs[b] {
+			return "conditional control flow beyond minmax guards"
+		}
+	}
+	if why := p.checkGroups(gInstr); why != "" {
+		return why
+	}
+
+	// Memory outside the groups: affine over order-invariant terms, and the
+	// dependence tests must clear every pair except within one group.
+	accs := p.env.Accesses(p.loop)
+	for _, a := range accs {
+		if _, ok := gInstr[a.Instr]; ok {
+			continue
+		}
+		if a.SubErr != nil {
+			if a.IsWrite {
+				return "non-affine store outside the idiom: " + a.SubErr.Error()
+			}
+			continue // a non-affine read is handled pairwise below
+		}
+		if !p.subscriptTermsOK(a.Sub) {
+			return "subscript depends on a secondary induction"
+		}
+	}
+	skip := func(a, b affine.Access) bool {
+		ga, aOK := gInstr[a.Instr]
+		gb, bOK := gInstr[b.Instr]
+		return aOK && bOK && ga == gb
+	}
+	if reasons := polly.CarriedMemoryDeps(p.env, p.pa, p.loop, accs, skip); len(reasons) > 0 {
+		return reasons[0]
+	}
+	return ""
+}
+
+// checkReductionLeaks verifies that each scalar reduction's update chain is
+// closed: the temporary holding s op expr (when the update goes through a
+// move) is single-def and feeds only that move, and no update is
+// self-referential (s = s op s folds the running value into the operand,
+// which does not commute across iterations).
+func (p *prover) checkReductionLeaks(reds map[*ir.Local]bool) string {
+	for s := range reds {
+		for _, d := range p.defs[s] {
+			var bo *ir.BinOp
+			switch in := d.(type) {
+			case *ir.BinOp:
+				bo = in
+			case *ir.Mov:
+				t := in.Src.Local
+				if t == nil || len(p.defs[t]) != 1 {
+					return fmt.Sprintf("reduction %q updated through an opaque temporary", s.Name)
+				}
+				b, ok := p.defs[t][0].(*ir.BinOp)
+				if !ok {
+					return fmt.Sprintf("reduction %q updated through an opaque temporary", s.Name)
+				}
+				if len(p.uses[t]) != 1 || p.uses[t][0] != d || len(p.termUses[t]) != 0 {
+					return fmt.Sprintf("reduction temporary for %q leaks", s.Name)
+				}
+				bo = b
+			default:
+				return fmt.Sprintf("unrecognized update of reduction %q", s.Name)
+			}
+			if bo.X.Local == s && bo.Y.Local == s {
+				return fmt.Sprintf("self-referential update of reduction %q", s.Name)
+			}
+		}
+	}
+	return ""
+}
+
+// checkMinMax verifies every min-max recurrence is a strict guarded-move
+// diamond and returns the set of blocks whose If terminators were verified
+// as guards.
+func (p *prover) checkMinMax(minmax, carriedSet map[*ir.Local]bool) (map[*ir.Block]bool, string) {
+	guardIfs := map[*ir.Block]bool{}
+	// guardBlocks collects, per minmax local, the guard blocks its own
+	// comparisons justify; every def of the local must land in one.
+	guardBlocks := map[*ir.Local]map[*ir.Block]bool{}
+	for m := range minmax {
+		guardBlocks[m] = map[*ir.Block]bool{}
+		dir := 0
+		for _, u := range p.uses[m] {
+			cmp, ok := u.(*ir.BinOp)
+			if !ok || !cmp.Op.IsComparison() {
+				return nil, fmt.Sprintf("minmax %q used outside a comparison", m.Name)
+			}
+			var x ir.Operand
+			var mOnLeft bool
+			switch {
+			case cmp.X.Local == m && cmp.Y.Local != m:
+				x, mOnLeft = cmp.Y, true
+			case cmp.Y.Local == m && cmp.X.Local != m:
+				x, mOnLeft = cmp.X, false
+			default:
+				return nil, fmt.Sprintf("degenerate minmax comparison on %q", m.Name)
+			}
+			// Direction: `if (x < m) { m = x }` keeps the minimum;
+			// `if (m < x) { m = x }` keeps the maximum. Equality tests are
+			// not order-insensitive recurrences.
+			var d int
+			switch cmp.Op {
+			case ir.Lt, ir.Le:
+				d = dirMin
+				if mOnLeft {
+					d = dirMax
+				}
+			case ir.Gt, ir.Ge:
+				d = dirMax
+				if mOnLeft {
+					d = dirMin
+				}
+			default:
+				return nil, fmt.Sprintf("non-ordering minmax comparison on %q", m.Name)
+			}
+			if dir != 0 && d != dir {
+				return nil, fmt.Sprintf("conflicting guard directions for %q", m.Name)
+			}
+			dir = d
+			// The comparison result must feed only guard branches.
+			if len(p.defs[cmp.Dst]) != 1 || len(p.uses[cmp.Dst]) != 0 {
+				return nil, fmt.Sprintf("minmax comparison result for %q leaks", m.Name)
+			}
+			if len(p.termUses[cmp.Dst]) == 0 {
+				return nil, fmt.Sprintf("unused minmax comparison on %q", m.Name)
+			}
+			for _, gb := range p.termUses[cmp.Dst] {
+				iff, ok := gb.Term.(*ir.If)
+				if !ok {
+					return nil, fmt.Sprintf("minmax comparison on %q reaches a non-branch terminator", m.Name)
+				}
+				why := p.checkGuardDiamond(iff, m, x, cmp, minmax, carriedSet, guardBlocks[m])
+				if why != "" {
+					return nil, why
+				}
+				guardIfs[gb] = true
+			}
+		}
+		for _, d := range p.defs[m] {
+			if !guardBlocks[m][p.instrBlock[d]] {
+				return nil, fmt.Sprintf("update of minmax %q outside its own guard", m.Name)
+			}
+		}
+	}
+	return guardIfs, ""
+}
+
+// checkGuardDiamond verifies one guard branch: each successor is either a
+// guard block or the join the other side's guard block jumps to. A guard
+// block holds only pure value computation (the compiler recomputes the
+// moved value into fresh temporaries) plus moves into minmax locals; it
+// must not store, call, or redefine any other carried local, and the value
+// moved into m must evaluate to the compared value x (the compiler
+// recomputes it into fresh temporaries, so this is a structural value
+// equivalence, not an operand identity) — a guard that moves anything else
+// (m = f(x)) is order-dependent.
+func (p *prover) checkGuardDiamond(iff *ir.If, m *ir.Local, x ir.Operand, cmp ir.Instr, minmax, carriedSet map[*ir.Local]bool, out map[*ir.Block]bool) string {
+	isGuardBlock := func(b *ir.Block) bool {
+		if !p.loop.Blocks[b] || b == p.loop.Header {
+			return false
+		}
+		g, ok := b.Term.(*ir.Goto)
+		if !ok || !p.loop.Blocks[g.Target] {
+			return false
+		}
+		for _, in := range b.Instrs {
+			switch i := in.(type) {
+			case *ir.BinOp, *ir.UnOp:
+			case *ir.Load:
+				if i.FieldName != "" {
+					return false
+				}
+			case *ir.Mov:
+				if !minmax[i.Dst] {
+					return false
+				}
+				if i.Dst == m && !p.sameValue(i.Src, in, x, cmp) {
+					return false
+				}
+				continue
+			default:
+				return false // Store, Call, anything else
+			}
+			if d := in.Def(); d != nil && carriedSet[d] {
+				return false
+			}
+		}
+		return true
+	}
+	gotoTarget := func(b *ir.Block) *ir.Block {
+		if g, ok := b.Term.(*ir.Goto); ok {
+			return g.Target
+		}
+		return nil
+	}
+	then, els := iff.Then, iff.Else
+	switch {
+	case isGuardBlock(then) && gotoTarget(then) == els:
+		out[then] = true
+	case isGuardBlock(els) && gotoTarget(els) == then:
+		out[els] = true
+	case isGuardBlock(then) && isGuardBlock(els) && gotoTarget(then) == gotoTarget(els):
+		out[then] = true
+		out[els] = true
+	default:
+		return fmt.Sprintf("guard of minmax %q is not a strict diamond", m.Name)
+	}
+	return ""
+}
+
+// checkGroups closes the leak channels of every in-loop memory-reduction
+// group: single-def load temp feeding only the combining op, whose result
+// feeds only the store back, with the accumulator on the left for Sub, over
+// integer elements.
+func (p *prover) checkGroups(gInstr map[ir.Instr]int) string {
+	loads := map[int]*ir.Load{}
+	stores := map[int]*ir.Store{}
+	for in, id := range gInstr {
+		switch i := in.(type) {
+		case *ir.Load:
+			loads[id] = i
+		case *ir.Store:
+			stores[id] = i
+		}
+	}
+	for id, ld := range loads {
+		st := stores[id]
+		if st == nil {
+			return "memory-reduction group split across the loop boundary"
+		}
+		if ld.Dst.Type == nil || ld.Dst.Type.Kind != types.Int {
+			return "non-integer memory reduction"
+		}
+		if len(p.defs[ld.Dst]) != 1 || len(p.termUses[ld.Dst]) != 0 || len(p.uses[ld.Dst]) != 1 {
+			return "memory-reduction load leaks"
+		}
+		bo, ok := p.uses[ld.Dst][0].(*ir.BinOp)
+		if !ok {
+			return "memory-reduction load leaks"
+		}
+		if bo.Op == ir.Sub && bo.X.Local != ld.Dst {
+			return "memory reduction subtracts the accumulator"
+		}
+		if len(p.defs[bo.Dst]) != 1 || len(p.termUses[bo.Dst]) != 0 || len(p.uses[bo.Dst]) != 1 || p.uses[bo.Dst][0] != ir.Instr(st) {
+			return "memory-reduction result leaks"
+		}
+		if st.Src.Local != bo.Dst {
+			return "memory-reduction store source mismatch"
+		}
+	}
+	for id := range stores {
+		if loads[id] == nil {
+			return "memory-reduction group split across the loop boundary"
+		}
+	}
+	return ""
+}
+
+func sameOperand(a, b ir.Operand) bool {
+	if a.Local != nil || b.Local != nil {
+		return a.Local == b.Local
+	}
+	return a.Const.Equal(b.Const)
+}

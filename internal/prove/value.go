@@ -1,0 +1,190 @@
+package prove
+
+import "dca/internal/ir"
+
+// valueDepth bounds the single-def chain resolution in resolve.
+const valueDepth = 16
+
+// vnode is a normalized value expression: constants and unresolvable locals
+// are leaves, everything else is an operation over resolved children.
+type vnode struct {
+	op   string // "const", "leaf", "load", "bin:<op>", "un:<op>"
+	cval ir.Value
+	leaf *ir.Local
+	kids []*vnode
+}
+
+// resolve normalizes an operand occurring in instruction at into a value
+// tree. A local with exactly one in-loop definition that dominates the
+// occurrence is inlined through moves, arithmetic, and plain loads; any
+// other local stays a leaf. Leaf locals and load base locals are collected
+// into leaves/bases for the stability checks in sameValue. Returns nil when
+// the operand cannot be normalized (field access, non-local load base,
+// depth exhausted).
+func (p *prover) resolve(o ir.Operand, at ir.Instr, depth int, leaves, bases map[*ir.Local]bool) *vnode {
+	if depth > valueDepth {
+		return nil
+	}
+	if o.Local == nil {
+		return &vnode{op: "const", cval: o.Const}
+	}
+	l := o.Local
+	if defs := p.defs[l]; len(defs) == 1 && p.dominatesInstr(defs[0], at) {
+		switch d := defs[0].(type) {
+		case *ir.Mov:
+			return p.resolve(d.Src, d, depth+1, leaves, bases)
+		case *ir.UnOp:
+			x := p.resolve(d.X, d, depth+1, leaves, bases)
+			if x == nil {
+				return nil
+			}
+			return &vnode{op: "un:" + d.Op.String(), kids: []*vnode{x}}
+		case *ir.BinOp:
+			x := p.resolve(d.X, d, depth+1, leaves, bases)
+			y := p.resolve(d.Y, d, depth+1, leaves, bases)
+			if x == nil || y == nil {
+				return nil
+			}
+			return &vnode{op: "bin:" + d.Op.String(), kids: []*vnode{x, y}}
+		case *ir.Load:
+			if d.FieldName != "" {
+				return nil
+			}
+			base := p.resolve(d.Base, d, depth+1, leaves, bases)
+			idx := p.resolve(d.Index, d, depth+1, leaves, bases)
+			if base == nil || idx == nil || base.leaf == nil {
+				return nil
+			}
+			bases[base.leaf] = true
+			return &vnode{op: "load", kids: []*vnode{base, idx}}
+		}
+	}
+	leaves[l] = true
+	return &vnode{op: "leaf", leaf: l}
+}
+
+func equalVnode(a, b *vnode) bool {
+	if a.op != b.op || len(a.kids) != len(b.kids) {
+		return false
+	}
+	switch a.op {
+	case "const":
+		return a.cval.Equal(b.cval)
+	case "leaf":
+		return a.leaf == b.leaf
+	}
+	for i := range a.kids {
+		if !equalVnode(a.kids[i], b.kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameValue reports whether operand a (an operand of instruction atA) and
+// operand b (an operand of atB) are guaranteed to evaluate to the same
+// value within any single iteration. Both are normalized with resolve and
+// compared structurally; the comparison is then grounded by two stability
+// checks:
+//
+//   - every leaf local's in-loop definitions lie only in blocks from which
+//     neither occurrence is reachable within one iteration (e.g. the latch
+//     increment of the IV) — so no redefinition can execute between the two
+//     evaluations;
+//   - every load base is unaliased by any in-loop write access, so the two
+//     loads observe the same memory.
+func (p *prover) sameValue(a ir.Operand, atA ir.Instr, b ir.Operand, atB ir.Instr) bool {
+	leaves := map[*ir.Local]bool{}
+	bases := map[*ir.Local]bool{}
+	na := p.resolve(a, atA, 0, leaves, bases)
+	nb := p.resolve(b, atB, 0, leaves, bases)
+	if na == nil || nb == nil || !equalVnode(na, nb) {
+		return false
+	}
+	ba, bb := p.instrBlock[atA], p.instrBlock[atB]
+	for l := range leaves {
+		for _, d := range p.defs[l] {
+			db := p.instrBlock[d]
+			if db == nil || p.reachesInIter(db, ba) || p.reachesInIter(db, bb) {
+				return false
+			}
+		}
+	}
+	if len(bases) > 0 {
+		for _, acc := range p.env.Accesses(p.loop) {
+			if !acc.IsWrite {
+				continue
+			}
+			for base := range bases {
+				if p.mayAliasLocals(acc.Base, base) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// dominatesInstr reports whether the definition instruction executes before
+// the use instruction on every intra-iteration path: its block strictly
+// dominates the use's block, or both share a block and the definition comes
+// first.
+func (p *prover) dominatesInstr(def, use ir.Instr) bool {
+	db, ub := p.instrBlock[def], p.instrBlock[use]
+	if db == nil || ub == nil {
+		return false
+	}
+	if db == ub {
+		return p.instrIndex[def] < p.instrIndex[use]
+	}
+	return p.env.G.Dominates(db, ub)
+}
+
+// reachesInIter reports whether dst is reachable from src along loop-body
+// edges without re-entering the header (i.e. within one iteration).
+// src == dst counts as reachable.
+func (p *prover) reachesInIter(src, dst *ir.Block) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[*ir.Block]bool{src: true}
+	work := []*ir.Block{src}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		var succs []*ir.Block
+		switch t := b.Term.(type) {
+		case *ir.If:
+			succs = []*ir.Block{t.Then, t.Else}
+		case *ir.Goto:
+			succs = []*ir.Block{t.Target}
+		}
+		for _, s := range succs {
+			if s == dst {
+				return true
+			}
+			if !p.loop.Blocks[s] || s == p.loop.Header || seen[s] {
+				continue
+			}
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	return false
+}
+
+// mayAliasLocals is the conservative points-to alias test polly uses for
+// access pairs, over bare locals.
+func (p *prover) mayAliasLocals(a, b *ir.Local) bool {
+	if a == nil || b == nil || a == b {
+		return true
+	}
+	for _, s := range p.pa.PointsTo(a) {
+		for _, t := range p.pa.PointsTo(b) {
+			if s == t {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -444,6 +444,9 @@ type AnalyzeRequest struct {
 	StopAfter int `json:"stop_after,omitempty"`
 	// NoFootprint disables the footprint fast path for this request.
 	NoFootprint bool `json:"no_footprint,omitempty"`
+	// NoProve disables the static commutativity prover for this request,
+	// so every loop's verdict comes from the dynamic stage.
+	NoProve bool `json:"no_prove,omitempty"`
 	// NoVM runs this request's executions on the tree-walking interpreter
 	// instead of the bytecode VM. Unlike the CLI's process-wide -no-vm
 	// flag, this is per-request: concurrent requests with different
@@ -540,6 +543,7 @@ func (s *Server) options(req *AnalyzeRequest) engine.Options {
 		Retries:        s.cfg.Retries,
 		StopAfter:      req.StopAfter,
 		NoFootprint:    req.NoFootprint,
+		NoProve:        req.NoProve,
 		NoVM:           req.NoVM,
 		Trace:          s.sink,
 	}
@@ -567,6 +571,7 @@ func (s *Server) knobs(req *AnalyzeRequest) fleet.Knobs {
 		NoCache:     req.NoCache,
 		StopAfter:   req.StopAfter,
 		NoFootprint: req.NoFootprint,
+		NoProve:     req.NoProve,
 		NoVM:        req.NoVM,
 	}
 }
@@ -759,6 +764,7 @@ func (s *Server) runKey(prog *ir.Program, req *AnalyzeRequest) string {
 		Retries:     copt.Retries,
 		StopAfter:   copt.StopAfter,
 		NoFootprint: copt.NoFootprint,
+		NoProve:     copt.NoProve,
 	}).String()
 }
 

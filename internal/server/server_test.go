@@ -81,10 +81,12 @@ func TestAnalyzeComputedThenCached(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cold status %d: %s", resp.StatusCode, body)
 	}
-	// Freshly analyzed loops carry either "computed" or "footprint-proved"
-	// provenance; what the test cares about is that they were not cached.
+	// Freshly analyzed loops carry "computed", "footprint-proved", or
+	// "static-proved" provenance; what the test cares about is that they
+	// were not cached.
 	fresh := func(p string) bool {
-		return p == core.ProvenanceComputed || p == core.ProvenanceFootprint
+		return p == core.ProvenanceComputed || p == core.ProvenanceFootprint ||
+			p == core.ProvenanceProved
 	}
 	cold := decodeReport(t, body)
 	if cold.TotalLoops == 0 {
