@@ -6,12 +6,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"dca/internal/cache"
+	"dca/internal/chaos"
 	"dca/internal/core"
 	"dca/internal/fleet"
 	"dca/internal/irbuild"
@@ -48,6 +50,9 @@ func cmdFleetBench(args []string) error {
 	nodes := fs.Int("nodes", 3, "fleet size")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "engine workers per node")
 	benchOut := fs.String("bench-out", "BENCH_analysis.json", "merge the \"fleet\" block into this JSON file (empty = skip)")
+	chaosMode := fs.Bool("chaos", false, "run the network-chaos leg instead: seeded fault injection, kill/restart recovery, and an all-workers-dead fallback pass (merges the \"fleet_chaos\" block)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "chaos leg: fault-injection seed")
+	chaosProb := fs.Float64("chaos-prob", 0.2, "chaos leg: per-request fault probability")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +75,10 @@ func cmdFleetBench(args []string) error {
 		return fmt.Errorf("fleet-bench: reference suite: %w", err)
 	}
 	single.stop()
+
+	if *chaosMode {
+		return chaosBench(ctx, refTable, *nodes, *jobs, *chaosSeed, *chaosProb, *benchOut)
+	}
 
 	fl, err := newBenchFleet(ctx, *nodes, *jobs)
 	if err != nil {
@@ -143,6 +152,145 @@ func cmdFleetBench(args []string) error {
 	return nil
 }
 
+// fleetChaosBlock is the "fleet_chaos" record merged into
+// BENCH_analysis.json by `fleet-bench -chaos`.
+type fleetChaosBlock struct {
+	Nodes           int     `json:"nodes"`
+	Loops           int     `json:"loops"`
+	Seed            int64   `json:"seed"`
+	FaultProb       float64 `json:"fault_prob"`
+	FaultsInjected  int64   `json:"faults_injected"`
+	ChaosSeconds    float64 `json:"chaos_seconds"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	BlackoutSeconds float64 `json:"blackout_seconds"`
+	NodeRetries     uint64  `json:"node_retries"`
+	Hedges          uint64  `json:"hedges"`
+	HedgeWins       uint64  `json:"hedge_wins"`
+	Redispatches    uint64  `json:"redispatches"`
+	Rejoins         uint64  `json:"rejoins"`
+	FallbackRuns    uint64  `json:"fallback_runs"`
+	FallbackLoops   uint64  `json:"fallback_loops"`
+	Identical       bool    `json:"identical"`
+	GoVersion       string  `json:"go_version"`
+}
+
+// chaosBench is the `fleet-bench -chaos` leg: the suite runs through a
+// coordinator whose dispatch transport injects seeded network faults,
+// then through a kill-then-restart recovery (timing the prober's
+// re-admission), then with every worker dead (the local fallback). Every
+// pass must render the single-node reference table byte-for-byte.
+func chaosBench(ctx context.Context, refTable string, nodes, jobs int, seed int64, prob float64, benchOut string) error {
+	fl, err := newBenchFleet(ctx, nodes, jobs)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: %w", err)
+	}
+	defer fl.stop()
+
+	// Faults hit dispatches only: health probes stay clean so recovery
+	// timing measures the prober, not the injector.
+	nc := chaos.NewNetChaos(nil, seed, prob)
+	nc.Only = func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/analyze") }
+	reg := obs.NewRegistry()
+	pctx, cancelProber := context.WithCancel(ctx)
+	defer cancelProber()
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Nodes:  fl.urls,
+		Client: &http.Client{Transport: nc},
+		Policy: fleet.Policy{
+			DispatchTimeout: 2 * time.Minute,
+			NodeRetries:     2,
+			HedgeAfter:      400 * time.Millisecond,
+			ProbeInterval:   100 * time.Millisecond,
+			RetryBase:       10 * time.Millisecond,
+			RetryCap:        250 * time.Millisecond,
+			MaxRetryAfter:   250 * time.Millisecond,
+		},
+		Local: fleet.NewLocalAnalyzer(fleet.LocalConfig{Workers: jobs}),
+	})
+	cm := fleet.NewMetrics(reg, coord.Ring())
+	coord.SetMetrics(cm)
+	coord.StartProber(pctx)
+	fl.coord, fl.cm = coord, cm
+
+	chaosTable, chaosDur, chaosLoops, err := fl.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: chaos suite: %w", err)
+	}
+
+	// Kill the last worker, run a pass so the coordinator suspects it, then
+	// restart it on the same address and time the prober's re-admission.
+	victim := nodes - 1
+	fl.kill(victim)
+	killTable, _, _, err := fl.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: killed-worker suite: %w", err)
+	}
+	if err := fl.restart(ctx, victim, jobs); err != nil {
+		return fmt.Errorf("fleet-bench: restart worker: %w", err)
+	}
+	rejoinStart := time.Now()
+	for coord.Membership().State(fl.urls[victim]) != fleet.NodeLive {
+		if time.Since(rejoinStart) > 30*time.Second {
+			return fmt.Errorf("fleet-bench: restarted worker %s never rejoined", fl.urls[victim])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	recovery := time.Since(rejoinStart)
+	rejoinTable, _, _, err := fl.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: rejoined suite: %w", err)
+	}
+
+	// Blackout: every worker dead. The coordinator must finish the suite
+	// in-process through the local fallback.
+	fl.stop()
+	blackStart := time.Now()
+	blackTable, _, _, err := fl.runSuite(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet-bench: blackout suite: %w", err)
+	}
+	blackDur := time.Since(blackStart)
+
+	identical := chaosTable == refTable && killTable == refTable &&
+		rejoinTable == refTable && blackTable == refTable
+	block := fleetChaosBlock{
+		Nodes:           nodes,
+		Loops:           chaosLoops,
+		Seed:            seed,
+		FaultProb:       prob,
+		FaultsInjected:  nc.Faults(),
+		ChaosSeconds:    chaosDur.Seconds(),
+		RecoverySeconds: recovery.Seconds(),
+		BlackoutSeconds: blackDur.Seconds(),
+		NodeRetries:     cm.NodeRetries.Value(),
+		Hedges:          cm.Hedges.Value(),
+		HedgeWins:       cm.HedgeWins.Value(),
+		Redispatches:    cm.Redispatches.Value(),
+		Rejoins:         cm.Rejoins.Value(),
+		FallbackRuns:    cm.FallbackRuns.Value(),
+		FallbackLoops:   cm.FallbackLoops.Value(),
+		Identical:       identical,
+		GoVersion:       runtime.Version(),
+	}
+	fmt.Printf("fleet-bench -chaos: %d nodes, %d loops, seed %d, fault prob %.2f\n",
+		block.Nodes, block.Loops, block.Seed, block.FaultProb)
+	fmt.Printf("  chaos %.2fs (%d faults injected)  recovery %.3fs  blackout %.2fs\n",
+		block.ChaosSeconds, block.FaultsInjected, block.RecoverySeconds, block.BlackoutSeconds)
+	fmt.Printf("  retries %d  hedges %d (wins %d)  re-dispatches %d  rejoins %d\n",
+		block.NodeRetries, block.Hedges, block.HedgeWins, block.Redispatches, block.Rejoins)
+	fmt.Printf("  fallback runs %d covering %d loops  tables identical to single node: %v\n",
+		block.FallbackRuns, block.FallbackLoops, block.Identical)
+	if benchOut != "" {
+		if err := mergeBenchBlock(benchOut, "fleet_chaos", block); err != nil {
+			return fmt.Errorf("fleet-bench: %w", err)
+		}
+	}
+	if !identical {
+		return fmt.Errorf("fleet-bench: chaos verdict tables diverged from the single-node reference")
+	}
+	return nil
+}
+
 // benchFleet is an in-process fleet: N worker servers on loopback
 // listeners, each with a memory-only verdict cache wrapped in the peer
 // protocol, and one coordinator routing over all of them.
@@ -199,6 +347,42 @@ func (f *benchFleet) kill(i int) {
 		f.cancels[i]()
 		f.cancels[i] = nil
 	}
+}
+
+// restart boots a fresh worker on a killed slot's original address (the
+// ring routes by URL, so the address must be reused). The old listener
+// needs a moment to release the port after its drain.
+func (f *benchFleet) restart(ctx context.Context, i, jobs int) error {
+	addr := strings.TrimPrefix(f.urls[i], "http://")
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c, err := cache.Open("", 0, core.CacheRecordVersion)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:   jobs,
+		Cache:     c,
+		PeerNodes: f.urls,
+		PeerSelf:  f.urls[i],
+	})
+	wctx, cancel := context.WithCancel(ctx)
+	f.workers[i] = srv
+	f.cancels[i] = cancel
+	go srv.Serve(wctx, ln)
+	return nil
 }
 
 func (f *benchFleet) stop() {

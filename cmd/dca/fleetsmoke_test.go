@@ -9,13 +9,16 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"dca/internal/core"
+	"dca/internal/fingerprint"
 	"dca/internal/fleet"
+	"dca/internal/irbuild"
 )
 
 // fleetSmokeSrc: one quick loop first in source order (so the event stream
@@ -212,5 +215,150 @@ func TestFleetSmoke(t *testing.T) {
 	}
 	if got := smokeTable(final.Report); got != want {
 		t.Errorf("report after mid-suite worker kill diverged:\n-- reference --\n%s-- killed --\n%s", want, got)
+	}
+}
+
+// smokeAnalyze runs one synchronous analyze and returns the verdict table.
+func smokeAnalyze(t *testing.T, coURL string, coord *exec.Cmd) string {
+	t.Helper()
+	reqBody, _ := json.Marshal(map[string]any{"filename": "smoke.mc", "source": fleetSmokeSrc})
+	resp, err := http.Post(coURL+"/analyze", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Report *core.ReportJSON `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || out.Report == nil {
+		t.Fatalf("analyze: status %d, coordinator stderr: %s", resp.StatusCode, coord.Stderr)
+	}
+	return smokeTable(out.Report)
+}
+
+// scrapeMetric reads one unlabeled sample from a /metrics endpoint.
+func scrapeMetric(t *testing.T, url, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %s sample %q: %v", name, line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestFleetSmokeRejoin is the multi-process recovery contract: a worker is
+// SIGKILLed between runs, the fleet keeps answering identically without it,
+// and when a replacement process binds the same address the coordinator's
+// prober re-admits it and routes subsequent batches to it again.
+func TestFleetSmokeRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns helper processes")
+	}
+
+	// Routing hashes worker URLs, so whether the restarted worker is owed
+	// any batches depends on the ports the OS hands out. Retry address
+	// pairs until the ring splits the program's loops across both workers.
+	prog, err := irbuild.Compile("smoke.mc", fleetSmokeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := fleet.EnumerateLoops(prog)
+	router := fingerprint.NewRouter(prog)
+	var w1, w2 string
+	for try := 0; ; try++ {
+		if try >= 50 {
+			t.Fatal("no address pair splits the ring after 50 tries")
+		}
+		w1, w2 = freeAddr(t), freeAddr(t)
+		ring := fleet.NewRing([]string{"http://" + w1, "http://" + w2})
+		owners := map[string]bool{}
+		for _, ref := range refs {
+			owners[ring.Owner(router.Route(ref.Fn, ref.Index).String(), nil)] = true
+		}
+		if len(owners) == 2 {
+			break
+		}
+	}
+	co := freeAddr(t)
+	w1URL, w2URL, coURL := "http://"+w1, "http://"+w2, "http://"+co
+	peers := w1URL + "," + w2URL
+
+	workerArgs := func(addr, self string) []string {
+		return []string{"-addr", addr, "-no-cache", "-schedules", "1", "-peers", peers, "-self", self}
+	}
+	startServeChild(t, workerArgs(w1, w1URL)...)
+	worker2 := startServeChild(t, workerArgs(w2, w2URL)...)
+	coord := startServeChild(t, "-addr", co, "-schedules", "1", "-fleet", peers,
+		"-probe-interval", "50ms", "-node-retries", "1")
+	for _, url := range []string{w1URL, w2URL, coURL} {
+		waitHealthy(t, url, coord)
+	}
+
+	want := smokeAnalyze(t, coURL, coord)
+	if want == "" {
+		t.Fatal("reference table is empty")
+	}
+
+	// Kill pass: worker 2 is gone for the whole run; the survivor absorbs
+	// its shards and the table must not move.
+	if err := worker2.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	worker2.Wait()
+	if got := smokeAnalyze(t, coURL, coord); got != want {
+		t.Errorf("table with worker 2 dead diverged:\n-- reference --\n%s-- killed --\n%s", want, got)
+	}
+
+	// Restart on the same address (the ring routes by URL) and wait for
+	// the prober to re-admit it.
+	restarted := startServeChild(t, workerArgs(w2, w2URL)...)
+	waitHealthy(t, w2URL, restarted)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if live, ok := scrapeMetric(t, coURL, "dca_fleet_nodes_live"); ok && live == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted worker never re-admitted; coordinator stderr: %s", coord.Stderr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if rejoins, ok := scrapeMetric(t, coURL, "dca_fleet_rejoins_total"); !ok || rejoins < 1 {
+		t.Errorf("dca_fleet_rejoins_total = %v (present=%v), want >= 1", rejoins, ok)
+	}
+
+	// Rejoin pass: the table still matches, and the replacement process —
+	// which has analyzed nothing so far — actually served its shards.
+	if got := smokeAnalyze(t, coURL, coord); got != want {
+		t.Errorf("table after rejoin diverged:\n-- reference --\n%s-- rejoined --\n%s", want, got)
+	}
+	statsResp, err := http.Get(w2URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		LoopsAnalyzed uint64 `json:"loops_analyzed"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.LoopsAnalyzed == 0 {
+		t.Error("restarted worker analyzed no loops; batches never reached it")
 	}
 }

@@ -462,6 +462,10 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain-timeout", 15*time.Second, "in-flight drain window on shutdown")
 	tracePath := fs.String("trace", "", "append per-loop trace events to this JSONL file")
 	fleetNodes := fs.String("fleet", "", "comma-separated worker base URLs; coordinator mode: /analyze shards loops across them")
+	dispatchTimeout := fs.Duration("dispatch-timeout", 5*time.Minute, "fleet: wall-clock cap per batch dispatch attempt (0 = request context only)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "fleet: re-issue a straggling batch to the ring successor after this delay (0 = no hedging)")
+	probeInterval := fs.Duration("probe-interval", time.Second, "fleet: health-prober cadence for re-admitting dead workers")
+	nodeRetries := fs.Int("node-retries", 1, "fleet: same-node retries of a transient dispatch failure (negative disables)")
 	peers := fs.String("peers", "", "comma-separated fleet member base URLs (identical on every member); enables the peer verdict-cache protocol")
 	self := fs.String("self", "", "this node's own base URL within -peers")
 	runDir := fs.String("run-dir", "", "directory for async-run write-ahead journals (empty = no journals)")
@@ -487,6 +491,10 @@ func cmdServe(args []string) error {
 		PeerSelf:       *self,
 		RunDir:         *runDir,
 	}
+	cfg.DispatchTimeout = *dispatchTimeout
+	cfg.HedgeAfter = *hedgeAfter
+	cfg.ProbeInterval = *probeInterval
+	cfg.NodeRetries = *nodeRetries
 	if len(cfg.PeerNodes) > 0 && cfg.PeerSelf == "" {
 		return fmt.Errorf("serve: -peers requires -self (this node's own URL in the list)")
 	}

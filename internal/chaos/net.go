@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// NetFault selects what an injected network fault does.
+type NetFault int
+
+const (
+	// NetRefuse: the request fails immediately, as if the node's port were
+	// closed — the crashed-worker case.
+	NetRefuse NetFault = iota
+	// NetLatency: the request is delayed by a random spike before being
+	// forwarded — the congested-network case hedging exists for.
+	NetLatency
+	// NetCut: the response body is severed after a random prefix — the
+	// mid-transfer disconnect case.
+	NetCut
+	// Net5xx: the request never reaches the node; a synthesized 5xx comes
+	// back, sometimes as a short burst, sometimes a 503 shed carrying
+	// Retry-After — the overloaded-worker case.
+	Net5xx
+	// NetSlowBody: the response body trickles out a small chunk at a time —
+	// the slow-partial-response case that stalls naive readers.
+	NetSlowBody
+)
+
+var netFaultNames = [...]string{"refuse", "latency", "cut", "5xx", "slow-body"}
+
+func (k NetFault) String() string { return netFaultNames[k] }
+
+// AllNetFaults lists every injectable network fault kind.
+var AllNetFaults = []NetFault{NetRefuse, NetLatency, NetCut, Net5xx, NetSlowBody}
+
+// NetChaos is a fault-injecting http.RoundTripper: every eligible request
+// suffers one of the configured fault kinds with probability prob, driven
+// by a seeded generator — deterministic for a given seed and request
+// sequence (concurrent requests make the sequence schedule-dependent,
+// like Monkey). It is the network counterpart of Monkey: wrap a
+// coordinator's HTTP client with it and the dispatch path experiences
+// connection refusals, latency spikes, mid-body disconnects, 5xx bursts,
+// and slow partial responses without a single real network misbehaving.
+type NetChaos struct {
+	// Inner performs the real round trips; nil means
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+	// Only scopes injection to matching requests (e.g. only /analyze, so
+	// health probes stay clean); nil makes every request eligible.
+	Only func(*http.Request) bool
+	// Latency bounds an injected latency spike (default 80ms; spikes are
+	// uniform in [Latency/2, Latency)).
+	Latency time.Duration
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	prob   float64
+	kinds  []NetFault
+	burst  int // remaining synthesized sheds in the current 5xx burst
+	faults int64
+	counts [len(netFaultNames)]int64
+}
+
+// NewNetChaos builds a seeded fault-injecting transport over inner. kinds
+// selects the injectable faults; none means all of them.
+func NewNetChaos(inner http.RoundTripper, seed int64, prob float64, kinds ...NetFault) *NetChaos {
+	if len(kinds) == 0 {
+		kinds = AllNetFaults
+	}
+	return &NetChaos{
+		Inner:   inner,
+		Latency: 80 * time.Millisecond,
+		rng:     rand.New(rand.NewSource(seed)),
+		prob:    prob,
+		kinds:   append([]NetFault(nil), kinds...),
+	}
+}
+
+// Faults returns how many requests were failed or degraded by injection.
+func (c *NetChaos) Faults() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
+// FaultCounts returns per-kind injection counts, indexed by NetFault.
+func (c *NetChaos) FaultCounts() [len(netFaultNames)]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// netPlan is one request's fate, with every random parameter drawn under
+// the lock so concurrent requests cannot interleave rng draws mid-fault.
+type netPlan struct {
+	fail       bool
+	kind       NetFault
+	latency    time.Duration
+	cutAfter   int
+	status     int
+	retryAfter int
+	chunk      int
+	chunkDelay time.Duration
+}
+
+func (c *NetChaos) roll() netPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := netPlan{}
+	if c.burst > 0 {
+		// Mid-burst: the node is still overloaded, shed regardless of prob.
+		c.burst--
+		p.fail = true
+		p.kind = Net5xx
+	} else {
+		if c.rng.Float64() >= c.prob {
+			return p
+		}
+		p.fail = true
+		p.kind = c.kinds[c.rng.Intn(len(c.kinds))]
+	}
+	c.faults++
+	c.counts[p.kind]++
+	switch p.kind {
+	case NetLatency:
+		max := c.Latency
+		if max <= 0 {
+			max = 80 * time.Millisecond
+		}
+		p.latency = max/2 + time.Duration(c.rng.Int63n(int64(max/2)))
+	case NetCut:
+		p.cutAfter = 256 + c.rng.Intn(1024)
+	case Net5xx:
+		if c.burst == 0 {
+			c.burst = c.rng.Intn(3) // up to two follow-up sheds
+		}
+		if c.rng.Intn(2) == 0 {
+			p.status = http.StatusServiceUnavailable
+			p.retryAfter = 1
+		} else {
+			p.status = http.StatusBadGateway
+		}
+	case NetSlowBody:
+		p.chunk = 256 + c.rng.Intn(256)
+		p.chunkDelay = time.Duration(2+c.rng.Intn(8)) * time.Millisecond
+	}
+	return p
+}
+
+func (c *NetChaos) inner() http.RoundTripper {
+	if c.Inner != nil {
+		return c.Inner
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (c *NetChaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	if c.Only != nil && !c.Only(req) {
+		return c.inner().RoundTrip(req)
+	}
+	p := c.roll()
+	if !p.fail {
+		return c.inner().RoundTrip(req)
+	}
+	switch p.kind {
+	case NetRefuse:
+		return nil, fmt.Errorf("%s %s: %w: %w", req.Method, req.URL, errInjected, syscall.ECONNREFUSED)
+	case Net5xx:
+		body := `{"error":"chaos: injected shed"}`
+		resp := &http.Response{
+			Status:        fmt.Sprintf("%d %s", p.status, http.StatusText(p.status)),
+			StatusCode:    p.status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        make(http.Header),
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		resp.Header.Set("Content-Type", "application/json")
+		if p.retryAfter > 0 {
+			resp.Header.Set("Retry-After", strconv.Itoa(p.retryAfter))
+		}
+		return resp, nil
+	case NetLatency:
+		if !sleepNetCtx(req.Context(), p.latency) {
+			return nil, req.Context().Err()
+		}
+		return c.inner().RoundTrip(req)
+	case NetCut:
+		resp, err := c.inner().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &cutBody{inner: resp.Body, remain: p.cutAfter}
+		resp.ContentLength = -1
+		return resp, nil
+	default: // NetSlowBody
+		resp, err := c.inner().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &slowBody{inner: resp.Body, ctx: req.Context(), chunk: p.chunk, delay: p.chunkDelay}
+		return resp, nil
+	}
+}
+
+// sleepNetCtx waits d or until ctx is done, reporting whether the full
+// wait elapsed.
+func sleepNetCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// cutBody serves a prefix of the real body, then fails mid-stream — the
+// connection died with the response half-transferred.
+type cutBody struct {
+	inner  io.ReadCloser
+	remain int
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("read: %w: %w", errInjected, syscall.ECONNRESET)
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// The real body was shorter than the cut point; the cut never fired.
+		return n, io.EOF
+	}
+	if err == nil && b.remain <= 0 {
+		err = fmt.Errorf("read: %w: %w", errInjected, syscall.ECONNRESET)
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.inner.Close() }
+
+// slowBody trickles the real body out a small chunk at a time, pausing
+// between chunks until the reader's context dies.
+type slowBody struct {
+	inner io.ReadCloser
+	ctx   context.Context
+	chunk int
+	delay time.Duration
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	if err := b.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if !sleepNetCtx(b.ctx, b.delay) {
+		return 0, b.ctx.Err()
+	}
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	return b.inner.Read(p)
+}
+
+func (b *slowBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// netBackend serves a fixed payload so fault effects are observable.
+func netBackend(t *testing.T, size int) *httptest.Server {
+	t.Helper()
+	payload := strings.Repeat("x", size)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, payload)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp, data, err
+}
+
+// TestNetChaosDeterminism: the same seed injects the same fault sequence.
+func TestNetChaosDeterminism(t *testing.T) {
+	backend := netBackend(t, 64)
+	sequence := func(seed int64) []int64 {
+		nc := NewNetChaos(nil, seed, 0.5, NetRefuse)
+		client := &http.Client{Transport: nc}
+		var out []int64
+		for i := 0; i < 32; i++ {
+			client.Get(backend.URL)
+			out = append(out, nc.Faults())
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if a[len(a)-1] == 0 {
+		t.Fatal("no faults injected at prob 0.5 over 32 requests")
+	}
+}
+
+// TestNetChaosRefuse: injected refusals surface as marked transport
+// errors without touching the backend.
+func TestNetChaosRefuse(t *testing.T) {
+	backend := netBackend(t, 8)
+	nc := NewNetChaos(nil, 1, 1, NetRefuse)
+	client := &http.Client{Transport: nc}
+	_, _, err := get(t, client, backend.URL)
+	if err == nil {
+		t.Fatal("refused request succeeded")
+	}
+	if !Injected(err) {
+		t.Fatalf("refusal not marked as injected: %v", err)
+	}
+}
+
+// TestNetChaos5xx: synthesized sheds carry a 5xx status, and 503s carry
+// Retry-After; bursts shed follow-up requests too.
+func TestNetChaos5xx(t *testing.T) {
+	backend := netBackend(t, 8)
+	nc := NewNetChaos(nil, 3, 1, Net5xx)
+	client := &http.Client{Transport: nc}
+	saw503 := false
+	for i := 0; i < 16; i++ {
+		resp, _, err := get(t, client, backend.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode < 500 || resp.StatusCode > 599 {
+			t.Fatalf("request %d: status %d, want 5xx", i, resp.StatusCode)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("503 shed without Retry-After")
+			}
+		}
+	}
+	if !saw503 {
+		t.Error("no 503 shed in 16 requests")
+	}
+}
+
+// TestNetChaosCut: the body fails mid-stream after a bounded prefix.
+func TestNetChaosCut(t *testing.T) {
+	backend := netBackend(t, 1 << 16)
+	nc := NewNetChaos(nil, 5, 1, NetCut)
+	client := &http.Client{Transport: nc}
+	_, data, err := get(t, client, backend.URL)
+	if err == nil {
+		t.Fatal("cut body read to completion")
+	}
+	if !Injected(err) {
+		t.Fatalf("cut not marked as injected: %v", err)
+	}
+	if len(data) == 0 || len(data) >= 1<<16 {
+		t.Fatalf("cut delivered %d bytes, want a proper prefix", len(data))
+	}
+}
+
+// TestNetChaosCutShortBody: a body shorter than the cut point passes
+// through intact — the disconnect never fired.
+func TestNetChaosCutShortBody(t *testing.T) {
+	backend := netBackend(t, 16)
+	nc := NewNetChaos(nil, 5, 1, NetCut)
+	client := &http.Client{Transport: nc}
+	_, data, err := get(t, client, backend.URL)
+	if err != nil {
+		t.Fatalf("short body under cut fault: %v", err)
+	}
+	if len(data) != 16 {
+		t.Fatalf("got %d bytes, want 16", len(data))
+	}
+}
+
+// TestNetChaosSlowBody: the payload arrives complete, just slowly.
+func TestNetChaosSlowBody(t *testing.T) {
+	backend := netBackend(t, 2048)
+	nc := NewNetChaos(nil, 7, 1, NetSlowBody)
+	client := &http.Client{Transport: nc}
+	start := time.Now()
+	_, data, err := get(t, client, backend.URL)
+	if err != nil {
+		t.Fatalf("slow body: %v", err)
+	}
+	if len(data) != 2048 {
+		t.Fatalf("got %d bytes, want 2048", len(data))
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Error("slow body arrived instantly; no trickle observed")
+	}
+}
+
+// TestNetChaosLatency: the request is delayed but succeeds.
+func TestNetChaosLatency(t *testing.T) {
+	backend := netBackend(t, 8)
+	nc := NewNetChaos(nil, 9, 1, NetLatency)
+	nc.Latency = 40 * time.Millisecond
+	client := &http.Client{Transport: nc}
+	start := time.Now()
+	_, data, err := get(t, client, backend.URL)
+	if err != nil {
+		t.Fatalf("latency-spiked request: %v", err)
+	}
+	if len(data) != 8 {
+		t.Fatalf("got %d bytes, want 8", len(data))
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("no latency observed")
+	}
+}
+
+// TestNetChaosOnlyScope: requests outside the scope are never touched.
+func TestNetChaosOnlyScope(t *testing.T) {
+	backend := netBackend(t, 8)
+	nc := NewNetChaos(nil, 1, 1, NetRefuse)
+	nc.Only = func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/analyze") }
+	client := &http.Client{Transport: nc}
+	for i := 0; i < 8; i++ {
+		if _, _, err := get(t, client, backend.URL+"/healthz"); err != nil {
+			t.Fatalf("scoped-out request %d failed: %v", i, err)
+		}
+	}
+	if nc.Faults() != 0 {
+		t.Fatalf("%d faults injected outside the scope", nc.Faults())
+	}
+	if _, _, err := get(t, client, backend.URL+"/analyze"); err == nil {
+		t.Fatal("in-scope request not refused at prob 1")
+	}
+}

@@ -1,0 +1,180 @@
+// Chaos property tests: a coordinator whose dispatch transport injects
+// seeded network faults must merge a report byte-identical to a single
+// healthy node's, for every fault pattern — including the pattern where
+// every worker is dead and the local fallback carries the run.
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dca/internal/chaos"
+	"dca/internal/fleet"
+	"dca/internal/irbuild"
+	"dca/internal/obs"
+)
+
+// chaosPolicy is tuned for test wall-clock: tight backoffs, aggressive
+// hedging, fast probes. Correctness must not depend on the tuning.
+func chaosPolicy() fleet.Policy {
+	return fleet.Policy{
+		DispatchTimeout: 10 * time.Second,
+		NodeRetries:     2,
+		HedgeAfter:      200 * time.Millisecond,
+		ProbeInterval:   50 * time.Millisecond,
+		ProbeTimeout:    time.Second,
+		RetryBase:       5 * time.Millisecond,
+		RetryCap:        50 * time.Millisecond,
+		MaxRetryAfter:   50 * time.Millisecond,
+	}
+}
+
+// chaosCoordinator builds a coordinator over f's workers whose dispatches
+// run through the given fault injector, with the in-process fallback
+// wired. The fallback mirrors the workers' Config{Workers: 2} ceilings so
+// degraded verdicts match dispatched ones.
+func chaosCoordinator(f *testFleet, nc *chaos.NetChaos, trace obs.Sink) *fleet.Coordinator {
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Nodes:  f.urls,
+		Client: &http.Client{Transport: nc},
+		Policy: chaosPolicy(),
+		Trace:  trace,
+		Local:  fleet.NewLocalAnalyzer(fleet.LocalConfig{Workers: 2}),
+	})
+	coord.SetMetrics(f.cm)
+	return coord
+}
+
+// TestFleetChaosIdentity is the property test: under every seeded fault
+// pattern — each kind alone, then all kinds mixed, across seeds — the
+// merged verdict table is byte-identical to a single healthy node's.
+func TestFleetChaosIdentity(t *testing.T) {
+	single := newTestFleet(t, 1)
+	_, want := single.analyze(t)
+	if want == "" {
+		t.Fatal("reference table is empty")
+	}
+	single.stop()
+
+	f := newTestFleet(t, 3)
+	type pattern struct {
+		name  string
+		seeds []int64
+		kinds []chaos.NetFault
+	}
+	patterns := []pattern{
+		{"refuse", []int64{1}, []chaos.NetFault{chaos.NetRefuse}},
+		{"latency", []int64{1}, []chaos.NetFault{chaos.NetLatency}},
+		{"cut", []int64{1}, []chaos.NetFault{chaos.NetCut}},
+		{"5xx", []int64{1}, []chaos.NetFault{chaos.Net5xx}},
+		{"slow-body", []int64{1}, []chaos.NetFault{chaos.NetSlowBody}},
+		{"all", []int64{1, 2, 3}, nil},
+	}
+	for _, p := range patterns {
+		for _, seed := range p.seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", p.name, seed), func(t *testing.T) {
+				nc := chaos.NewNetChaos(nil, seed, 0.35, p.kinds...)
+				// Probes stay clean: the pattern under test is dispatch
+				// weather, not a partitioned prober.
+				nc.Only = func(r *http.Request) bool {
+					return strings.HasSuffix(r.URL.Path, "/analyze")
+				}
+				coord := chaosCoordinator(f, nc, nil)
+				prog, err := irbuild.Compile("fleet.mc", fleetSrc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := coord.Analyze(context.Background(), prog, "fleet.mc", fleetSrc,
+					fleet.Knobs{Schedules: 1}, nil)
+				if err != nil {
+					t.Fatalf("analyze under %s faults (seed %d, %d injected): %v",
+						p.name, seed, nc.Faults(), err)
+				}
+				if got := renderTable(rep); got != want {
+					t.Errorf("table under %s faults diverged (seed %d, %d injected):\n--- healthy ---\n%s--- chaos ---\n%s",
+						p.name, seed, nc.Faults(), want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestFleetChaosAllDeadFallback: every worker is really dead — the
+// coordinator must finish the whole run in-process and still render the
+// identical table, with the degradation visible in metrics and trace.
+func TestFleetChaosAllDeadFallback(t *testing.T) {
+	single := newTestFleet(t, 1)
+	_, want := single.analyze(t)
+	single.stop()
+
+	f := newTestFleet(t, 3)
+	f.stop()
+	time.Sleep(10 * time.Millisecond) // let the listeners close
+
+	trace := &obs.Collector{}
+	coord := chaosCoordinator(f, chaos.NewNetChaos(nil, 1, 0), trace)
+	prog, err := irbuild.Compile("fleet.mc", fleetSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Analyze(context.Background(), prog, "fleet.mc", fleetSrc,
+		fleet.Knobs{Schedules: 1}, nil)
+	if err != nil {
+		t.Fatalf("analyze with all workers dead: %v", err)
+	}
+	if got := renderTable(rep); got != want {
+		t.Errorf("fallback table diverged:\n--- healthy ---\n%s--- fallback ---\n%s", want, got)
+	}
+	if f.cm.FallbackRuns.Value() == 0 {
+		t.Error("no fallback runs counted")
+	}
+	if got := f.cm.FallbackLoops.Value(); got != uint64(len(rep.Loops)) {
+		t.Errorf("fallback loops = %d, want %d", got, len(rep.Loops))
+	}
+	sawFallback := false
+	for _, ev := range trace.Events() {
+		if ev.Stage == obs.StageFleet && ev.Outcome == obs.OutcomeFallback {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Error("no StageFleet fallback event traced")
+	}
+}
+
+// TestFleetChaosFallbackMidRun: the fleet dies while faults are flying —
+// refusal-only chaos at high probability kills every node within a few
+// rounds, so part of the program is served by workers and the rest by the
+// local fallback, and the merged table still matches.
+func TestFleetChaosFallbackMidRun(t *testing.T) {
+	single := newTestFleet(t, 1)
+	_, want := single.analyze(t)
+	single.stop()
+
+	f := newTestFleet(t, 3)
+	nc := chaos.NewNetChaos(nil, 7, 0.9, chaos.NetRefuse)
+	nc.Only = func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/analyze") }
+	// Probes must not resurrect nodes faster than refusal kills them, or
+	// the run never degrades; an injector on probes too keeps them down.
+	probeChaos := chaos.NewNetChaos(nil, 8, 1, chaos.NetRefuse)
+	probeChaos.Only = func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/healthz") }
+	nc.Inner = probeChaos
+	coord := chaosCoordinator(f, nc, nil)
+
+	prog, err := irbuild.Compile("fleet.mc", fleetSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Analyze(context.Background(), prog, "fleet.mc", fleetSrc,
+		fleet.Knobs{Schedules: 1}, nil)
+	if err != nil {
+		t.Fatalf("analyze under refusal storm: %v", err)
+	}
+	if got := renderTable(rep); got != want {
+		t.Errorf("refusal-storm table diverged:\n--- healthy ---\n%s--- chaos ---\n%s", want, got)
+	}
+}

@@ -7,8 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dca/internal/cfg"
@@ -59,12 +64,23 @@ type workerResponse struct {
 const maxWorkerResponse = 64 << 20
 
 // Coordinator shards a program's loops across the fleet's workers and
-// merges their verdicts back into one deterministic report.
+// merges their verdicts back into one deterministic report. Its failure
+// handling is governed by a Policy (attempt timeouts, same-node retries,
+// hedging, backoff) and a Membership lifecycle (failed nodes leave
+// rotation, the prober brings them back); when the whole fleet is down it
+// degrades to in-process analysis through its LocalAnalyzer — the fleet
+// is an accelerator, never a single point of failure.
 type Coordinator struct {
-	ring   *Ring
-	client *http.Client
-	m      *Metrics
-	trace  obs.Sink
+	ring    *Ring
+	client  *http.Client
+	m       *Metrics
+	trace   obs.Sink
+	policy  Policy
+	jitter  func(int64) int64
+	members *Membership
+	local   LocalAnalyzer
+
+	proberOn atomic.Bool
 }
 
 // CoordinatorConfig assembles a Coordinator.
@@ -72,14 +88,22 @@ type CoordinatorConfig struct {
 	// Nodes are the worker base URLs ("http://host:port"). Required.
 	Nodes []string
 	// Client overrides the HTTP client used for dispatch; nil means a
-	// client with no overall timeout (batches are bounded by the request
-	// context, not a fixed clock — suites can run for minutes).
+	// client with no overall timeout — per-attempt clocks come from
+	// Policy.DispatchTimeout, and batches are otherwise bounded by the
+	// request context (suites can run for minutes).
 	Client *http.Client
 	// Metrics, when non-nil, receives dispatch and re-dispatch counts.
 	Metrics *Metrics
 	// Trace, when non-nil, receives one StageFleet event per batch
-	// dispatch outcome.
+	// dispatch outcome, retry, hedge, rejoin, and fallback.
 	Trace obs.Sink
+	// Policy tunes the dispatch resilience knobs; the zero value gets
+	// production defaults.
+	Policy Policy
+	// Local, when non-nil, is the graceful-degradation path: with every
+	// worker out of rotation the coordinator analyzes the remaining loops
+	// in-process instead of failing the run.
+	Local LocalAnalyzer
 }
 
 // NewCoordinator builds a coordinator over the given worker nodes.
@@ -88,22 +112,124 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Coordinator{
+	policy := cfg.Policy.withDefaults()
+	jitter := policy.Jitter
+	if jitter == nil {
+		jitter = rand.Int63n
+	}
+	c := &Coordinator{
 		ring:   NewRing(cfg.Nodes),
 		client: client,
 		m:      cfg.Metrics,
 		trace:  cfg.Trace,
+		policy: policy,
+		jitter: jitter,
+		local:  cfg.Local,
 	}
+	c.members = newMembership(c.ring.Nodes(), policy.ProbeInterval, policy.ProbeBackoffCap, jitter)
+	return c
 }
 
 // Ring exposes the coordinator's dispatch ring (shared with metrics and
 // the peer cache when the process is both coordinator and worker).
 func (c *Coordinator) Ring() *Ring { return c.ring }
 
+// Membership exposes the node lifecycle tracker — gauges sample it and
+// tests assert on it.
+func (c *Coordinator) Membership() *Membership { return c.members }
+
 // SetMetrics attaches the fleet instruments after construction — the
 // server builds the coordinator first so the ring-size gauge can sample
 // its ring, then hands the registered metrics back. Call before Analyze.
 func (c *Coordinator) SetMetrics(m *Metrics) { c.m = m }
+
+// StartProber launches the background health prober: out-of-rotation
+// nodes are probed on an exponential, jittered backoff and re-admitted
+// the moment /healthz answers — mid-run and across runs alike. The
+// prober stops when ctx is cancelled; starting twice is a no-op while
+// the first prober lives.
+func (c *Coordinator) StartProber(ctx context.Context) {
+	if c.proberOn.Swap(true) {
+		return
+	}
+	go func() {
+		defer c.proberOn.Store(false)
+		t := time.NewTicker(c.policy.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.probeDue(ctx)
+			}
+		}
+	}()
+}
+
+// probeDue probes every out-of-rotation node whose backoff has elapsed,
+// concurrently, each under the probe timeout. Successes rejoin the ring;
+// failures double the node's backoff.
+func (c *Coordinator) probeDue(ctx context.Context) {
+	due := c.members.due(time.Now())
+	if len(due) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, node := range due {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			err := c.probeNode(ctx, node)
+			if c.m != nil {
+				c.m.Probes.Inc()
+			}
+			if err != nil {
+				if c.m != nil {
+					c.m.ProbeFailures.Inc()
+				}
+				c.members.probeFailed(node)
+				return
+			}
+			c.admit(node)
+		}(node)
+	}
+	wg.Wait()
+}
+
+// admit returns a node to rotation, counting and tracing the rejoin
+// exactly once per transition.
+func (c *Coordinator) admit(node string) {
+	if !c.members.MarkLive(node) {
+		return
+	}
+	if c.m != nil {
+		c.m.Rejoins.Inc()
+	}
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{Stage: obs.StageFleet, Outcome: obs.OutcomeRejoin, Reason: node})
+	}
+}
+
+// probeNode performs one /healthz probe under the policy's probe timeout.
+func (c *Coordinator) probeNode(ctx context.Context, node string) error {
+	pctx, cancel := context.WithTimeout(ctx, c.policy.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
 
 // EnumerateLoops lists a program's loops in report order — sorted by
 // function name, then loop index, exactly like core.Analyze's output. The
@@ -126,29 +252,26 @@ func EnumerateLoops(prog *ir.Program) []LoopRef {
 	return refs
 }
 
-// Health probes every node's /healthz, returning the nodes that failed
-// (missing entries are healthy). The coordinator seeds a run's dead set
-// with it so a down worker costs one cheap probe instead of a full batch
-// dispatch and re-dispatch.
+// Health probes every node's /healthz concurrently, each under the
+// policy's probe timeout, returning the nodes that failed (missing
+// entries are healthy). One hung node costs one probe timeout, not the
+// whole seeding pass.
 func (c *Coordinator) Health(ctx context.Context) map[string]error {
+	var mu sync.Mutex
 	bad := make(map[string]error)
+	var wg sync.WaitGroup
 	for _, n := range c.ring.Nodes() {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n+"/healthz", nil)
-		if err != nil {
-			bad[n] = err
-			continue
-		}
-		resp, err := c.client.Do(req)
-		if err != nil {
-			bad[n] = err
-			continue
-		}
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			bad[n] = fmt.Errorf("healthz: %s", resp.Status)
-		}
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			if err := c.probeNode(ctx, n); err != nil {
+				mu.Lock()
+				bad[n] = err
+				mu.Unlock()
+			}
+		}(n)
 	}
+	wg.Wait()
 	return bad
 }
 
@@ -164,12 +287,16 @@ type ProgramError struct {
 
 func (e *ProgramError) Error() string { return e.Msg }
 
-// batchResult is one dispatch outcome, drained by the merge loop.
+// batchResult is one batch's outcome, drained by the merge loop. A batch
+// may have touched several nodes (same-node retries stay inside one
+// attempt; hedging adds a second): failed lists every node that exhausted
+// its attempts, node names the one that produced rep.
 type batchResult struct {
-	node string
-	refs []LoopRef
-	rep  *core.ReportJSON
-	err  error
+	refs   []LoopRef
+	node   string
+	rep    *core.ReportJSON
+	failed []string
+	err    error
 }
 
 // Analyze shards prog's loops across the fleet, dispatches per-worker
@@ -177,13 +304,17 @@ type batchResult struct {
 // loop order, summary, and totals are byte-identical (modulo timing) to a
 // single node analyzing the whole program.
 //
-// Failures re-dispatch: a batch whose worker is unreachable, shedding
-// (503), or otherwise failing marks that node dead for the rest of the
-// run and re-routes the batch's loops to their ring successors. Semantics
-// are at-least-once — a loop may execute on two nodes across a failover —
-// and safe: verdicts are deterministic and fingerprint-keyed, and the
-// first result wins on merge. onLoop, when non-nil, receives every merged
-// loop verdict exactly once, as its batch arrives.
+// Failure handling is policy-driven. Each batch attempt is bounded by the
+// dispatch timeout; transient failures retry the same node (honoring a
+// shedding worker's Retry-After) before the node leaves rotation and the
+// batch re-routes to its ring successor in the next round, after a
+// decorrelated-jitter backoff. A straggling batch is hedged to the
+// successor after HedgeAfter; the first result wins. When every node is
+// out of rotation the remaining loops are analyzed in-process through the
+// LocalAnalyzer. All of it is safe by verdict determinism: semantics are
+// at-least-once, verdicts are fingerprint-keyed deterministic functions,
+// and the first result wins on merge. onLoop, when non-nil, receives
+// every merged loop verdict exactly once, as it lands.
 func (c *Coordinator) Analyze(ctx context.Context, prog *ir.Program, filename, source string, knobs Knobs, onLoop func(core.LoopJSON)) (*core.ReportJSON, error) {
 	start := time.Now()
 	refs := EnumerateLoops(prog)
@@ -194,21 +325,81 @@ func (c *Coordinator) Analyze(ctx context.Context, prog *ir.Program, filename, s
 	}
 
 	results := make(map[LoopRef]core.LoopJSON, len(refs))
-	dead := make(map[string]bool)
 	pending := refs
+	stalled := 0 // consecutive rounds with no merge progress and no membership change
+	barren := 0  // consecutive rounds with no merge progress at all
+	backoff := time.Duration(0)
+	round := 0
 
 	for len(results) < len(refs) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("fleet: analysis cancelled: %w", context.Cause(ctx))
 		}
-		// Route the still-pending loops onto the live ring.
+		if round > 0 {
+			// Decorrelated-jitter backoff between re-dispatch rounds: retrying
+			// coordinators spread apart instead of re-arriving in waves.
+			backoff = c.policy.backoffStep(c.jitter, backoff)
+			if !sleepCtx(ctx, backoff) {
+				return nil, fmt.Errorf("fleet: analysis cancelled: %w", context.Cause(ctx))
+			}
+		}
+		round++
+		if !c.proberOn.Load() {
+			// No background prober (bare coordinator): probe due nodes inline
+			// so a recovered worker still rejoins across and within runs.
+			c.probeDue(ctx)
+		}
+
+		// Route the still-pending loops onto the in-rotation ring.
+		excluded := c.members.Excluded()
 		batches := make(map[string][]LoopRef)
+		degraded := false
 		for _, ref := range pending {
-			owner := c.ring.Owner(route[ref], dead)
+			owner := c.ring.Owner(route[ref], excluded)
 			if owner == "" {
-				return nil, fmt.Errorf("fleet: no live workers (%d/%d nodes dead)", len(dead), c.ring.Size())
+				degraded = true
+				break
 			}
 			batches[owner] = append(batches[owner], ref)
+		}
+
+		if degraded {
+			// Every worker is out of rotation: the fleet was an accelerator,
+			// so finish the remaining loops in-process instead of failing.
+			if c.local == nil {
+				return nil, fmt.Errorf("fleet: no live workers (%d/%d nodes out of rotation)", len(excluded), c.ring.Size())
+			}
+			if c.m != nil {
+				c.m.FallbackRuns.Inc()
+				c.m.FallbackLoops.Add(uint64(len(pending)))
+			}
+			if c.trace != nil {
+				c.trace.Emit(obs.Event{Stage: obs.StageFleet, Outcome: obs.OutcomeFallback,
+					Reason: fmt.Sprintf("%d loops analyzed in-process", len(pending))})
+			}
+			rows, err := c.local(ctx, prog, knobs, pending, onLoop)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("fleet: analysis cancelled: %w", context.Cause(ctx))
+				}
+				// The local reference execution failed; every worker would have
+				// agreed, so this is the program's fault, exactly like a 4xx.
+				return nil, &ProgramError{Node: "local", Msg: err.Error()}
+			}
+			if err := ctx.Err(); err != nil {
+				// Engine cancellation yields Cancelled rows, which a healthy
+				// run would never merge; surface the cancellation instead.
+				return nil, fmt.Errorf("fleet: analysis cancelled: %w", context.Cause(ctx))
+			}
+			for _, ref := range pending {
+				lj, ok := rows[ref]
+				if !ok {
+					return nil, fmt.Errorf("fleet: local fallback produced no verdict for %s #%d", ref.Fn, ref.Index)
+				}
+				results[ref] = lj
+			}
+			pending = nil
+			continue
 		}
 
 		// Dispatch every batch concurrently; drain outcomes as they land.
@@ -218,27 +409,31 @@ func (c *Coordinator) Analyze(ctx context.Context, prog *ir.Program, filename, s
 				c.m.Dispatches.Inc(node)
 			}
 			go func(node string, batch []LoopRef) {
-				rep, err := c.dispatch(ctx, node, filename, source, knobs, batch)
-				out <- batchResult{node: node, refs: batch, rep: rep, err: err}
+				out <- c.runBatch(ctx, node, batch, route[batch[0]], excluded, filename, source, knobs)
 			}(node, batch)
 		}
 
 		progress := false
+		transitions := false
 		var fatal error
 		for range batches {
 			br := <-out
+			for _, n := range br.failed {
+				if c.members.Suspect(n) {
+					transitions = true
+				}
+			}
 			var perr *ProgramError
-			if errors.As(br.err, &perr) {
+			if errors.As(br.err, &perr) && br.rep == nil {
 				// Keep draining so no dispatch goroutine leaks, then abort.
 				if fatal == nil {
 					fatal = br.err
 				}
 				continue
 			}
-			if br.err != nil {
-				// The node failed this run; its loops stay pending and the
-				// next round routes them to the ring successor.
-				dead[br.node] = true
+			if br.rep == nil {
+				// Every attempt for this batch failed; its loops stay pending
+				// and the next round routes them to the ring successor.
 				if c.m != nil {
 					c.m.Redispatches.Inc()
 				}
@@ -281,21 +476,178 @@ func (c *Coordinator) Analyze(ctx context.Context, prog *ir.Program, filename, s
 			}
 		}
 		pending = still
-		if len(pending) > 0 && !progress && len(dead) == 0 {
-			// Every batch "succeeded" yet loops are missing: a worker is
-			// answering but not analyzing its share. Re-dispatching the same
-			// batches would loop forever.
+		if len(pending) == 0 {
+			continue
+		}
+		// No-progress bounds. A round that merged nothing and changed no
+		// node's state is a worker answering 200 while omitting its loops —
+		// re-dispatching the same batches would spin forever, dead set or
+		// not. The barren bound additionally stops a flapping node (fails
+		// dispatch, passes probes) from spinning the run: every pending loop
+		// must land within a ring's worth of reroute rounds.
+		if progress {
+			stalled, barren = 0, 0
+			continue
+		}
+		barren++
+		if transitions {
+			stalled = 0
+		} else {
+			stalled++
+		}
+		if stalled >= 2 {
 			return nil, fmt.Errorf("fleet: %d loops missing from worker reports", len(pending))
+		}
+		if barren >= c.ring.Size()+2 {
+			return nil, fmt.Errorf("fleet: %d loops still pending after %d no-progress rounds", len(pending), barren)
 		}
 	}
 
 	return mergeReport(refs, results, time.Since(start)), nil
 }
 
+// runBatch drives one batch to completion against its owner: same-node
+// retries inside attemptNode, plus a hedge to the ring successor once the
+// straggler delay elapses. First successful report wins; the loser's
+// attempt is cancelled. Safe by verdict determinism — both nodes would
+// return identical rows.
+func (c *Coordinator) runBatch(ctx context.Context, primary string, batch []LoopRef, routeKey string, excluded map[string]bool, filename, source string, knobs Knobs) batchResult {
+	br := batchResult{refs: batch}
+	type outcome struct {
+		node string
+		rep  *core.ReportJSON
+		err  error
+	}
+	out := make(chan outcome, 2)
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	launch := func(node string) {
+		go func() {
+			rep, err := c.attemptNode(actx, node, filename, source, knobs, batch)
+			out <- outcome{node, rep, err}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+	var hedgeC <-chan time.Time
+	if c.policy.HedgeAfter > 0 {
+		t := time.NewTimer(c.policy.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	for inflight > 0 {
+		select {
+		case o := <-out:
+			inflight--
+			if o.err != nil {
+				br.failed = append(br.failed, o.node)
+				br.err = o.err
+				var perr *ProgramError
+				if errors.As(o.err, &perr) {
+					return br // the program's fault: no retry anywhere helps
+				}
+				continue
+			}
+			br.rep, br.node, br.err = o.rep, o.node, nil
+			if o.node != primary && c.m != nil {
+				c.m.HedgeWins.Inc()
+			}
+			return br
+		case <-hedgeC:
+			hedgeC = nil
+			if succ := c.hedgeTarget(primary, routeKey, excluded); succ != "" {
+				if c.m != nil {
+					c.m.Hedges.Inc()
+				}
+				if c.trace != nil {
+					c.trace.Emit(obs.Event{Stage: obs.StageFleet, Outcome: obs.OutcomeHedged,
+						Reason: primary + " -> " + succ})
+				}
+				launch(succ)
+				inflight++
+			}
+		case <-actx.Done():
+			br.err = context.Cause(actx)
+			return br
+		}
+	}
+	return br
+}
+
+// hedgeTarget picks the batch's hedge destination: the ring successor of
+// its route key with the primary also excluded. "" when no other live
+// node exists.
+func (c *Coordinator) hedgeTarget(primary, routeKey string, excluded map[string]bool) string {
+	ex := make(map[string]bool, len(excluded)+1)
+	for n := range excluded {
+		ex[n] = true
+	}
+	ex[primary] = true
+	return c.ring.Owner(routeKey, ex)
+}
+
+// attemptNode dispatches one batch to one node, retrying transient
+// failures on the same node up to the policy's retry budget. Each attempt
+// runs under the dispatch timeout; between attempts it waits the larger
+// of the decorrelated backoff and the worker's own Retry-After hint
+// (capped) — a shedding worker said when it wants to be retried, and
+// ignoring that only re-arrives into the same overload.
+func (c *Coordinator) attemptNode(ctx context.Context, node, filename, source string, knobs Knobs, batch []LoopRef) (*core.ReportJSON, error) {
+	var lastErr error
+	var retryAfter time.Duration
+	backoff := time.Duration(0)
+	for try := 0; try <= c.policy.NodeRetries; try++ {
+		if try > 0 {
+			backoff = c.policy.backoffStep(c.jitter, backoff)
+			wait := backoff
+			if retryAfter > 0 {
+				if retryAfter > c.policy.MaxRetryAfter {
+					retryAfter = c.policy.MaxRetryAfter
+				}
+				if retryAfter > wait {
+					wait = retryAfter
+				}
+			}
+			if c.m != nil {
+				c.m.NodeRetries.Inc()
+			}
+			if c.trace != nil {
+				c.trace.Emit(obs.Event{Stage: obs.StageFleet, Outcome: obs.OutcomeRetry, Reason: node})
+			}
+			if !sleepCtx(ctx, wait) {
+				return nil, context.Cause(ctx)
+			}
+		}
+		actx := ctx
+		cancel := func() {}
+		if c.policy.DispatchTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, c.policy.DispatchTimeout)
+		}
+		rep, ra, err := c.dispatch(actx, node, filename, source, knobs, batch)
+		cancel()
+		if err == nil {
+			// A successful dispatch is a successful probe: a node another run
+			// suspected moments ago has just proven itself.
+			c.admit(node)
+			return rep, nil
+		}
+		var perr *ProgramError
+		if errors.As(err, &perr) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			// The run (or the hedge winner) cancelled us; don't spin retries.
+			return nil, err
+		}
+		lastErr, retryAfter = err, ra
+	}
+	return nil, lastErr
+}
+
 // dispatch sends one batch to one worker and decodes its report. Any
-// non-200 status — including a 503 shed — is a batch failure; the caller
-// re-routes.
-func (c *Coordinator) dispatch(ctx context.Context, node, filename, source string, knobs Knobs, batch []LoopRef) (*core.ReportJSON, error) {
+// non-200 status — including a 503 shed — is a failed attempt; a 503's
+// Retry-After hint is returned so the caller can honor it.
+func (c *Coordinator) dispatch(ctx context.Context, node, filename, source string, knobs Knobs, batch []LoopRef) (*core.ReportJSON, time.Duration, error) {
 	body, err := json.Marshal(workerRequest{
 		Filename:    filename,
 		Source:      source,
@@ -310,21 +662,21 @@ func (c *Coordinator) dispatch(ctx context.Context, node, filename, source strin
 		Loops:       batch,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/analyze", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", node, err)
+		return nil, 0, fmt.Errorf("%s: %w", node, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWorkerResponse))
 	if err != nil {
-		return nil, fmt.Errorf("%s: read response: %w", node, err)
+		return nil, 0, fmt.Errorf("%s: read response: %w", node, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var wr workerResponse
@@ -335,18 +687,24 @@ func (c *Coordinator) dispatch(ctx context.Context, node, filename, source strin
 		// 4xx means the program (or the forwarded knobs) is at fault and
 		// every node would agree; 5xx and transport errors mean this node is.
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			return nil, &ProgramError{Node: node, Msg: msg}
+			return nil, 0, &ProgramError{Node: node, Msg: msg}
 		}
-		return nil, fmt.Errorf("%s: %s: %s", node, resp.Status, msg)
+		var ra time.Duration
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, aerr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); aerr == nil && secs > 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, ra, fmt.Errorf("%s: %s: %s", node, resp.Status, msg)
 	}
 	var wr workerResponse
 	if err := json.Unmarshal(data, &wr); err != nil {
-		return nil, fmt.Errorf("%s: decode response: %w", node, err)
+		return nil, 0, fmt.Errorf("%s: decode response: %w", node, err)
 	}
 	if wr.Report == nil {
-		return nil, fmt.Errorf("%s: response carried no report", node)
+		return nil, 0, fmt.Errorf("%s: response carried no report", node)
 	}
-	return wr.Report, nil
+	return wr.Report, 0, nil
 }
 
 // mergeReport assembles the fleet report: loops in report order, summary

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// zeroJitter makes membership and backoff schedules exact for assertions.
+func zeroJitter(int64) int64 { return 0 }
+
+func TestMembershipLifecycle(t *testing.T) {
+	m := newMembership([]string{"a", "b"}, time.Second, 8*time.Second, zeroJitter)
+
+	if got := m.Counts(); got[NodeLive] != 2 {
+		t.Fatalf("fresh membership: %v, want 2 live", got)
+	}
+	if len(m.Excluded()) != 0 {
+		t.Fatalf("fresh membership excludes %v", m.Excluded())
+	}
+
+	// live → suspect, exactly once.
+	if !m.Suspect("a") {
+		t.Fatal("first Suspect(a) reported no transition")
+	}
+	if m.Suspect("a") {
+		t.Fatal("second Suspect(a) reported a transition")
+	}
+	if got := m.State("a"); got != NodeSuspect {
+		t.Fatalf("State(a) = %v, want suspect", got)
+	}
+	if ex := m.Excluded(); !ex["a"] || ex["b"] {
+		t.Fatalf("Excluded() = %v, want only a", ex)
+	}
+
+	// The suspect node is not due before its backoff elapses.
+	if due := m.due(time.Now()); len(due) != 0 {
+		t.Fatalf("due before backoff: %v", due)
+	}
+	due := m.due(time.Now().Add(time.Second))
+	if len(due) != 1 || due[0] != "a" {
+		t.Fatalf("due after backoff: %v, want [a]", due)
+	}
+	if got := m.State("a"); got != NodeProbing {
+		t.Fatalf("State(a) after due = %v, want probing", got)
+	}
+	// A probing node is never handed out twice.
+	if due := m.due(time.Now().Add(time.Hour)); len(due) != 0 {
+		t.Fatalf("probing node re-listed as due: %v", due)
+	}
+
+	// probing → dead on a failed probe, with the backoff doubling.
+	m.probeFailed("a")
+	if got := m.State("a"); got != NodeDead {
+		t.Fatalf("State(a) after failed probe = %v, want dead", got)
+	}
+	if due := m.due(time.Now().Add(1500 * time.Millisecond)); len(due) != 0 {
+		t.Fatalf("dead node due before doubled backoff: %v", due)
+	}
+	if due := m.due(time.Now().Add(2 * time.Second)); len(due) != 1 {
+		t.Fatalf("dead node not due after doubled backoff: %v", due)
+	}
+
+	// probing → live on success, with a counted transition and reset backoff.
+	if !m.MarkLive("a") {
+		t.Fatal("MarkLive(a) reported no transition")
+	}
+	if m.MarkLive("a") {
+		t.Fatal("MarkLive(a) on a live node reported a transition")
+	}
+	if got := m.Counts(); got[NodeLive] != 2 {
+		t.Fatalf("after rejoin: %v, want 2 live", got)
+	}
+}
+
+func TestMembershipBackoffCap(t *testing.T) {
+	m := newMembership([]string{"a"}, time.Second, 4*time.Second, zeroJitter)
+	m.Suspect("a")
+	for i := 0; i < 10; i++ {
+		if due := m.due(time.Now().Add(time.Hour)); len(due) != 1 {
+			t.Fatalf("round %d: node not due: %v", i, due)
+		}
+		m.probeFailed("a")
+	}
+	if h := m.nodes["a"]; h.backoff != 4*time.Second {
+		t.Fatalf("backoff = %v, want capped at 4s", h.backoff)
+	}
+}
+
+func TestMembershipUnknownNode(t *testing.T) {
+	m := newMembership([]string{"a"}, time.Second, time.Second, zeroJitter)
+	if got := m.State("ghost"); got != NodeDead {
+		t.Fatalf("State(ghost) = %v, want dead", got)
+	}
+	if m.Suspect("ghost") || m.MarkLive("ghost") {
+		t.Fatal("unknown node transitioned")
+	}
+}
+
+func TestPolicyBackoffStepBounds(t *testing.T) {
+	p := Policy{RetryBase: 10 * time.Millisecond, RetryCap: 80 * time.Millisecond}.withDefaults()
+
+	// Zero jitter pins the step to the base.
+	if got := p.backoffStep(zeroJitter, 0); got != p.RetryBase {
+		t.Fatalf("first step = %v, want base %v", got, p.RetryBase)
+	}
+	// Max jitter caps out.
+	maxJitter := func(n int64) int64 { return n - 1 }
+	prev := p.RetryBase
+	for i := 0; i < 6; i++ {
+		prev = p.backoffStep(maxJitter, prev)
+		if prev < p.RetryBase || prev > p.RetryCap {
+			t.Fatalf("step %d = %v, outside [%v, %v]", i, prev, p.RetryBase, p.RetryCap)
+		}
+	}
+	if prev != p.RetryCap {
+		t.Fatalf("max-jitter steps converged to %v, want cap %v", prev, p.RetryCap)
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.NodeRetries != 1 {
+		t.Errorf("NodeRetries = %d, want 1", p.NodeRetries)
+	}
+	if p.ProbeInterval != time.Second || p.ProbeTimeout != 2*time.Second {
+		t.Errorf("probe defaults = %v / %v", p.ProbeInterval, p.ProbeTimeout)
+	}
+	if (Policy{NodeRetries: -1}).withDefaults().NodeRetries != 0 {
+		t.Error("negative NodeRetries should disable retries")
+	}
+}

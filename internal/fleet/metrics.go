@@ -13,6 +13,25 @@ type Metrics struct {
 	// Redispatches counts batches re-routed to a ring successor after
 	// their owner failed mid-run.
 	Redispatches *obs.Counter
+	// NodeRetries counts same-node retries of transient dispatch failures
+	// (the attempts between "first failure" and "node suspect").
+	NodeRetries *obs.Counter
+	// Hedges / HedgeWins count straggler mitigation: batches re-issued to
+	// the ring successor after the hedge delay, and the subset where the
+	// hedge finished first.
+	Hedges    *obs.Counter
+	HedgeWins *obs.Counter
+	// Probes / ProbeFailures / Rejoins count the health prober's work:
+	// /healthz probes of out-of-rotation nodes, the ones that failed, and
+	// nodes re-admitted to dispatch rotation.
+	Probes        *obs.Counter
+	ProbeFailures *obs.Counter
+	Rejoins       *obs.Counter
+	// FallbackRuns / FallbackLoops count graceful degradation: rounds where
+	// no live worker remained and the coordinator analyzed in-process, and
+	// the loops those rounds covered.
+	FallbackRuns  *obs.Counter
+	FallbackLoops *obs.Counter
 	// PeerHits / PeerMisses / PeerErrors / PeerWrites count peer
 	// verdict-cache traffic: hits served by a ring owner, owner lookups
 	// that missed, transport or protocol failures (degraded to local
@@ -31,6 +50,22 @@ func NewMetrics(reg *obs.Registry, ring *Ring) *Metrics {
 			"Loop batches dispatched, by worker node.", "node"),
 		Redispatches: reg.Counter("dca_fleet_redispatch_total",
 			"Batches re-routed to a ring successor after a worker failure."),
+		NodeRetries: reg.Counter("dca_fleet_node_retries_total",
+			"Same-node retries of transient dispatch failures."),
+		Hedges: reg.Counter("dca_fleet_hedges_total",
+			"Straggling batches re-issued to the ring successor."),
+		HedgeWins: reg.Counter("dca_fleet_hedge_wins_total",
+			"Hedged dispatches where the hedge finished first."),
+		Probes: reg.Counter("dca_fleet_probes_total",
+			"Health probes of out-of-rotation nodes."),
+		ProbeFailures: reg.Counter("dca_fleet_probe_failures_total",
+			"Health probes that failed (node stays out of rotation)."),
+		Rejoins: reg.Counter("dca_fleet_rejoins_total",
+			"Nodes re-admitted to dispatch rotation."),
+		FallbackRuns: reg.Counter("dca_fleet_fallback_runs_total",
+			"Dispatch rounds degraded to in-process analysis (no live workers)."),
+		FallbackLoops: reg.Counter("dca_fleet_fallback_loops_total",
+			"Loops analyzed in-process by the local fallback."),
 		PeerHits: reg.Counter("dca_fleet_peer_hits_total",
 			"Peer verdict-cache lookups served by a ring owner."),
 		PeerMisses: reg.Counter("dca_fleet_peer_misses_total",
@@ -44,4 +79,21 @@ func NewMetrics(reg *obs.Registry, ring *Ring) *Metrics {
 		"Distinct nodes on the consistent-hash ring.",
 		func() float64 { return float64(ring.Size()) })
 	return m
+}
+
+// RegisterMembership adds the node-state gauges, sampling ms live: one
+// gauge per lifecycle state, so `live + suspect + dead + probing == ring
+// size` holds at every scrape.
+func RegisterMembership(reg *obs.Registry, ms *Membership) {
+	sample := func(s NodeState) func() float64 {
+		return func() float64 { return float64(ms.Counts()[s]) }
+	}
+	reg.GaugeFunc("dca_fleet_nodes_live",
+		"Fleet nodes in dispatch rotation.", sample(NodeLive))
+	reg.GaugeFunc("dca_fleet_nodes_suspect",
+		"Fleet nodes out of rotation after dispatch failures, awaiting probe.", sample(NodeSuspect))
+	reg.GaugeFunc("dca_fleet_nodes_dead",
+		"Fleet nodes that also failed health probes (backoff doubling).", sample(NodeDead))
+	reg.GaugeFunc("dca_fleet_nodes_probing",
+		"Fleet nodes with a health probe in flight.", sample(NodeProbing))
 }

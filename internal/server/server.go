@@ -155,6 +155,24 @@ type Config struct {
 	// shards the program's loops across these worker base URLs by
 	// fingerprint and merges their verdicts instead of analyzing locally.
 	Fleet []string
+	// FleetClient overrides the coordinator's dispatch HTTP client — tests
+	// and the chaos bench inject a fault-injecting transport here. nil
+	// means a plain client (per-attempt clocks come from DispatchTimeout).
+	FleetClient *http.Client
+	// DispatchTimeout caps one fleet batch dispatch attempt; a hung worker
+	// becomes a retryable failure instead of a stalled run (<= 0 means no
+	// cap beyond the request context).
+	DispatchTimeout time.Duration
+	// NodeRetries is how many times a transient dispatch failure retries
+	// the same worker before the node leaves rotation (0 means 1; negative
+	// disables retries).
+	NodeRetries int
+	// HedgeAfter re-issues a still-unfinished batch to the ring successor
+	// after this straggler delay, first result wins (<= 0 disables).
+	HedgeAfter time.Duration
+	// ProbeInterval is the health prober's cadence for re-admitting dead
+	// workers (<= 0 means 1s).
+	ProbeInterval time.Duration
 	// PeerNodes, when non-empty (and Cache is set), wraps the verdict
 	// cache in the fleet's peer protocol: misses consult the key's ring
 	// owner among these base URLs, fresh verdicts write through. The list
@@ -263,18 +281,14 @@ func New(cfg Config) *Server {
 		s.sink = obs.Multi{s.metrics, cfg.Trace}
 	}
 	// Fleet roles. The metrics are registered once, on whichever ring this
-	// node uses first (dispatch ring in coordinator mode, cache ring as a
-	// worker); both rings hash identically, so the gauge is equally honest.
-	if len(cfg.Fleet) > 0 {
-		s.coord = fleet.NewCoordinator(fleet.CoordinatorConfig{Nodes: cfg.Fleet, Trace: s.sink})
-		s.fleetM = fleet.NewMetrics(s.reg, s.coord.Ring())
-		s.coord.SetMetrics(s.fleetM)
-	}
+	// node builds first (cache ring as a worker, dispatch ring in
+	// coordinator mode); both rings hash identically, so the gauge is
+	// equally honest. The peer wrap runs before the coordinator so the
+	// coordinator's local fallback analyzes through the final cache — the
+	// same tier stack a worker request would have used.
 	if len(cfg.PeerNodes) > 0 && cfg.Cache != nil {
 		ring := fleet.NewRing(cfg.PeerNodes)
-		if s.fleetM == nil {
-			s.fleetM = fleet.NewMetrics(s.reg, ring)
-		}
+		s.fleetM = fleet.NewMetrics(s.reg, ring)
 		s.cfg.Cache = fleet.NewPeerCache(fleet.PeerConfig{
 			Local:   cfg.Cache,
 			Ring:    ring,
@@ -282,6 +296,41 @@ func New(cfg Config) *Server {
 			Metrics: s.fleetM,
 			Trace:   s.sink,
 		})
+	}
+	if len(cfg.Fleet) > 0 {
+		s.coord = fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Nodes:  cfg.Fleet,
+			Client: cfg.FleetClient,
+			Trace:  s.sink,
+			Policy: fleet.Policy{
+				DispatchTimeout: cfg.DispatchTimeout,
+				NodeRetries:     cfg.NodeRetries,
+				HedgeAfter:      cfg.HedgeAfter,
+				ProbeInterval:   cfg.ProbeInterval,
+				Jitter:          cfg.RetryJitter,
+			},
+			// Graceful degradation: with every worker out of rotation the
+			// coordinator analyzes in-process under the same ceilings a
+			// worker would have applied, so the merged report stays
+			// byte-identical to a healthy fleet's.
+			Local: fleet.NewLocalAnalyzer(fleet.LocalConfig{
+				Pool:           s.pool,
+				Workers:        s.cfg.Workers,
+				Schedules:      s.cfg.Schedules,
+				MaxSteps:       s.cfg.MaxSteps,
+				Timeout:        s.cfg.Timeout,
+				MaxHeapObjects: s.cfg.MaxHeapObjects,
+				MaxOutput:      s.cfg.MaxOutput,
+				Retries:        s.cfg.Retries,
+				Cache:          s.cfg.Cache,
+				Trace:          s.sink,
+			}),
+		})
+		if s.fleetM == nil {
+			s.fleetM = fleet.NewMetrics(s.reg, s.coord.Ring())
+		}
+		s.coord.SetMetrics(s.fleetM)
+		fleet.RegisterMembership(s.reg, s.coord.Membership())
 	}
 	s.requests = s.reg.Counter("dca_requests_total",
 		"Analyze requests accepted for processing.")
@@ -398,6 +447,11 @@ func (s *Server) beginDrain() { s.draining.Store(true) }
 // down gracefully: /healthz flips to draining, the listener closes, and
 // in-flight requests get up to DrainTimeout to finish.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	if s.coord != nil {
+		// Coordinator mode: the background prober re-admits recovered
+		// workers for the server's whole lifetime.
+		s.coord.StartProber(ctx)
+	}
 	srv := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
